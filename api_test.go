@@ -1,0 +1,97 @@
+package hemlock_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hemlock"
+)
+
+// TestPublicAPISurface exercises the root package entry points end to end:
+// build a module with the programmatic builder, link, run, save the
+// machine, and reload it.
+func TestPublicAPISurface(t *testing.T) {
+	sys := hemlock.New()
+
+	// A data module built without the assembler.
+	obj, err := hemlock.NewBuilder("config.o").
+		Word("cfg_version", 7, true).
+		String("cfg_name", "hemlock", true).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddTemplate("/lib/config.o", obj); err != nil {
+		t.Fatal(err)
+	}
+	mustAsm(t, sys, "/bin/main.o", trivialMainSrc)
+	res, err := sys.Link(&hemlock.LinkOptions{
+		Output: "a.out",
+		Modules: []hemlock.Module{
+			{Name: "main.o", Class: hemlock.StaticPrivate},
+			{Name: "config.o", Class: hemlock.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := sys.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pg.Var("cfg_version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Store(8); err != nil {
+		t.Fatal(err)
+	}
+	name, err := pg.Var("cfg_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := name.CString(0); s != "hemlock" {
+		t.Fatalf("cfg_name = %q", s)
+	}
+
+	// Persist the whole machine and reboot it.
+	if err := sys.SaveExecutable("/bin/a.out", res.Image); err != nil {
+		t.Fatal(err)
+	}
+	var disk bytes.Buffer
+	if err := sys.Save(&disk); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := hemlock.Load(&disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := sys2.LoadExecutable("/bin/a.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := sys2.Launch(im2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := pg2.Var("cfg_version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v2.Load(); got != 8 {
+		t.Fatalf("after reboot cfg_version = %d, want 8", got)
+	}
+}
+
+// TestClassConstantsRoundTrip pins the public class constants to their
+// semantics.
+func TestClassConstantsRoundTrip(t *testing.T) {
+	if !hemlock.StaticPrivate.Static() || hemlock.StaticPrivate.Public() {
+		t.Fatal("StaticPrivate misclassified")
+	}
+	if hemlock.DynamicPublic.Static() || !hemlock.DynamicPublic.Public() {
+		t.Fatal("DynamicPublic misclassified")
+	}
+}

@@ -1,0 +1,108 @@
+package hemlock_test
+
+import (
+	"fmt"
+	"log"
+
+	"hemlock"
+)
+
+// Example demonstrates the core workflow: define a shared variable in a
+// module, link it into two programs, and watch writes cross application
+// boundaries.
+func Example() {
+	sys := hemlock.New()
+	sys.Asm("/lib/counter.o", `
+        .data
+        .globl  hits
+hits:   .word   0
+`)
+	sys.Asm("/bin/main.o", `
+        .text
+        .globl  main
+        .extern hits
+main:   la      $t0, hits
+        lw      $v0, 0($t0)
+        addiu   $v0, $v0, 1
+        sw      $v0, 0($t0)
+        jr      $ra
+`)
+	res, err := sys.Link(&hemlock.LinkOptions{
+		Output: "a.out",
+		Modules: []hemlock.Module{
+			{Name: "main.o", Class: hemlock.StaticPrivate},
+			{Name: "counter.o", Class: hemlock.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pg, err := sys.Launch(res.Image, 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pg.Run(1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("hits =", pg.P.ExitCode)
+	}
+	// Output:
+	// hits = 1
+	// hits = 2
+	// hits = 3
+}
+
+// ExampleProgram_Var shows language-level access to a shared object from
+// the host side: resolve by name, then load and store.
+func ExampleProgram_Var() {
+	sys := hemlock.New()
+	sys.Asm("/lib/cfg.o", `
+        .data
+        .globl  retries
+retries: .word  5
+`)
+	sys.Asm("/bin/main.o", `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`)
+	res, _ := sys.Link(&hemlock.LinkOptions{
+		Output: "a.out",
+		Modules: []hemlock.Module{
+			{Name: "main.o", Class: hemlock.StaticPrivate},
+			{Name: "cfg.o", Class: hemlock.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	pg, _ := sys.Launch(res.Image, 0, nil)
+	v, err := pg.Var("retries")
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, _ := v.Load()
+	v.Store(8)
+	after, _ := v.Load()
+	fmt.Printf("retries: %d -> %d\n", before, after)
+	// Output:
+	// retries: 5 -> 8
+}
+
+// ExampleNewBuilder constructs a data module without the assembler.
+func ExampleNewBuilder() {
+	obj, err := hemlock.NewBuilder("table.o").
+		Word("size", 3, true).
+		Words("entries", []uint32{10, 20, 30}, true).
+		Pointer("first", "entries", 0, true).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exports:", obj.Exports())
+	// Output:
+	// exports: [entries first size]
+}

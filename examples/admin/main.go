@@ -1,0 +1,94 @@
+// admin: the administrative-files discussion made concrete (§4, §5).
+//
+// A passwd-like user database lives in a shared segment: lookups are list
+// walks, not file parses. The two §5 caveats are handled the way Unix
+// already handles them for /etc/passwd and terminfo:
+//
+//   - hand edits go through a vipw-style locking editor with a ckpw-style
+//     checker (EditUnder + Check);
+//
+//   - byte-stream commonality is restored by translate utilities
+//     (Export/Import, the infocmp/tic pair).
+//
+//     go run ./examples/admin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hemlock/internal/admin"
+	"hemlock/internal/kern"
+)
+
+func main() {
+	k := kern.New()
+	k.FS.MkdirAll("/etc", 0644, 0)
+
+	// An "adduser" process creates the database.
+	adduser := k.Spawn(0)
+	db, err := admin.OpenShared(k, adduser, "/etc/passwd.seg", 128*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []admin.User{
+		{Name: "root", UID: 0, Shell: "/bin/sh"},
+		{Name: "garrett", UID: 100, Shell: "/bin/csh"},
+		{Name: "scott", UID: 101, Shell: "/bin/tcsh"},
+		{Name: "bianchini", UID: 102, Shell: "/bin/sh"},
+	} {
+		if err := db.Add(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("adduser populated /etc/passwd.seg (a shared segment, not a text file)")
+
+	// A login process — a different protection domain — looks a user up
+	// directly: no open, no read, no parsing.
+	login := k.Spawn(0)
+	ldb, err := admin.OpenShared(k, login, "/etc/passwd.seg", 128*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := ldb.Lookup("scott")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("login resolved scott -> uid %d, shell %s (getpwnam = a list walk)\n", u.UID, u.Shell)
+
+	// vipw: edit under the database lock, validated before release.
+	err = admin.EditUnder(k.FS, "/etc/passwd.seg", adduser.PID, db, func(d *admin.DB) error {
+		if err := d.Remove("bianchini"); err != nil {
+			return err
+		}
+		return d.Add(admin.User{Name: "kontothanassis", UID: 103, Shell: "/bin/sh"})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("vipw edit applied under the segment lock and checked (ckpw)")
+
+	// A second editor is refused while someone holds the lock.
+	if ok, _ := k.FS.TryLock("/etc/passwd.seg", 999); ok {
+		err := admin.EditUnder(k.FS, "/etc/passwd.seg", adduser.PID, db, func(d *admin.DB) error { return nil })
+		fmt.Printf("concurrent vipw refused: %v\n", err)
+		k.FS.Unlock("/etc/passwd.seg", 999)
+	}
+
+	// Commonality restored on demand: export to text for grep/diff/mail...
+	text, err := admin.Export(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexported for the standard tools:\n%s", text)
+	// ...and import (with checking) brings edited text back.
+	if err := admin.Import(db, append(text, []byte("luk:104:/bin/sh\n")...)); err != nil {
+		log.Fatal(err)
+	}
+	users, _ := db.Users()
+	fmt.Printf("after import: %d users; login sees the change immediately: ", len(users))
+	if _, err := ldb.Lookup("luk"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("luk resolved")
+}

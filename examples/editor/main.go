@@ -1,0 +1,170 @@
+// editor: the paper's emacs-as-a-library vision (§2) plus the linked-list
+// text buffer of §5.
+//
+// "We envision, for example, rewriting the emacs editor with a functional
+// interface to which every process with a text window can be linked. With
+// lazy linking, we would not bother to bring the editor's more esoteric
+// features into a particular process's address space unless and until
+// they were needed."
+//
+// Here the "editor" is a module graph: editor.o (the core) lists three
+// feature modules on its own module list. Two window processes link the
+// editor and edit one shared buffer (a linked list of heap-allocated
+// lines in a public segment). Window 1 only types, so the feature modules
+// are mapped inaccessibly and never linked; window 2 invokes search, which
+// lazily links exactly that one feature.
+//
+//	go run ./examples/editor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hemlock"
+	"hemlock/internal/addrspace"
+	"hemlock/internal/edbuf"
+	"hemlock/internal/shmfs"
+)
+
+func main() {
+	sys := hemlock.New()
+
+	// The editor's module graph: a core plus three "esoteric features",
+	// each a module with an unresolved reference (so it needs a link
+	// step) satisfied by its own helper.
+	for _, f := range []string{"search", "spell", "justify"} {
+		sys.Asm("/editor/"+f+"-impl.o", fmt.Sprintf(`
+        .data
+        .globl  %s_table
+%s_table: .word 1, 2, 3
+`, f, f))
+		sys.Asm("/editor/"+f+".o", fmt.Sprintf(`
+        .dep    %s-impl.o, dynamic-public
+        .searchpath /editor
+        .data
+        .globl  %s_feature
+%s_feature: .word %s_table
+`, f, f, f, f))
+	}
+	// The core references every feature (its dispatch table), so it has
+	// undefined references and is linked lazily; linking it maps the
+	// feature modules — inaccessibly — without linking them.
+	sys.Asm("/editor/editor.o", `
+        .dep    search.o, dynamic-public
+        .dep    spell.o, dynamic-public
+        .dep    justify.o, dynamic-public
+        .searchpath /editor
+        .data
+        .globl  editor_version
+editor_version: .word 3
+        .globl  editor_features
+editor_features:
+        .word   search_feature
+        .word   spell_feature
+        .word   justify_feature
+`)
+	sys.Asm("/bin/window.o", `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`)
+	res, err := sys.Link(&hemlock.LinkOptions{
+		Output: "window",
+		Modules: []hemlock.Module{
+			{Name: "window.o", Class: hemlock.StaticPrivate},
+			{Name: "editor.o", Class: hemlock.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/editor"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The shared buffer lives in its own public segment.
+	sys.FS.MkdirAll("/home/doc", shmfs.DefaultDirMode, 0)
+	if _, err := sys.FS.Create("/home/doc/notes", shmfs.DefaultFileMode, 0); err != nil {
+		log.Fatal(err)
+	}
+	bufAddr, _ := sys.FS.PathToAddr("/home/doc/notes")
+
+	// Window 1: create the buffer and type.
+	w1, err := sys.Launch(res.Image, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.K.MapSharedFile(w1.P, "/home/doc/notes", 128*1024, addrspace.ProtRW); err != nil {
+		log.Fatal(err)
+	}
+	buf1, err := edbuf.Create(w1.P, bufAddr, 128*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range []string{
+		"Shared memory ought to be commonplace.",
+		"Files are ideal for data that have little internal structure.",
+		"Messages are ideal for RPC.",
+		"Many interactions could better be expressed as operations on shared data.",
+	} {
+		if err := buf1.Append(line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, _ := buf1.Len()
+	fmt.Printf("window 1 typed %d lines into the shared buffer\n", n)
+	fmt.Printf("feature modules linked so far: %d (mapped, inaccessible, unused)\n",
+		sys.W.Stats.LazyLinks)
+
+	// Window 2: attaches to the same buffer — the pointer-rich line list
+	// means the same thing here, because the segment has one address.
+	w2, err := sys.Launch(res.Image, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf2, err := edbuf.Attach(w2.P, bufAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf2.Insert(0, "— notes, kept in a segment —")
+	lines, _ := buf2.Lines()
+	fmt.Printf("window 2 sees %d lines; first: %q\n", len(lines), lines[0])
+
+	// Window 2 "opens the editor": touching the core links it, which maps
+	// the three feature modules into the address space — inaccessibly.
+	ev, err := w2.Var("editor_version")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ev.Load(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window 2 opened the editor: %d module(s) linked, features mapped but inaccessible\n",
+		sys.W.Stats.LazyLinks)
+
+	// Invoking search touches search_feature: that lazily links search.o
+	// (and brings in its implementation) — and ONLY search.
+	before := sys.W.Stats.LazyLinks
+	sf, err := w2.Var("search_feature")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sf.Load(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window 2 used search: %d feature link step(s) ran (spell and justify still unlinked)\n",
+		sys.W.Stats.LazyLinks-before)
+	hit, err := buf2.Search(0, "shared data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search found %q at line %d\n", "shared data", hit)
+
+	// And the edit is visible back in window 1, of course.
+	l0, _ := buf1.Line(0)
+	if l0 != "— notes, kept in a segment —" {
+		log.Fatal("windows diverged")
+	}
+	fmt.Println("window 1 sees window 2's edit: one buffer, many windows, no files")
+}

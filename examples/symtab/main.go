@@ -1,0 +1,96 @@
+// symtab: the Lynx compiler-tables case study — pointer-rich data shared
+// sequentially over time between the programs of a multi-pass toolchain.
+//
+// Pass 1 (the "utility program" fed by the scanner/parser generators)
+// writes the tables into a persistent shared segment. Pass 2 (the
+// compiler, a different process, possibly days later) attaches to the
+// segment and uses the tables in place. The baseline generates C source
+// and re-parses ("recompiles") it on every build — the paper measured that
+// at 5400+ lines and 18 seconds per build.
+//
+//	go run ./examples/symtab
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"hemlock"
+	"hemlock/internal/addrspace"
+	"hemlock/internal/shmfs"
+	"hemlock/internal/symtab"
+)
+
+func main() {
+	sys := hemlock.New()
+	tbl := symtab.Generate(150, 60, 2026)
+	fmt.Printf("generator produced tables: %d states x %d symbols\n", tbl.NStates, tbl.NSyms)
+
+	// --- Hemlock path ------------------------------------------------------
+	// Pass 1: the utility writes the tables into a persistent segment.
+	if err := sys.FS.MkdirAll("/lynx", shmfs.DefaultDirMode, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.FS.Create("/lynx/tables", shmfs.DefaultFileMode, 0); err != nil {
+		log.Fatal(err)
+	}
+	util := sys.K.Spawn(0)
+	st, err := sys.K.MapSharedFile(util, "/lynx/tables", shmfs.MaxFile, addrspace.ProtRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := symtab.WriteSegment(util, st.Addr, shmfs.MaxFile, tbl); err != nil {
+		log.Fatal(err)
+	}
+	writeDur := time.Since(t0)
+	fmt.Printf("pass 1 (utility): wrote pointer-rich tables into /lynx/tables in %v\n", writeDur)
+
+	// Pass 2: the compiler attaches — no translation at all.
+	compiler := sys.K.Spawn(0)
+	if _, err := sys.K.MapSharedFile(compiler, "/lynx/tables", shmfs.MaxFile, addrspace.ProtRW); err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	seg, err := symtab.AttachSegment(compiler, st.Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attachDur := time.Since(t0)
+
+	stream := tbl.Stream(2000, 7)
+	segTrace, err := seg.Run(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pass 2 (compiler): attached in %v and scanned %d symbols\n", attachDur, len(stream))
+
+	// --- baseline path -------------------------------------------------------
+	t0 = time.Now()
+	src := symtab.GenerateCSource(tbl)
+	rebuilt, err := symtab.CompileCSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compileDur := time.Since(t0)
+	lines := strings.Count(src, "\n")
+	fmt.Printf("baseline: generated %d lines of C and recompiled them in %v\n", lines, compileDur)
+	fmt.Printf("          (the paper: 5400+ lines, 18 s per build on a Sparcstation 1)\n")
+
+	// Both representations drive the scanner identically.
+	baseTrace := rebuilt.Run(stream)
+	for i := range segTrace {
+		if segTrace[i] != baseTrace[i] {
+			log.Fatalf("traces diverge at %d", i)
+		}
+	}
+	name, err := seg.Name(5)
+	if err != nil || name != tbl.Names[5] {
+		log.Fatalf("segment name table broken: %q %v", name, err)
+	}
+	fmt.Printf("identical scan traces; token 5 is %q through two pointer hops\n", name)
+	fmt.Printf("\nper-build table cost: %v (recompile) vs %v (attach) — %.0fx\n",
+		compileDur, attachDur, float64(compileDur)/float64(attachDur))
+}

@@ -1,0 +1,325 @@
+package hemlock_test
+
+// Root-level experiment tests: each reproduces one of the paper's
+// artifacts (Table 1, Figures 1-3) end to end and asserts the behaviour
+// the artifact describes. Run with -v to see the regenerated table and
+// layout. The quantitative experiments live in bench_test.go.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hemlock"
+	"hemlock/internal/layout"
+	"hemlock/internal/shmfs"
+)
+
+// mustAsm writes an assembly template into the system.
+func mustAsm(t testing.TB, s *hemlock.System, path, src string) {
+	t.Helper()
+	if _, err := s.Asm(path, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const counterModSrc = `
+        .data
+        .globl  expt_count
+expt_count: .word 0
+`
+
+const trivialMainSrc = `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`
+
+// incrementMainSrc bumps expt_count and returns its new value.
+const incrementMainSrc = `
+        .text
+        .globl  main
+        .extern expt_count
+main:   la      $t0, expt_count
+        lw      $v0, 0($t0)
+        addiu   $v0, $v0, 1
+        sw      $v0, 0($t0)
+        jr      $ra
+`
+
+// TestTable1Semantics reproduces Table 1: for each sharing class, when the
+// module is linked, whether each process gets a new instance, and which
+// portion of the address space it occupies.
+func TestTable1Semantics(t *testing.T) {
+	type row struct {
+		class       hemlock.Class
+		linkTime    string
+		newInstance bool
+		region      string
+	}
+	var rows []row
+
+	for _, class := range []hemlock.Class{
+		hemlock.StaticPrivate, hemlock.DynamicPrivate,
+		hemlock.StaticPublic, hemlock.DynamicPublic,
+	} {
+		s := hemlock.New()
+		mustAsm(t, s, "/lib/count.o", counterModSrc)
+		mustAsm(t, s, "/bin/main.o", incrementMainSrc)
+		res, err := s.Link(&hemlock.LinkOptions{
+			Output: "a.out",
+			Modules: []hemlock.Module{
+				{Name: "main.o", Class: hemlock.StaticPrivate},
+				{Name: "count.o", Class: class},
+			},
+			LinkDir:     "/bin",
+			DefaultPath: []string{"/lib"},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+
+		// Column 1: when linked. Static classes are resolved in the
+		// image; dynamic classes are recorded for ldl.
+		linkTime := "static link time"
+		if !class.Static() {
+			linkTime = "run time"
+			if len(res.Image.Dyn.DynModules) != 1 {
+				t.Fatalf("%v: dynamic module not deferred to ldl", class)
+			}
+		} else if len(res.Image.Dyn.DynModules) != 0 {
+			t.Fatalf("%v: static module recorded as dynamic", class)
+		}
+
+		// Column 2: new instance per process? Run the incrementing
+		// program twice; a private module restarts from the template, a
+		// public module accumulates.
+		run := func() int {
+			pg, err := s.Launch(res.Image, 0, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", class, err)
+			}
+			if err := pg.Run(100000); err != nil {
+				t.Fatalf("%v: %v", class, err)
+			}
+			return pg.P.ExitCode
+		}
+		first, second := run(), run()
+		newInstance := second == 1
+		if !newInstance && second != 2 {
+			t.Fatalf("%v: runs returned %d then %d", class, first, second)
+		}
+		if class.Public() == newInstance {
+			t.Fatalf("%v: per-process instance = %v, contradicting Table 1", class, newInstance)
+		}
+
+		// Column 3: default portion of the address space.
+		pg, err := s.Launch(res.Image, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := pg.Var("expt_count")
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		region := "private"
+		if layout.Public(v.Addr) {
+			region = "public"
+		}
+		if class.Public() != (region == "public") {
+			t.Fatalf("%v: variable at 0x%08x (%s region)", class, v.Addr, region)
+		}
+		rows = append(rows, row{class, linkTime, newInstance, region})
+	}
+
+	var b strings.Builder
+	b.WriteString("\nTable 1: Class creation and link times (reproduced)\n")
+	fmt.Fprintf(&b, "%-18s %-18s %-26s %-8s\n", "Sharing Class", "When linked", "New instance per process", "Region")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-18s %-26v %-8s\n", r.class, r.linkTime, r.newInstance, r.region)
+	}
+	t.Log(b.String())
+}
+
+// TestFigure1Pipeline reproduces Figure 1: two separately linked programs,
+// each with private code, both naming the same shared .o; the module is
+// created by ldl on first use and both programs access the same object
+// with ordinary (symbolic) references.
+func TestFigure1Pipeline(t *testing.T) {
+	s := hemlock.New()
+	// "Shared source code and data (.c files)" -> cc -> shared1.o
+	mustAsm(t, s, "/project/shared1.o", counterModSrc)
+	// PROGRAM 1 and PROGRAM 2: private source, external declarations for
+	// the shared data.
+	mustAsm(t, s, "/project/prog1.o", incrementMainSrc)
+	mustAsm(t, s, "/project/prog2.o", incrementMainSrc)
+
+	link := func(mod string) *hemlock.Image {
+		res, err := s.Link(&hemlock.LinkOptions{
+			Output: mod + ".out",
+			Modules: []hemlock.Module{
+				{Name: mod, Class: hemlock.StaticPrivate},
+				{Name: "shared1.o", Class: hemlock.DynamicPublic},
+			},
+			LinkDir: "/project",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Image
+	}
+	im1, im2 := link("prog1.o"), link("prog2.o")
+
+	// Program 1 runs: ldl creates /project/shared1 on first use.
+	pg1, err := s.Launch(im1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg1.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if pg1.P.ExitCode != 1 {
+		t.Fatalf("program 1 counted %d", pg1.P.ExitCode)
+	}
+	if _, err := s.FS.StatPath("/project/shared1"); err != nil {
+		t.Fatalf("shared segment not created by ldl: %v", err)
+	}
+	// Program 2 — a different executable — sees program 1's write.
+	pg2, err := s.Launch(im2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg2.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if pg2.P.ExitCode != 2 {
+		t.Fatalf("program 2 counted %d, want 2 (cross-application sharing)", pg2.P.ExitCode)
+	}
+}
+
+// TestFigure3Layout reproduces Figure 3: the region map, identical public
+// addressing in two processes, and overloaded private addressing.
+func TestFigure3Layout(t *testing.T) {
+	// Region boundaries as drawn.
+	checks := []struct {
+		addr uint32
+		name string
+	}{
+		{0x00400000, "text+libs (private)"},
+		{0x10000000, "data/heap (private)"},
+		{0x30000000, "shared file system (public)"},
+		{0x70000000, "stack (private)"},
+		{0x80000000, "kernel"},
+	}
+	var b strings.Builder
+	b.WriteString("\nFigure 3: Hemlock address spaces (reproduced)\n")
+	for _, c := range checks {
+		if got := layout.RegionName(c.addr); got != c.name {
+			t.Fatalf("region at 0x%08x = %q, want %q", c.addr, got, c.name)
+		}
+		fmt.Fprintf(&b, "0x%08x  %s\n", c.addr, c.name)
+	}
+	t.Log(b.String())
+	// The shared region is exactly the 1 GB shared file system.
+	if layout.SharedBase != shmfs.Base || layout.SharedLimit != shmfs.Limit {
+		t.Fatal("shared region does not coincide with the shared file system")
+	}
+	if shmfs.Limit-shmfs.Base != 1<<30 {
+		t.Fatal("shared region is not 1 GB")
+	}
+
+	// Public appears the same in every process; private is overloaded.
+	s := hemlock.New()
+	mustAsm(t, s, "/lib/pub.o", ".data\n.globl pubv\npubv: .word 0\n")
+	mustAsm(t, s, "/lib/priv.o", ".data\n.globl privv\nprivv: .word 0\n")
+	mustAsm(t, s, "/bin/main.o", trivialMainSrc)
+	res, err := s.Link(&hemlock.LinkOptions{
+		Output: "a.out",
+		Modules: []hemlock.Module{
+			{Name: "main.o", Class: hemlock.StaticPrivate},
+			{Name: "pub.o", Class: hemlock.DynamicPublic},
+			{Name: "priv.o", Class: hemlock.DynamicPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg1, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := pg1.Var("pubv")
+	p2, _ := pg2.Var("pubv")
+	if p1 == nil || p2 == nil || p1.Addr != p2.Addr {
+		t.Fatal("public object at different addresses in two processes")
+	}
+	if !layout.Public(p1.Addr) {
+		t.Fatalf("public object at private address 0x%08x", p1.Addr)
+	}
+	q1, _ := pg1.Var("privv")
+	if q1 == nil || !layout.Private(q1.Addr) {
+		t.Fatal("private object not in private region")
+	}
+	// Overloading: the same private address holds independent values.
+	q2, _ := pg2.Var("privv")
+	if q2.Addr != q1.Addr {
+		t.Fatalf("dynamic private instances at different addresses (0x%x vs 0x%x); overloading not exercised", q1.Addr, q2.Addr)
+	}
+	q1.Store(1)
+	q2.Store(2)
+	v1, _ := q1.Load()
+	v2, _ := q2.Load()
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("overloaded private address not independent: %d/%d", v1, v2)
+	}
+}
+
+// TestGarbageCollectionPerusal covers the paper's manual-cleanup story:
+// the shared file system provides "the ability to peruse all of the
+// segments in existence".
+func TestGarbageCollectionPerusal(t *testing.T) {
+	s := hemlock.New()
+	mustAsm(t, s, "/proj/a.o", counterModSrc)
+	mustAsm(t, s, "/bin/main.o", trivialMainSrc)
+	res, err := s.Link(&hemlock.LinkOptions{
+		Output: "a.out",
+		Modules: []hemlock.Module{
+			{Name: "main.o", Class: hemlock.StaticPrivate},
+			{Name: "a.o", Class: hemlock.StaticPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/proj"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	var segs []string
+	s.FS.WalkFiles(func(p string, st shmfs.Stat) error {
+		segs = append(segs, p)
+		return nil
+	})
+	found := false
+	for _, p := range segs {
+		if p == "/proj/a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("segment not visible to perusal: %v", segs)
+	}
+	// Manual cleanup: the segment persists until explicitly destroyed.
+	if err := s.FS.Unlink("/proj/a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FS.StatPath("/proj/a"); err == nil {
+		t.Fatal("segment survived explicit destruction")
+	}
+}

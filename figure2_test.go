@@ -1,0 +1,155 @@
+package hemlock_test
+
+import (
+	"testing"
+
+	"hemlock"
+)
+
+// TestFigure2DAG reproduces Figure 2, "Hierarchical Inclusion of
+// Dynamically-Linked Modules", with the paper's exact shape:
+//
+//	EXECUTABLE ── A.o (shared), B.o (private), C.o (private)
+//	B.o ── D.o (private), E.o (shared)     [B's own list and path]
+//	C.o ── E.o (shared), F.o (private)     [C's own list and path]
+//	D.o ── G.o (private)
+//	F.o ── G.o (private)
+//
+// The figure shows TWO E.o boxes and TWO G.o boxes: B's and C's "E.o" are
+// genuinely different modules found along different search paths (the
+// naming conflict scoped linking exists to defuse), and D's and F's G.o
+// are separate private instances even when created from one template.
+func TestFigure2DAG(t *testing.T) {
+	s := newFigure2System(t)
+	pg := launchFigure2(t, s)
+
+	// B's chain: b_eptr -> (B's own) evalue.
+	bv := mustVar(t, pg, "b_eptr")
+	bE, err := bv.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _ := bE.Load()
+	if gotB != 111 {
+		t.Fatalf("B bound to evalue=%d, want its own E (111)", gotB)
+	}
+	// C's chain: c_eptr -> (C's own) evalue — a DIFFERENT module that
+	// happens to share the name E.o.
+	cv := mustVar(t, pg, "c_eptr")
+	cE, err := cv.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, _ := cE.Load()
+	if gotC != 222 {
+		t.Fatalf("C bound to evalue=%d, want its own E (222)", gotC)
+	}
+	if bE.Addr == cE.Addr {
+		t.Fatal("the two E.o modules collapsed into one")
+	}
+
+	// D's and F's G.o are separate private instances.
+	dg := mustVar(t, pg, "d_gptr")
+	fg := mustVar(t, pg, "f_gptr")
+	dG, err := dg.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fG, err := fg.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dG.Addr == fG.Addr {
+		t.Fatal("two private G.o instances share one address")
+	}
+	// Writes through one instance do not affect the other.
+	if err := dG.Store(77); err != nil {
+		t.Fatal(err)
+	}
+	vF, _ := fG.Load()
+	if vF == 77 {
+		t.Fatal("private instances alias")
+	}
+	// A.o, the root shared module, is visible to everyone.
+	av := mustVar(t, pg, "a_val")
+	if got, _ := av.Load(); got != 1 {
+		t.Fatalf("a_val = %d", got)
+	}
+}
+
+func newFigure2System(t *testing.T) *hemlock.System {
+	t.Helper()
+	s := hemlock.New()
+	// The two distinct modules both named e.o.
+	mustAsm(t, s, "/libB/e.o", ".data\n.globl evalue\nevalue: .word 111\n")
+	mustAsm(t, s, "/libC/e.o", ".data\n.globl evalue\nevalue: .word 222\n")
+	// One G template; D and F each instantiate it privately.
+	mustAsm(t, s, "/lib/g.o", ".data\n.globl gval\ngval: .word 9\n")
+	mustAsm(t, s, "/lib/a.o", ".data\n.globl a_val\na_val: .word 1\n")
+	mustAsm(t, s, "/lib/d.o", `
+        .dep    g.o, dynamic-private
+        .searchpath /lib
+        .data
+        .globl  d_gptr
+d_gptr: .word gval
+`)
+	mustAsm(t, s, "/lib/f.o", `
+        .dep    g.o, dynamic-private
+        .searchpath /lib
+        .data
+        .globl  f_gptr
+f_gptr: .word gval
+`)
+	mustAsm(t, s, "/lib/b.o", `
+        .dep    d.o, dynamic-private
+        .dep    e.o, dynamic-public
+        .searchpath /lib
+        .searchpath /libB
+        .data
+        .globl  b_eptr
+b_eptr: .word evalue
+`)
+	mustAsm(t, s, "/lib/c.o", `
+        .dep    e.o, dynamic-public
+        .dep    f.o, dynamic-private
+        .searchpath /libC
+        .searchpath /lib
+        .data
+        .globl  c_eptr
+c_eptr: .word evalue
+`)
+	mustAsm(t, s, "/bin/main.o", trivialMainSrc)
+	return s
+}
+
+func launchFigure2(t *testing.T, s *hemlock.System) *hemlock.Program {
+	t.Helper()
+	res, err := s.Link(&hemlock.LinkOptions{
+		Output: "a.out",
+		Modules: []hemlock.Module{
+			{Name: "main.o", Class: hemlock.StaticPrivate},
+			{Name: "a.o", Class: hemlock.DynamicPublic},
+			{Name: "b.o", Class: hemlock.DynamicPrivate},
+			{Name: "c.o", Class: hemlock.DynamicPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func mustVar(t *testing.T, pg *hemlock.Program, name string) *hemlock.Var {
+	t.Helper()
+	v, err := pg.Var(name)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}

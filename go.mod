@@ -1,0 +1,3 @@
+module hemlock
+
+go 1.22

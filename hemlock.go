@@ -1,0 +1,98 @@
+// Package hemlock is the public API of the Hemlock reproduction: a
+// complete, simulated implementation of "Linking Shared Segments"
+// (Garrett, Scott, et al., 1993 Winter USENIX).
+//
+// Hemlock makes cross-application shared memory as easy to use as private
+// memory. Shared variables and functions are defined in ordinary object
+// modules; the static linker lds assigns each module one of four sharing
+// classes (static/dynamic × private/public); public modules live at
+// globally-agreed virtual addresses inside a kernel-maintained shared file
+// system; and the lazy dynamic linker ldl maps and links modules on first
+// use, driven by page faults.
+//
+// A minimal session:
+//
+//	sys := hemlock.New()
+//	sys.Asm("/lib/counter.o", `
+//	        .data
+//	        .globl  hits
+//	        hits:   .word 0
+//	`)
+//	sys.Asm("/bin/main.o", `
+//	        .text
+//	        .globl  main
+//	        main:   li $v0, 0
+//	                jr $ra
+//	`)
+//	res, _ := sys.Link(&hemlock.LinkOptions{
+//	        Output: "a.out",
+//	        Modules: []hemlock.Module{
+//	                {Name: "main.o", Class: hemlock.StaticPrivate},
+//	                {Name: "counter.o", Class: hemlock.DynamicPublic},
+//	        },
+//	        LinkDir:     "/bin",
+//	        DefaultPath: []string{"/lib"},
+//	})
+//	pg, _ := sys.Launch(res.Image, 0, nil)
+//	v, _ := pg.Var("hits") // the shared variable, by name
+//	v.Store(1)             // visible to every process that links counter.o
+//
+// The packages under internal/ implement the full substrate: a paged
+// memory system, 32-bit address spaces, the 1 GB / 1024-inode shared file
+// system with address↔path kernel calls, an R3000-like ISA with assembler
+// and interpreter, the linkers, the user-level fault handler, and the
+// paper's four application case studies (rwho, Presto, Lynx tables, xfig).
+package hemlock
+
+import (
+	"io"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+)
+
+// System is a booted Hemlock machine: kernel, shared file system, linkers.
+type System = core.System
+
+// Program is a launched process with its dynamic-linker state.
+type Program = core.Program
+
+// Var is language-level access to a named program object.
+type Var = core.Var
+
+// LinkOptions configures a static link (see lds.Options).
+type LinkOptions = lds.Options
+
+// Module names one linker input with its sharing class.
+type Module = lds.Input
+
+// LinkResult is a linked image plus warnings.
+type LinkResult = lds.Result
+
+// Image is a linked load image.
+type Image = objfile.Image
+
+// Object is a HEMO object module (template).
+type Object = objfile.Object
+
+// Class is a sharing class.
+type Class = objfile.Class
+
+// The four sharing classes of Table 1.
+const (
+	StaticPrivate  = objfile.StaticPrivate
+	DynamicPrivate = objfile.DynamicPrivate
+	StaticPublic   = objfile.StaticPublic
+	DynamicPublic  = objfile.DynamicPublic
+)
+
+// New boots a fresh machine with an empty shared file system.
+func New() *System { return core.NewSystem() }
+
+// Load boots a machine from a disk image written by (*System).Save.
+func Load(r io.Reader) (*System, error) { return core.Load(r) }
+
+// NewBuilder constructs an object module programmatically (the alternative
+// to assembling source with (*System).Asm).
+func NewBuilder(name string) *objfile.Builder { return objfile.NewBuilder(name) }

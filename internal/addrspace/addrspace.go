@@ -1,0 +1,445 @@
+// Package addrspace implements simulated 32-bit virtual address spaces with
+// per-page protection, the substrate on which Hemlock's fault-driven lazy
+// linking and map-on-pointer-dereference are built.
+//
+// An address space is a sparse page table mapping virtual page numbers to
+// physical frames plus protection bits. Loads and stores that touch an
+// unmapped page, or a page without the required right, fail with a *Fault
+// describing the access; the kernel (package kern) turns that into a
+// restartable signal, exactly as the IRIX kernel delivers SIGSEGV to
+// Hemlock's user-level handler.
+package addrspace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hemlock/internal/mem"
+)
+
+// Prot is a page protection bit mask.
+type Prot uint8
+
+// Protection bits. ProtNone (no bits) is what ldl uses to map a module that
+// still has undefined references, so that the first touch faults.
+const (
+	ProtRead  Prot = 1 << iota // page may be read
+	ProtWrite                  // page may be written
+	ProtExec                   // page may be executed
+
+	ProtNone Prot = 0
+	ProtRW        = ProtRead | ProtWrite
+	ProtRX        = ProtRead | ProtExec
+	ProtRWX       = ProtRead | ProtWrite | ProtExec
+)
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access is the kind of memory access that caused a fault.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return fmt.Sprintf("access(%d)", uint8(a))
+}
+
+// need returns the protection bit required for the access.
+func (a Access) need() Prot {
+	switch a {
+	case AccessWrite:
+		return ProtWrite
+	case AccessExec:
+		return ProtExec
+	default:
+		return ProtRead
+	}
+}
+
+// Fault describes a failed translation: the simulated equivalent of a
+// SIGSEGV siginfo. Unmapped reports whether the page had no mapping at all
+// (as opposed to a protection violation).
+type Fault struct {
+	Addr     uint32
+	Access   Access
+	Unmapped bool
+}
+
+func (f *Fault) Error() string {
+	kind := "protection violation"
+	if f.Unmapped {
+		kind = "unmapped page"
+	}
+	return fmt.Sprintf("addrspace: fault on %s of 0x%08x (%s)", f.Access, f.Addr, kind)
+}
+
+// IsFault reports whether err is a *Fault and returns it.
+func IsFault(err error) (*Fault, bool) {
+	f, ok := err.(*Fault)
+	return f, ok
+}
+
+// pte is a page table entry.
+type pte struct {
+	frame *mem.Frame
+	prot  Prot
+}
+
+// Space is a simulated 32-bit virtual address space. All methods are safe
+// for concurrent use; Hemlock processes may be driven from multiple
+// goroutines in tests.
+type Space struct {
+	mu    sync.RWMutex
+	pages map[uint32]pte // VPN -> entry
+	phys  *mem.Physical
+}
+
+// New returns an empty address space drawing frames from phys.
+func New(phys *mem.Physical) *Space {
+	return &Space{pages: make(map[uint32]pte), phys: phys}
+}
+
+// Physical returns the frame pool backing the space.
+func (s *Space) Physical() *mem.Physical { return s.phys }
+
+func vpn(addr uint32) uint32 { return addr >> mem.PageShift }
+
+// PageBase returns the page-aligned base of addr.
+func PageBase(addr uint32) uint32 { return addr &^ (mem.PageSize - 1) }
+
+// PageCount returns the number of pages needed to hold size bytes starting
+// at a page-aligned address.
+func PageCount(size uint32) uint32 {
+	return (size + mem.PageSize - 1) / mem.PageSize
+}
+
+// MapAnon allocates fresh zeroed frames for [addr, addr+size) with the given
+// protection. addr must be page aligned. Pages already mapped in the range
+// cause an error.
+func (s *Space) MapAnon(addr, size uint32, prot Prot) error {
+	if addr%mem.PageSize != 0 {
+		return fmt.Errorf("addrspace: MapAnon addr 0x%08x not page aligned", addr)
+	}
+	n := PageCount(size)
+	frames, err := s.phys.AllocN(int(n))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := vpn(addr)
+	for i := uint32(0); i < n; i++ {
+		if _, dup := s.pages[base+i]; dup {
+			for _, f := range frames {
+				f.Release()
+			}
+			return fmt.Errorf("addrspace: page 0x%08x already mapped", (base+i)<<mem.PageShift)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		s.pages[base+i] = pte{frame: frames[i], prot: prot}
+	}
+	return nil
+}
+
+// MapFrames installs the given frames (retaining each) at addr with the
+// given protection. This is how a shared-file-system file is mapped: the
+// file's own frames become the process's pages, so stores through the
+// mapping are stores into the file.
+func (s *Space) MapFrames(addr uint32, frames []*mem.Frame, prot Prot) error {
+	if addr%mem.PageSize != 0 {
+		return fmt.Errorf("addrspace: MapFrames addr 0x%08x not page aligned", addr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := vpn(addr)
+	for i := range frames {
+		if _, dup := s.pages[base+uint32(i)]; dup {
+			return fmt.Errorf("addrspace: page 0x%08x already mapped", (base+uint32(i))<<mem.PageShift)
+		}
+	}
+	for i, f := range frames {
+		f.Retain()
+		s.pages[base+uint32(i)] = pte{frame: f, prot: prot}
+	}
+	return nil
+}
+
+// Unmap removes the mapping for [addr, addr+size), releasing the frames.
+// Unmapped pages in the range are ignored.
+func (s *Space) Unmap(addr, size uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := vpn(addr)
+	for i := uint32(0); i < PageCount(size); i++ {
+		if e, ok := s.pages[base+i]; ok {
+			e.frame.Release()
+			delete(s.pages, base+i)
+		}
+	}
+}
+
+// Protect changes the protection of every mapped page in [addr, addr+size).
+// It returns an error if any page in the range is unmapped.
+func (s *Space) Protect(addr, size uint32, prot Prot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := vpn(addr)
+	n := PageCount(size)
+	for i := uint32(0); i < n; i++ {
+		if _, ok := s.pages[base+i]; !ok {
+			return fmt.Errorf("addrspace: Protect: page 0x%08x not mapped", (base+i)<<mem.PageShift)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		e := s.pages[base+i]
+		e.prot = prot
+		s.pages[base+i] = e
+	}
+	return nil
+}
+
+// ProtAt returns the protection of the page containing addr and whether the
+// page is mapped.
+func (s *Space) ProtAt(addr uint32) (Prot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.pages[vpn(addr)]
+	return e.prot, ok
+}
+
+// Mapped reports whether every page of [addr, addr+size) is mapped.
+func (s *Space) Mapped(addr, size uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	base := vpn(PageBase(addr))
+	end := vpn(addr + size - 1)
+	for p := base; p <= end; p++ {
+		if _, ok := s.pages[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// translate returns the frame and in-page offset for addr if the access is
+// permitted.
+func (s *Space) translate(addr uint32, a Access) (*mem.Frame, uint32, *Fault) {
+	s.mu.RLock()
+	e, ok := s.pages[vpn(addr)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, &Fault{Addr: addr, Access: a, Unmapped: true}
+	}
+	if e.prot&a.need() == 0 {
+		return nil, 0, &Fault{Addr: addr, Access: a}
+	}
+	return e.frame, addr & (mem.PageSize - 1), nil
+}
+
+// Read copies len(buf) bytes starting at addr into buf. On a fault it
+// returns the number of bytes copied before the fault and the *Fault.
+func (s *Space) Read(addr uint32, buf []byte) (int, error) {
+	done := 0
+	for done < len(buf) {
+		f, off, flt := s.translate(addr+uint32(done), AccessRead)
+		if flt != nil {
+			return done, flt
+		}
+		n := copy(buf[done:], f.Data[off:])
+		done += n
+	}
+	return done, nil
+}
+
+// Write copies buf into memory starting at addr. On a fault it returns the
+// number of bytes written before the fault and the *Fault.
+func (s *Space) Write(addr uint32, buf []byte) (int, error) {
+	done := 0
+	for done < len(buf) {
+		f, off, flt := s.translate(addr+uint32(done), AccessWrite)
+		if flt != nil {
+			return done, flt
+		}
+		n := copy(f.Data[off:], buf[done:])
+		done += n
+	}
+	return done, nil
+}
+
+// LoadWord loads a big-endian 32-bit word. addr must be 4-byte aligned.
+func (s *Space) LoadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("addrspace: unaligned word load at 0x%08x", addr)
+	}
+	f, off, flt := s.translate(addr, AccessRead)
+	if flt != nil {
+		return 0, flt
+	}
+	return binary.BigEndian.Uint32(f.Data[off:]), nil
+}
+
+// StoreWord stores a big-endian 32-bit word. addr must be 4-byte aligned.
+func (s *Space) StoreWord(addr, val uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("addrspace: unaligned word store at 0x%08x", addr)
+	}
+	f, off, flt := s.translate(addr, AccessWrite)
+	if flt != nil {
+		return flt
+	}
+	binary.BigEndian.PutUint32(f.Data[off:], val)
+	return nil
+}
+
+// FetchWord loads an instruction word, requiring execute permission.
+func (s *Space) FetchWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("addrspace: unaligned fetch at 0x%08x", addr)
+	}
+	f, off, flt := s.translate(addr, AccessExec)
+	if flt != nil {
+		return 0, flt
+	}
+	return binary.BigEndian.Uint32(f.Data[off:]), nil
+}
+
+// LoadByte loads one byte with read permission.
+func (s *Space) LoadByte(addr uint32) (byte, error) {
+	f, off, flt := s.translate(addr, AccessRead)
+	if flt != nil {
+		return 0, flt
+	}
+	return f.Data[off], nil
+}
+
+// StoreByte stores one byte with write permission.
+func (s *Space) StoreByte(addr uint32, val byte) error {
+	f, off, flt := s.translate(addr, AccessWrite)
+	if flt != nil {
+		return flt
+	}
+	f.Data[off] = val
+	return nil
+}
+
+// Region describes one contiguous run of identically-protected pages, for
+// /proc-style inspection and the Figure 3 layout printer.
+type Region struct {
+	Start uint32
+	End   uint32 // exclusive
+	Prot  Prot
+}
+
+// Regions returns the mapped regions in ascending address order, merging
+// adjacent pages with identical protection.
+func (s *Space) Regions() []Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vpns := make([]uint32, 0, len(s.pages))
+	for p := range s.pages {
+		vpns = append(vpns, p)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	var out []Region
+	for _, p := range vpns {
+		e := s.pages[p]
+		start := p << mem.PageShift
+		if n := len(out); n > 0 && out[n-1].End == start && out[n-1].Prot == e.prot {
+			out[n-1].End = start + mem.PageSize
+			continue
+		}
+		out = append(out, Region{Start: start, End: start + mem.PageSize, Prot: e.prot})
+	}
+	return out
+}
+
+// CloneRange deep-copies every mapped page in [start, end) of s into dst,
+// allocating fresh frames. This is the private half of fork.
+func (s *Space) CloneRange(dst *Space, start, end uint32) error {
+	s.mu.RLock()
+	type ent struct {
+		vpn uint32
+		e   pte
+	}
+	var ents []ent
+	for p, e := range s.pages {
+		a := p << mem.PageShift
+		if a >= start && a < end {
+			ents = append(ents, ent{p, e})
+		}
+	}
+	s.mu.RUnlock()
+	for _, it := range ents {
+		f, err := it.e.frame.Copy()
+		if err != nil {
+			return err
+		}
+		dst.mu.Lock()
+		dst.pages[it.vpn] = pte{frame: f, prot: it.e.prot}
+		dst.mu.Unlock()
+	}
+	return nil
+}
+
+// ShareRange installs s's mappings in [start, end) into dst, retaining the
+// frames so that both spaces see the same bytes. This is the public half of
+// fork.
+func (s *Space) ShareRange(dst *Space, start, end uint32) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for p, e := range s.pages {
+		a := p << mem.PageShift
+		if a >= start && a < end {
+			e.frame.Retain()
+			dst.mu.Lock()
+			dst.pages[p] = e
+			dst.mu.Unlock()
+		}
+	}
+}
+
+// Release unmaps everything, releasing all frames. The space must not be
+// used afterwards.
+func (s *Space) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p, e := range s.pages {
+		e.frame.Release()
+		delete(s.pages, p)
+	}
+}
+
+// PageCountMapped returns the number of mapped pages (for tests).
+func (s *Space) PageCountMapped() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}

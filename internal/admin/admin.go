@@ -1,0 +1,409 @@
+// Package admin rounds out the paper's administrative-files discussion
+// (§4 "Administrative Files", §5 "Loss of Commonality"). Files like
+// /etc/passwd are "really long-lived data structures" accessed through
+// utility routines that translate between on-disk text and the linked
+// structures programs actually use. Kept in a shared segment instead, the
+// structure IS the database — but §5 concedes two costs, both modelled
+// here:
+//
+//   - hand edits need discipline: Unix provides vipw (a locking editor)
+//     and a checker to validate changes; this package provides EditUnder
+//     (edit under the segment's advisory file lock) and Check (the ckpw
+//     analogue, validating structural invariants);
+//   - the "standard Unix tools" can no longer read the data: like
+//     terminfo's tic/infocmp pair, Export and Import translate to and
+//     from equivalent ASCII text, with checking.
+//
+// Records live in a segment heap as a linked list of (name, uid, shell)
+// entries; the whole database has one globally-agreed address.
+package admin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/kern"
+	"hemlock/internal/shalloc"
+	"hemlock/internal/shmfs"
+)
+
+// Errors.
+var (
+	ErrNotADB    = errors.New("admin: segment does not contain a user database")
+	ErrBadRecord = errors.New("admin: malformed record")
+	ErrDuplicate = errors.New("admin: duplicate user name")
+	ErrNoUser    = errors.New("admin: no such user")
+	ErrLocked    = errors.New("admin: database is being edited by another process")
+)
+
+// User is one database record.
+type User struct {
+	Name  string
+	UID   uint32
+	Shell string
+}
+
+// Segment layout.
+const (
+	magic    = 0x50415353 // "PASS"
+	offHead  = 4
+	offCount = 8
+	hdrSize  = 12
+
+	nodeNext  = 0
+	nodeUID   = 4
+	nodeNLen  = 8
+	nodeSLen  = 12
+	nodeBytes = 16
+
+	maxName = 64
+)
+
+// DB is a handle on the shared user database.
+type DB struct {
+	m    shalloc.Mem
+	base uint32
+	heap *shalloc.Heap
+}
+
+// Create formats an empty database across [base, base+size).
+func Create(m shalloc.Mem, base, size uint32) (*DB, error) {
+	h, err := shalloc.Init(m, base+hdrSize, size-hdrSize)
+	if err != nil {
+		return nil, err
+	}
+	for off, v := range map[uint32]uint32{base: magic, base + offHead: 0, base + offCount: 0} {
+		if err := m.StoreWord(off, v); err != nil {
+			return nil, err
+		}
+	}
+	return &DB{m: m, base: base, heap: h}, nil
+}
+
+// Attach opens an existing database.
+func Attach(m shalloc.Mem, base uint32) (*DB, error) {
+	w, err := m.LoadWord(base)
+	if err != nil {
+		return nil, err
+	}
+	if w != magic {
+		return nil, fmt.Errorf("%w: at 0x%08x", ErrNotADB, base)
+	}
+	h, err := shalloc.Attach(m, base+hdrSize)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{m: m, base: base, heap: h}, nil
+}
+
+func (db *DB) storeString(addr uint32, s string) error {
+	for j := 0; j < len(s); j += 4 {
+		var w uint32
+		for k := 0; k < 4 && j+k < len(s); k++ {
+			w |= uint32(s[j+k]) << uint(24-8*k)
+		}
+		if err := db.m.StoreWord(addr+uint32(j), w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) loadString(addr, n uint32) (string, error) {
+	if n > maxName {
+		return "", fmt.Errorf("%w: string length %d", ErrBadRecord, n)
+	}
+	out := make([]byte, 0, n)
+	for j := uint32(0); j < n; j += 4 {
+		w, err := db.m.LoadWord(addr + j)
+		if err != nil {
+			return "", err
+		}
+		for k := uint32(0); k < 4 && j+k < n; k++ {
+			out = append(out, byte(w>>uint(24-8*k)))
+		}
+	}
+	return string(out), nil
+}
+
+func pad4(n int) uint32 { return uint32(n+3) &^ 3 }
+
+// Add appends a user, rejecting duplicates.
+func (db *DB) Add(u User) error {
+	if err := validate(u); err != nil {
+		return err
+	}
+	if _, err := db.Lookup(u.Name); err == nil {
+		return fmt.Errorf("%w: %s", ErrDuplicate, u.Name)
+	}
+	node, err := db.heap.Alloc(nodeBytes + pad4(len(u.Name)) + pad4(len(u.Shell)))
+	if err != nil {
+		return err
+	}
+	head, err := db.m.LoadWord(db.base + offHead)
+	if err != nil {
+		return err
+	}
+	nameAddr := node + nodeBytes
+	shellAddr := nameAddr + pad4(len(u.Name))
+	for off, v := range map[uint32]uint32{
+		node + nodeNext: head,
+		node + nodeUID:  u.UID,
+		node + nodeNLen: uint32(len(u.Name)),
+		node + nodeSLen: uint32(len(u.Shell)),
+	} {
+		if err := db.m.StoreWord(off, v); err != nil {
+			return err
+		}
+	}
+	if err := db.storeString(nameAddr, u.Name); err != nil {
+		return err
+	}
+	if err := db.storeString(shellAddr, u.Shell); err != nil {
+		return err
+	}
+	if err := db.m.StoreWord(db.base+offHead, node); err != nil {
+		return err
+	}
+	n, err := db.m.LoadWord(db.base + offCount)
+	if err != nil {
+		return err
+	}
+	return db.m.StoreWord(db.base+offCount, n+1)
+}
+
+func (db *DB) readNode(node uint32) (User, uint32, error) {
+	var u User
+	next, err := db.m.LoadWord(node + nodeNext)
+	if err != nil {
+		return u, 0, err
+	}
+	if u.UID, err = db.m.LoadWord(node + nodeUID); err != nil {
+		return u, 0, err
+	}
+	nlen, err := db.m.LoadWord(node + nodeNLen)
+	if err != nil {
+		return u, 0, err
+	}
+	slen, err := db.m.LoadWord(node + nodeSLen)
+	if err != nil {
+		return u, 0, err
+	}
+	if u.Name, err = db.loadString(node+nodeBytes, nlen); err != nil {
+		return u, 0, err
+	}
+	if u.Shell, err = db.loadString(node+nodeBytes+pad4(int(nlen)), slen); err != nil {
+		return u, 0, err
+	}
+	return u, next, nil
+}
+
+// Lookup finds a user by name: the getpwnam of the shared database — a
+// list walk, not a file parse.
+func (db *DB) Lookup(name string) (User, error) {
+	node, err := db.m.LoadWord(db.base + offHead)
+	if err != nil {
+		return User{}, err
+	}
+	for node != 0 {
+		u, next, err := db.readNode(node)
+		if err != nil {
+			return User{}, err
+		}
+		if u.Name == name {
+			return u, nil
+		}
+		node = next
+	}
+	return User{}, fmt.Errorf("%w: %s", ErrNoUser, name)
+}
+
+// Remove deletes a user, returning the node to the heap.
+func (db *DB) Remove(name string) error {
+	prev := db.base + offHead
+	node, err := db.m.LoadWord(prev)
+	if err != nil {
+		return err
+	}
+	for node != 0 {
+		u, next, err := db.readNode(node)
+		if err != nil {
+			return err
+		}
+		if u.Name == name {
+			if err := db.m.StoreWord(prev, next); err != nil {
+				return err
+			}
+			if err := db.heap.Free(node); err != nil {
+				return err
+			}
+			n, err := db.m.LoadWord(db.base + offCount)
+			if err != nil {
+				return err
+			}
+			return db.m.StoreWord(db.base+offCount, n-1)
+		}
+		prev = node + nodeNext
+		node = next
+	}
+	return fmt.Errorf("%w: %s", ErrNoUser, name)
+}
+
+// Users returns all records sorted by name.
+func (db *DB) Users() ([]User, error) {
+	var out []User
+	node, err := db.m.LoadWord(db.base + offHead)
+	if err != nil {
+		return nil, err
+	}
+	for node != 0 {
+		u, next, err := db.readNode(node)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+		node = next
+		if len(out) > 1<<20 {
+			return nil, fmt.Errorf("%w: list cycle", ErrBadRecord)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func validate(u User) error {
+	if u.Name == "" || len(u.Name) > maxName || strings.ContainsAny(u.Name, ":\n") {
+		return fmt.Errorf("%w: bad name %q", ErrBadRecord, u.Name)
+	}
+	if len(u.Shell) > maxName || strings.ContainsAny(u.Shell, ":\n") {
+		return fmt.Errorf("%w: bad shell %q", ErrBadRecord, u.Shell)
+	}
+	return nil
+}
+
+// Check is the ckpw analogue: it validates every record and the duplicate
+// invariant, so hand edits can be vetted before anyone trusts the
+// database.
+func (db *DB) Check() error {
+	users, err := db.Users()
+	if err != nil {
+		return err
+	}
+	n, err := db.m.LoadWord(db.base + offCount)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(users) {
+		return fmt.Errorf("%w: count %d, list %d", ErrBadRecord, n, len(users))
+	}
+	seen := map[string]bool{}
+	for _, u := range users {
+		if err := validate(u); err != nil {
+			return err
+		}
+		if seen[u.Name] {
+			return fmt.Errorf("%w: %s", ErrDuplicate, u.Name)
+		}
+		seen[u.Name] = true
+	}
+	return nil
+}
+
+// ---- vipw: editing under the lock ----------------------------------------------
+
+// EditUnder runs fn holding the database segment's advisory file lock (the
+// vipw discipline), validating with Check before releasing. If the check
+// fails the error is returned and the caller must repair — the lock has
+// already prevented concurrent editors from interleaving.
+func EditUnder(fs *shmfs.FS, path string, pid int, db *DB, fn func(*DB) error) error {
+	ok, err := fs.TryLock(path, pid)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	defer fs.Unlock(path, pid)
+	if err := fn(db); err != nil {
+		return err
+	}
+	return db.Check()
+}
+
+// ---- commonality: translate to and from ASCII (tic/infocmp style) ----------------
+
+// Export linearises the database to passwd-style text ("name:uid:shell"),
+// restoring the byte-stream commonality §5 worries about losing.
+func Export(db *DB) ([]byte, error) {
+	users, err := db.Users()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	for _, u := range users {
+		fmt.Fprintf(&b, "%s:%d:%s\n", u.Name, u.UID, u.Shell)
+	}
+	return []byte(b.String()), nil
+}
+
+// Import parses passwd-style text and replaces the database contents,
+// with checking (the tic direction).
+func Import(db *DB, text []byte) error {
+	var users []User
+	for ln, line := range strings.Split(string(text), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("%w: line %d: %q", ErrBadRecord, ln+1, line)
+		}
+		uid, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: uid %q", ErrBadRecord, ln+1, parts[1])
+		}
+		u := User{Name: parts[0], UID: uint32(uid), Shell: parts[2]}
+		if err := validate(u); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		users = append(users, u)
+	}
+	// Replace wholesale: clear then re-add.
+	existing, err := db.Users()
+	if err != nil {
+		return err
+	}
+	for _, u := range existing {
+		if err := db.Remove(u.Name); err != nil {
+			return err
+		}
+	}
+	for _, u := range users {
+		if err := db.Add(u); err != nil {
+			return err
+		}
+	}
+	return db.Check()
+}
+
+// OpenShared creates-or-attaches the database in the shared file at path,
+// mapped into process p.
+func OpenShared(k *kern.Kernel, p *kern.Process, path string, size uint32) (*DB, error) {
+	if _, err := k.FS.StatPath(path); err != nil {
+		if _, cerr := k.FS.Create(path, shmfs.DefaultFileMode, p.UID); cerr != nil {
+			return nil, cerr
+		}
+	}
+	st, err := k.MapSharedFile(p, path, size, addrspace.ProtRW)
+	if err != nil {
+		return nil, err
+	}
+	if db, err := Attach(p, st.Addr); err == nil {
+		return db, nil
+	}
+	return Create(p, st.Addr, size)
+}

@@ -1,0 +1,196 @@
+package admin
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hemlock/internal/kern"
+)
+
+const dbPath = "/etc/passwd.seg"
+
+func newDB(t *testing.T) (*kern.Kernel, *DB) {
+	t.Helper()
+	k := kern.New()
+	k.FS.MkdirAll("/etc", 0644, 0)
+	p := k.Spawn(0)
+	db, err := OpenShared(k, p, dbPath, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, db
+}
+
+func sample() []User {
+	return []User{
+		{Name: "root", UID: 0, Shell: "/bin/sh"},
+		{Name: "garrett", UID: 100, Shell: "/bin/csh"},
+		{Name: "scott", UID: 101, Shell: "/bin/tcsh"},
+	}
+}
+
+func TestAddLookupRemove(t *testing.T) {
+	_, db := newDB(t)
+	for _, u := range sample() {
+		if err := db.Add(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := db.Lookup("garrett")
+	if err != nil || u.UID != 100 || u.Shell != "/bin/csh" {
+		t.Fatalf("lookup: %+v, %v", u, err)
+	}
+	if _, err := db.Lookup("nobody"); !errors.Is(err, ErrNoUser) {
+		t.Fatalf("missing user: %v", err)
+	}
+	if err := db.Add(User{Name: "root", UID: 5}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := db.Remove("scott"); err != nil {
+		t.Fatal(err)
+	}
+	users, _ := db.Users()
+	if len(users) != 2 {
+		t.Fatalf("users = %+v", users)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, db := newDB(t)
+	bad := []User{
+		{Name: "", UID: 1},
+		{Name: "colon:name", UID: 1},
+		{Name: "newline\nname", UID: 1},
+		{Name: strings.Repeat("x", 65), UID: 1},
+		{Name: "ok", Shell: "bad:shell"},
+	}
+	for _, u := range bad {
+		if err := db.Add(u); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("accepted %+v: %v", u, err)
+		}
+	}
+}
+
+func TestSharedAcrossProcesses(t *testing.T) {
+	k, db := newDB(t)
+	db.Add(sample()[0])
+	p2 := k.Spawn(0)
+	db2, err := OpenShared(k, p2, dbPath, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := db2.Lookup("root")
+	if err != nil || u.UID != 0 {
+		t.Fatalf("second process lookup: %+v, %v", u, err)
+	}
+	db2.Add(User{Name: "late", UID: 9, Shell: "/bin/sh"})
+	if _, err := db.Lookup("late"); err != nil {
+		t.Fatalf("first process missed write: %v", err)
+	}
+}
+
+func TestEditUnderLock(t *testing.T) {
+	k, db := newDB(t)
+	// vipw: an edit under the lock succeeds and validates.
+	err := EditUnder(k.FS, dbPath, 10, db, func(d *DB) error {
+		return d.Add(User{Name: "edited", UID: 7, Shell: "/bin/sh"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent editor is refused while the lock is held.
+	if ok, _ := k.FS.TryLock(dbPath, 99); !ok {
+		t.Fatal("pre-lock failed")
+	}
+	err = EditUnder(k.FS, dbPath, 10, db, func(d *DB) error { return nil })
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("concurrent edit: %v", err)
+	}
+	k.FS.Unlock(dbPath, 99)
+	// The lock is released after an edit (even a failing one).
+	err = EditUnder(k.FS, dbPath, 10, db, func(d *DB) error {
+		return d.Add(User{Name: "edited", UID: 7}) // duplicate
+	})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("failing edit: %v", err)
+	}
+	if owner, _ := k.FS.LockOwner(dbPath); owner != 0 {
+		t.Fatalf("lock leaked to %d", owner)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	_, db := newDB(t)
+	for _, u := range sample() {
+		db.Add(u)
+	}
+	text, err := Export(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "garrett:100:/bin/csh\n") {
+		t.Fatalf("export: %q", text)
+	}
+	// Import into a fresh database reproduces the records.
+	_, db2 := newDB(t)
+	if err := Import(db2, text); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Users()
+	b, _ := db2.Users()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip: %+v vs %+v", a, b)
+	}
+	// Import replaces, not merges.
+	if err := Import(db2, []byte("only:1:/bin/sh\n")); err != nil {
+		t.Fatal(err)
+	}
+	users, _ := db2.Users()
+	if len(users) != 1 || users[0].Name != "only" {
+		t.Fatalf("import did not replace: %+v", users)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	_, db := newDB(t)
+	db.Add(sample()[0])
+	cases := []string{
+		"noseparators\n",
+		"a:b:c:d\n",
+		"name:notanumber:/bin/sh\n",
+		"bad:name:1:/bin/sh\n",
+	}
+	for _, c := range cases {
+		if err := Import(db, []byte(c)); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("accepted %q: %v", c, err)
+		}
+	}
+}
+
+func TestAttachRejectsRawSegment(t *testing.T) {
+	k := kern.New()
+	p := k.Spawn(0)
+	p.AS.MapAnon(0x30700000, 4096, 0b011)
+	if _, err := Attach(p, 0x30700000); !errors.Is(err, ErrNotADB) {
+		t.Fatalf("raw attach: %v", err)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	k, db := newDB(t)
+	db.Add(User{Name: "durable", UID: 3, Shell: "/bin/sh"})
+	// A later process attaches (OpenShared finds the magic, attaches).
+	p := k.Spawn(0)
+	db2, err := OpenShared(k, p, dbPath, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Lookup("durable"); err != nil {
+		t.Fatalf("record lost: %v", err)
+	}
+}

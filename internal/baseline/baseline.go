@@ -1,0 +1,143 @@
+// Package baseline implements the communication mechanisms Hemlock is
+// compared against in the paper's examples: translating data structures to
+// and from linear intermediate forms (files), and kernel-mediated message
+// passing. "The code required to save and restore information in files and
+// message buffers is a major contributor to software complexity" — this
+// package IS that code, so the experiments can measure what Hemlock
+// removes.
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Field is one key/value pair of a linearised record.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// ErrBadRecord is returned when a linearised record cannot be parsed.
+var ErrBadRecord = errors.New("baseline: malformed record")
+
+// Encode linearises fields into the parsable ASCII form administrative
+// files use: one "key<TAB>value" line per field.
+func Encode(fields []Field) []byte {
+	var b bytes.Buffer
+	for _, f := range fields {
+		b.WriteString(f.Key)
+		b.WriteByte('\t')
+		b.WriteString(f.Value)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// Decode parses the ASCII form back into fields.
+func Decode(data []byte) ([]Field, error) {
+	var out []Field
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "\t")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadRecord, ln+1, line)
+		}
+		out = append(out, Field{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+// Get returns the value for key.
+func Get(fields []Field, key string) (string, bool) {
+	for _, f := range fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// GetUint parses the value for key as an unsigned integer.
+func GetUint(fields []Field, key string) (uint32, error) {
+	v, ok := Get(fields, key)
+	if !ok {
+		return 0, fmt.Errorf("%w: missing %q", ErrBadRecord, key)
+	}
+	n, err := strconv.ParseUint(v, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q: %v", ErrBadRecord, key, err)
+	}
+	return uint32(n), nil
+}
+
+// U32 formats an unsigned integer field value.
+func U32(v uint32) string { return strconv.FormatUint(uint64(v), 10) }
+
+// ---- message passing ----------------------------------------------------------
+
+// Pipe is the message-passing comparator: a kernel-style byte channel with
+// copy-in/copy-out semantics on both ends (data crosses the protection
+// boundary twice, unlike shared memory which crosses zero times).
+type Pipe struct {
+	ch chan []byte
+}
+
+// NewPipe returns a pipe buffering up to depth messages.
+func NewPipe(depth int) *Pipe { return &Pipe{ch: make(chan []byte, depth)} }
+
+// Send copies msg into the pipe (the kernel's copy-in).
+func (p *Pipe) Send(msg []byte) {
+	in := make([]byte, len(msg))
+	copy(in, msg)
+	p.ch <- in
+}
+
+// Recv copies the next message out of the pipe (the kernel's copy-out)
+// into a freshly allocated buffer.
+func (p *Pipe) Recv() []byte {
+	m := <-p.ch
+	out := make([]byte, len(m))
+	copy(out, m)
+	return out
+}
+
+// TryRecv receives without blocking.
+func (p *Pipe) TryRecv() ([]byte, bool) {
+	select {
+	case m := <-p.ch:
+		out := make([]byte, len(m))
+		copy(out, m)
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// Len reports queued messages.
+func (p *Pipe) Len() int { return len(p.ch) }
+
+// RPC performs a synchronous request/response over a pair of pipes: the
+// lightweight-RPC comparator for the client/server experiments.
+type RPC struct {
+	req, rep *Pipe
+}
+
+// NewRPC returns a connected RPC endpoint pair transport.
+func NewRPC() *RPC { return &RPC{req: NewPipe(1), rep: NewPipe(1)} }
+
+// Call sends a request and waits for the reply (client side).
+func (r *RPC) Call(req []byte) []byte {
+	r.req.Send(req)
+	return r.rep.Recv()
+}
+
+// Serve handles exactly one request with fn (server side).
+func (r *RPC) Serve(fn func(req []byte) []byte) {
+	r.rep.Send(fn(r.req.Recv()))
+}

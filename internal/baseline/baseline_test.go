@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	fields := []Field{{"host", "machine01"}, {"load0", "142"}, {"empty", ""}}
+	got, err := Decode(Encode(fields))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fields, got) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("noseparator\n")); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+	if _, err := Decode([]byte("\tnovalue\n")); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("empty key accepted: %v", err)
+	}
+}
+
+func TestGetHelpers(t *testing.T) {
+	fields := []Field{{"n", "42"}, {"s", "x"}}
+	if v, ok := Get(fields, "s"); !ok || v != "x" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := Get(fields, "missing"); ok {
+		t.Fatal("Get found missing key")
+	}
+	n, err := GetUint(fields, "n")
+	if err != nil || n != 42 {
+		t.Fatalf("GetUint = %d, %v", n, err)
+	}
+	if _, err := GetUint(fields, "s"); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("non-numeric accepted: %v", err)
+	}
+	if _, err := GetUint(fields, "missing"); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("missing key accepted: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		fields := make([]Field, len(vals))
+		for i, v := range vals {
+			fields[i] = Field{Key: "k" + U32(uint32(i)), Value: U32(v)}
+		}
+		got, err := Decode(Encode(fields))
+		if err != nil {
+			return false
+		}
+		if len(fields) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(fields, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeCopiesBothWays(t *testing.T) {
+	p := NewPipe(4)
+	msg := []byte("payload")
+	p.Send(msg)
+	msg[0] = 'X' // sender mutation after send must not leak
+	got := p.Recv()
+	if string(got) != "payload" {
+		t.Fatalf("recv = %q", got)
+	}
+	got[0] = 'Y' // receiver mutation must not affect pipe internals
+	if p.Len() != 0 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	p := NewPipe(1)
+	if _, ok := p.TryRecv(); ok {
+		t.Fatal("TryRecv on empty pipe")
+	}
+	p.Send([]byte("m"))
+	m, ok := p.TryRecv()
+	if !ok || string(m) != "m" {
+		t.Fatalf("TryRecv = %q, %v", m, ok)
+	}
+}
+
+func TestRPC(t *testing.T) {
+	r := NewRPC()
+	done := make(chan struct{})
+	go func() {
+		r.Serve(func(req []byte) []byte {
+			return append([]byte("re:"), req...)
+		})
+		close(done)
+	}()
+	rep := r.Call([]byte("ping"))
+	if string(rep) != "re:ping" {
+		t.Fatalf("reply = %q", rep)
+	}
+	<-done
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+)
+
+func linkCounter(t *testing.T, s *System) *objfile.Image {
+	t.Helper()
+	if _, err := s.Asm("/lib/counter.o", `
+        .data
+        .globl  hits
+hits:   .word   0
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Asm("/bin/main.o", `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "counter.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Image
+}
+
+func TestVarAccess(t *testing.T) {
+	s := NewSystem()
+	im := linkCounter(t, s)
+	pg, err := s.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pg.Var("hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Store(41); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Load()
+	if err != nil || got != 41 {
+		t.Fatalf("load = %d, %v", got, err)
+	}
+	if err := v.StoreAt(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.LoadAt(0); got != 42 {
+		t.Fatalf("LoadAt = %d", got)
+	}
+	if _, err := pg.Var("no_such_symbol"); err == nil {
+		t.Fatal("undefined symbol resolved")
+	}
+}
+
+func TestVarBytesAndStrings(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.Asm("/lib/msg.o", `
+        .data
+        .globl  banner
+banner: .asciiz "hello, hemlock"
+`); err != nil {
+		t.Fatal(err)
+	}
+	s.Asm("/bin/main.o", ".text\n.globl main\nmain: li $v0,0\n jr $ra\n")
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "msg.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pg.Var("banner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.CString(0)
+	if err != nil || got != "hello, hemlock" {
+		t.Fatalf("CString = %q, %v", got, err)
+	}
+	if err := v.WriteBytes(0, []byte("HELLO")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.ReadBytes(0, 5)
+	if err != nil || string(b) != "HELLO" {
+		t.Fatalf("ReadBytes = %q, %v", b, err)
+	}
+}
+
+func TestSaveLoadPersistsSharedState(t *testing.T) {
+	// A value stored in a public module survives a machine "reboot"
+	// (save + load of the disk image) — public modules are persistent.
+	s1 := NewSystem()
+	im := linkCounter(t, s1)
+	pg, err := s1.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := pg.Var("hits")
+	v.Store(1234)
+	imgPath := "/bin/rwho-img"
+	if err := s1.SaveExecutable(imgPath, im); err != nil {
+		t.Fatal(err)
+	}
+	var disk bytes.Buffer
+	if err := s1.Save(&disk); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Load(&disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := s2.LoadExecutable(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := s2.Launch(im2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := pg2.Var("hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.Load()
+	if err != nil || got != 1234 {
+		t.Fatalf("after reboot hits = %d, %v", got, err)
+	}
+}
+
+func TestFollowPointer(t *testing.T) {
+	s := NewSystem()
+	s.Asm("/lib/list.o", `
+        .data
+        .globl  head
+head:   .word   node
+node:   .word   0, 55
+`)
+	s.Asm("/bin/main.o", ".text\n.globl main\nmain: li $v0,0\n jr $ra\n")
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "list.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := pg.Var("head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := head.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := node.LoadAt(4); got != 55 {
+		t.Fatalf("node payload = %d", got)
+	}
+}
+
+func TestBuildAndRunReportsExit(t *testing.T) {
+	s := NewSystem()
+	s.Asm("/bin/main.o", ".text\n.globl main\nmain: li $v0, 9\n jr $ra\n")
+	pg, err := s.BuildAndRun(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "main.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/bin",
+	}, 0, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 9 {
+		t.Fatalf("exit = %d", pg.P.ExitCode)
+	}
+}
+
+func TestAddTemplateBuilder(t *testing.T) {
+	s := NewSystem()
+	obj := objfile.NewBuilder("data.o").
+		Word("answer", 42, true).
+		MustBuild()
+	if err := s.AddTemplate("/lib/data.o", obj); err != nil {
+		t.Fatal(err)
+	}
+	s.Asm("/bin/main.o", ".text\n.globl main\nmain: li $v0,0\n jr $ra\n")
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "data.o", Class: objfile.StaticPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pg.Var("answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Load(); got != 42 {
+		t.Fatalf("answer = %d", got)
+	}
+}
+
+func TestOutputCapture(t *testing.T) {
+	s := NewSystem()
+	s.Asm("/bin/main.o", `
+        .text
+        .globl  main
+main:   li      $v0, 2
+        li      $a0, 1
+        la      $a1, msg
+        li      $a2, 3
+        syscall
+        li      $v0, 0
+        jr      $ra
+        .data
+msg:    .ascii  "ok!"
+`)
+	pg, err := s.BuildAndRun(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "main.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/bin",
+	}, 0, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Output() != "ok!" {
+		t.Fatalf("output = %q", pg.Output())
+	}
+}

@@ -1,0 +1,407 @@
+// Package edbuf implements the shared text buffer of the paper's editor
+// vision. Section 2 imagines "rewriting the emacs editor with a functional
+// interface to which every process with a text window can be linked", and
+// section 5's dynamic-storage discussion concludes that such an editor
+// needs "an interface based on, say, a linked list of dynamically-allocated
+// lines, rather than a fixed array of bytes".
+//
+// This is that interface: a doubly-linked list of lines whose nodes are
+// allocated from a per-segment heap (package shalloc). The whole buffer —
+// list head, nodes, line bytes — lives inside one shared segment, so every
+// process that maps the segment edits the same text through the same
+// absolute pointers, and the buffer persists like any other public
+// segment.
+//
+// Layout:
+//
+//	base+0   magic "EDBF"
+//	base+4   head line pointer (0 = empty)
+//	base+8   tail line pointer
+//	base+12  line count
+//	base+16  heap (shalloc)
+//
+// Line node: [prev | next | length | bytes...], heap-allocated.
+package edbuf
+
+import (
+	"errors"
+	"fmt"
+
+	"hemlock/internal/shalloc"
+)
+
+// Errors.
+var (
+	ErrNotABuffer = errors.New("edbuf: segment does not contain a buffer")
+	ErrRange      = errors.New("edbuf: line index out of range")
+	ErrTooLong    = errors.New("edbuf: line too long")
+)
+
+const (
+	magic     = 0x45444246 // "EDBF"
+	offHead   = 4
+	offTail   = 8
+	offCount  = 12
+	hdrSize   = 16
+	nodePrev  = 0
+	nodeNext  = 4
+	nodeLen   = 8
+	nodeBytes = 12
+
+	// MaxLine bounds one line's byte length.
+	MaxLine = 4096
+)
+
+// Buffer is a handle on a shared text buffer. All state lives in the
+// segment; handles are cheap and per-process.
+type Buffer struct {
+	m    shalloc.Mem
+	base uint32
+	heap *shalloc.Heap
+}
+
+// Create formats an empty buffer across [base, base+size).
+func Create(m shalloc.Mem, base, size uint32) (*Buffer, error) {
+	h, err := shalloc.Init(m, base+hdrSize, size-hdrSize)
+	if err != nil {
+		return nil, err
+	}
+	for off, v := range map[uint32]uint32{
+		base: magic, base + offHead: 0, base + offTail: 0, base + offCount: 0,
+	} {
+		if err := m.StoreWord(off, v); err != nil {
+			return nil, err
+		}
+	}
+	return &Buffer{m: m, base: base, heap: h}, nil
+}
+
+// Attach opens an existing buffer: what a new window process does.
+func Attach(m shalloc.Mem, base uint32) (*Buffer, error) {
+	w, err := m.LoadWord(base)
+	if err != nil {
+		return nil, err
+	}
+	if w != magic {
+		return nil, fmt.Errorf("%w: at 0x%08x", ErrNotABuffer, base)
+	}
+	h, err := shalloc.Attach(m, base+hdrSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{m: m, base: base, heap: h}, nil
+}
+
+// Len returns the number of lines.
+func (b *Buffer) Len() (int, error) {
+	n, err := b.m.LoadWord(b.base + offCount)
+	return int(n), err
+}
+
+// nodeAt walks to the i-th line node (0-based).
+func (b *Buffer) nodeAt(i int) (uint32, error) {
+	n, err := b.Len()
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("%w: %d of %d", ErrRange, i, n)
+	}
+	// Walk from the nearer end (the doubly-linked list earns its keep).
+	if i < n/2 {
+		cur, err := b.m.LoadWord(b.base + offHead)
+		if err != nil {
+			return 0, err
+		}
+		for ; i > 0; i-- {
+			if cur, err = b.m.LoadWord(cur + nodeNext); err != nil {
+				return 0, err
+			}
+		}
+		return cur, nil
+	}
+	cur, err := b.m.LoadWord(b.base + offTail)
+	if err != nil {
+		return 0, err
+	}
+	for j := n - 1; j > i; j-- {
+		if cur, err = b.m.LoadWord(cur + nodePrev); err != nil {
+			return 0, err
+		}
+	}
+	return cur, nil
+}
+
+func (b *Buffer) readLine(node uint32) (string, error) {
+	n, err := b.m.LoadWord(node + nodeLen)
+	if err != nil {
+		return "", err
+	}
+	if n > MaxLine {
+		return "", fmt.Errorf("edbuf: corrupt line length %d", n)
+	}
+	out := make([]byte, 0, n)
+	for j := uint32(0); j < n; j += 4 {
+		w, err := b.m.LoadWord(node + nodeBytes + j)
+		if err != nil {
+			return "", err
+		}
+		for k := uint32(0); k < 4 && j+k < n; k++ {
+			out = append(out, byte(w>>uint(24-8*k)))
+		}
+	}
+	return string(out), nil
+}
+
+// newNode allocates and fills a line node (links zero).
+func (b *Buffer) newNode(text string) (uint32, error) {
+	if len(text) > MaxLine {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLong, len(text))
+	}
+	node, err := b.heap.Alloc(uint32(nodeBytes + len(text)))
+	if err != nil {
+		return 0, err
+	}
+	if err := b.m.StoreWord(node+nodeLen, uint32(len(text))); err != nil {
+		return 0, err
+	}
+	for j := 0; j < len(text); j += 4 {
+		var w uint32
+		for k := 0; k < 4 && j+k < len(text); k++ {
+			w |= uint32(text[j+k]) << uint(24-8*k)
+		}
+		if err := b.m.StoreWord(node+nodeBytes+uint32(j), w); err != nil {
+			return 0, err
+		}
+	}
+	return node, nil
+}
+
+func (b *Buffer) setCount(delta int) error {
+	n, err := b.m.LoadWord(b.base + offCount)
+	if err != nil {
+		return err
+	}
+	return b.m.StoreWord(b.base+offCount, uint32(int(n)+delta))
+}
+
+// Insert places text as the new line i (0 <= i <= Len).
+func (b *Buffer) Insert(i int, text string) error {
+	n, err := b.Len()
+	if err != nil {
+		return err
+	}
+	if i < 0 || i > n {
+		return fmt.Errorf("%w: insert at %d of %d", ErrRange, i, n)
+	}
+	node, err := b.newNode(text)
+	if err != nil {
+		return err
+	}
+	var prev, next uint32
+	switch {
+	case n == 0:
+		// Only line.
+	case i == n:
+		prev, err = b.m.LoadWord(b.base + offTail)
+		if err != nil {
+			return err
+		}
+	default:
+		next, err = b.nodeAt(i)
+		if err != nil {
+			return err
+		}
+		prev, err = b.m.LoadWord(next + nodePrev)
+		if err != nil {
+			return err
+		}
+	}
+	if err := b.m.StoreWord(node+nodePrev, prev); err != nil {
+		return err
+	}
+	if err := b.m.StoreWord(node+nodeNext, next); err != nil {
+		return err
+	}
+	if prev != 0 {
+		if err := b.m.StoreWord(prev+nodeNext, node); err != nil {
+			return err
+		}
+	} else if err := b.m.StoreWord(b.base+offHead, node); err != nil {
+		return err
+	}
+	if next != 0 {
+		if err := b.m.StoreWord(next+nodePrev, node); err != nil {
+			return err
+		}
+	} else if err := b.m.StoreWord(b.base+offTail, node); err != nil {
+		return err
+	}
+	return b.setCount(1)
+}
+
+// Append adds a line at the end.
+func (b *Buffer) Append(text string) error {
+	n, err := b.Len()
+	if err != nil {
+		return err
+	}
+	return b.Insert(n, text)
+}
+
+// Line returns line i.
+func (b *Buffer) Line(i int) (string, error) {
+	node, err := b.nodeAt(i)
+	if err != nil {
+		return "", err
+	}
+	return b.readLine(node)
+}
+
+// Delete removes line i, returning its storage to the segment heap.
+func (b *Buffer) Delete(i int) error {
+	node, err := b.nodeAt(i)
+	if err != nil {
+		return err
+	}
+	prev, err := b.m.LoadWord(node + nodePrev)
+	if err != nil {
+		return err
+	}
+	next, err := b.m.LoadWord(node + nodeNext)
+	if err != nil {
+		return err
+	}
+	if prev != 0 {
+		if err := b.m.StoreWord(prev+nodeNext, next); err != nil {
+			return err
+		}
+	} else if err := b.m.StoreWord(b.base+offHead, next); err != nil {
+		return err
+	}
+	if next != 0 {
+		if err := b.m.StoreWord(next+nodePrev, prev); err != nil {
+			return err
+		}
+	} else if err := b.m.StoreWord(b.base+offTail, prev); err != nil {
+		return err
+	}
+	if err := b.heap.Free(node); err != nil {
+		return err
+	}
+	return b.setCount(-1)
+}
+
+// SetLine replaces line i — this is where "the editor is able to change
+// the size of the text it is asked to edit" pays off: the new line may be
+// any length, because lines are dynamically allocated.
+func (b *Buffer) SetLine(i int, text string) error {
+	if err := b.Insert(i, text); err != nil {
+		return err
+	}
+	return b.Delete(i + 1)
+}
+
+// Lines materialises the whole buffer.
+func (b *Buffer) Lines() ([]string, error) {
+	n, err := b.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	cur, err := b.m.LoadWord(b.base + offHead)
+	if err != nil {
+		return nil, err
+	}
+	for cur != 0 {
+		line, err := b.readLine(cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line)
+		if cur, err = b.m.LoadWord(cur + nodeNext); err != nil {
+			return nil, err
+		}
+		if len(out) > n {
+			return nil, fmt.Errorf("edbuf: list longer than count (%d > %d)", len(out), n)
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("edbuf: list shorter than count (%d < %d)", len(out), n)
+	}
+	return out, nil
+}
+
+// Search returns the index of the first line at or after `from` containing
+// needle, or -1: the kind of "esoteric feature" a window process would
+// lazily link in.
+func (b *Buffer) Search(from int, needle string) (int, error) {
+	lines, err := b.Lines()
+	if err != nil {
+		return -1, err
+	}
+	for i := from; i < len(lines); i++ {
+		if contains(lines[i], needle) {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+func contains(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Check validates the list invariants: forward and backward walks agree
+// with each other and with the count.
+func (b *Buffer) Check() error {
+	n, err := b.Len()
+	if err != nil {
+		return err
+	}
+	var fwd []uint32
+	cur, err := b.m.LoadWord(b.base + offHead)
+	if err != nil {
+		return err
+	}
+	var prev uint32
+	for cur != 0 {
+		p, err := b.m.LoadWord(cur + nodePrev)
+		if err != nil {
+			return err
+		}
+		if p != prev {
+			return fmt.Errorf("edbuf: node 0x%08x prev=0x%08x, want 0x%08x", cur, p, prev)
+		}
+		fwd = append(fwd, cur)
+		prev = cur
+		if cur, err = b.m.LoadWord(cur + nodeNext); err != nil {
+			return err
+		}
+		if len(fwd) > n+1 {
+			return fmt.Errorf("edbuf: cycle or count mismatch")
+		}
+	}
+	if len(fwd) != n {
+		return fmt.Errorf("edbuf: %d nodes, count says %d", len(fwd), n)
+	}
+	tail, err := b.m.LoadWord(b.base + offTail)
+	if err != nil {
+		return err
+	}
+	if n == 0 && tail != 0 {
+		return fmt.Errorf("edbuf: empty buffer with tail 0x%08x", tail)
+	}
+	if n > 0 && tail != fwd[n-1] {
+		return fmt.Errorf("edbuf: tail 0x%08x, want 0x%08x", tail, fwd[n-1])
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package edbuf
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/mem"
+)
+
+const (
+	segBase uint32 = 0x30500000
+	segSize uint32 = 256 * 1024
+)
+
+func newBuf(t *testing.T) (*Buffer, *addrspace.Space) {
+	t.Helper()
+	as := addrspace.New(mem.NewPhysical(0))
+	if err := as.MapAnon(segBase, segSize, addrspace.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Create(as, segBase, segSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, as
+}
+
+func TestAppendAndLines(t *testing.T) {
+	b, _ := newBuf(t)
+	want := []string{"first line", "second", "", "fourth with trailing spaces   "}
+	for _, l := range want {
+		if err := b.Append(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Lines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("lines = %q", got)
+	}
+	if n, _ := b.Len(); n != 4 {
+		t.Fatalf("len = %d", n)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAtEveryPosition(t *testing.T) {
+	b, _ := newBuf(t)
+	b.Append("b")
+	b.Insert(0, "a") // head
+	b.Insert(2, "d") // tail
+	b.Insert(2, "c") // middle
+	got, _ := b.Lines()
+	if !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("lines = %q", got)
+	}
+	if err := b.Insert(9, "x"); !errors.Is(err, ErrRange) {
+		t.Fatalf("out-of-range insert: %v", err)
+	}
+}
+
+func TestDeleteRelinks(t *testing.T) {
+	b, _ := newBuf(t)
+	for _, l := range []string{"a", "b", "c", "d"} {
+		b.Append(l)
+	}
+	b.Delete(1) // middle
+	b.Delete(0) // head
+	b.Delete(1) // tail (now "d")
+	got, _ := b.Lines()
+	if !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("lines = %q", got)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	b.Delete(0)
+	if n, _ := b.Len(); n != 0 {
+		t.Fatalf("len = %d after deleting all", n)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(0); !errors.Is(err, ErrRange) {
+		t.Fatalf("delete from empty: %v", err)
+	}
+}
+
+func TestSetLineChangesSize(t *testing.T) {
+	// "it will be much more useful if it is able to change the size of
+	// the text": replacing a line with a much longer one just works.
+	b, _ := newBuf(t)
+	b.Append("short")
+	long := strings.Repeat("x", 2000)
+	if err := b.SetLine(0, long); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Line(0)
+	if got != long {
+		t.Fatalf("line length %d", len(got))
+	}
+	if n, _ := b.Len(); n != 1 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestLineTooLong(t *testing.T) {
+	b, _ := newBuf(t)
+	if err := b.Append(strings.Repeat("y", MaxLine+1)); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("overlong line: %v", err)
+	}
+}
+
+func TestSharedBetweenAttaches(t *testing.T) {
+	// Two handles — two "windows" — edit one buffer.
+	b1, as := newBuf(t)
+	b1.Append("hello from window 1")
+	b2, err := Attach(as, segBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Append("hello from window 2")
+	got, _ := b1.Lines()
+	if len(got) != 2 || got[1] != "hello from window 2" {
+		t.Fatalf("window 1 sees %q", got)
+	}
+	b2.Delete(0)
+	if n, _ := b1.Len(); n != 1 {
+		t.Fatalf("window 1 len = %d", n)
+	}
+}
+
+func TestAttachRejectsRawSegment(t *testing.T) {
+	as := addrspace.New(mem.NewPhysical(0))
+	as.MapAnon(segBase, 4096, addrspace.ProtRW)
+	if _, err := Attach(as, segBase); !errors.Is(err, ErrNotABuffer) {
+		t.Fatalf("raw attach: %v", err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	b, _ := newBuf(t)
+	for _, l := range []string{"alpha", "beta gamma", "delta", "gamma again"} {
+		b.Append(l)
+	}
+	if i, _ := b.Search(0, "gamma"); i != 1 {
+		t.Fatalf("first gamma at %d", i)
+	}
+	if i, _ := b.Search(2, "gamma"); i != 3 {
+		t.Fatalf("second gamma at %d", i)
+	}
+	if i, _ := b.Search(0, "zeta"); i != -1 {
+		t.Fatalf("missing needle at %d", i)
+	}
+	if i, _ := b.Search(0, ""); i != 0 {
+		t.Fatalf("empty needle at %d", i)
+	}
+}
+
+// Property: a random edit script applied to the buffer and to a []string
+// model produces identical text, with invariants intact throughout.
+func TestModelEquivalence(t *testing.T) {
+	b, _ := newBuf(t)
+	var model []string
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"lorem", "ipsum", "dolor", "sit", "amet", ""}
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(model) == 0: // insert
+			i := rng.Intn(len(model) + 1)
+			text := words[rng.Intn(len(words))] + words[rng.Intn(len(words))]
+			if err := b.Insert(i, text); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			model = append(model[:i], append([]string{text}, model[i:]...)...)
+		case op == 1: // delete
+			i := rng.Intn(len(model))
+			if err := b.Delete(i); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			model = append(model[:i], model[i+1:]...)
+		case op == 2: // replace
+			i := rng.Intn(len(model))
+			text := words[rng.Intn(len(words))]
+			if err := b.SetLine(i, text); err != nil {
+				t.Fatalf("step %d set: %v", step, err)
+			}
+			model[i] = text
+		default: // point read
+			i := rng.Intn(len(model))
+			got, err := b.Line(i)
+			if err != nil || got != model[i] {
+				t.Fatalf("step %d line %d = %q, want %q (%v)", step, i, got, model[i], err)
+			}
+		}
+		if step%50 == 0 {
+			if err := b.Check(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	got, err := b.Lines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, model) {
+		t.Fatalf("buffer diverged from model:\n%q\n%q", got, model)
+	}
+}
+
+func TestStorageReclaimed(t *testing.T) {
+	b, _ := newBuf(t)
+	// Fill and empty the buffer repeatedly; the segment heap must not
+	// leak (a leak would eventually exhaust the segment).
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 100; i++ {
+			if err := b.Append(strings.Repeat("z", 200)); err != nil {
+				t.Fatalf("round %d append %d: %v", round, i, err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if err := b.Delete(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,896 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hemlock/internal/objfile"
+)
+
+// Assemble translates R3K-lite assembly source into a HEMO object module.
+// It plays the role of the compiler in Figure 1 of the paper: templates for
+// both private and shared modules are produced this way, and the
+// relocations it emits are exactly what lds and ldl later resolve.
+//
+// Supported syntax (MIPS-flavoured):
+//
+//	.text / .data                     section switch
+//	.globl NAME                       export a symbol
+//	.extern NAME                      declare an external reference
+//	.word EXPR, ...                   32-bit data (numbers or sym[+off])
+//	.byte N, ...                      bytes
+//	.asciiz "s" / .ascii "s"          strings
+//	.space N / .align N               padding
+//	.comm NAME, SIZE                  bss allocation
+//	.dep NAME, CLASS                  module list entry (scope info)
+//	.searchpath DIR                   module search path entry (scope info)
+//	.usesgp                           mark module as gp-using
+//	label:                            define a label in the current section
+//
+// Instructions: add addu sub subu and or xor nor slt sltu mul div sll srl
+// sra sllv srlv srav jr jalr syscall break addi addiu slti sltiu andi ori
+// xori lui lb lbu lw sb sw beq bne blez bgtz j jal halt, plus the pseudos
+// nop, move, li, la, b, beqz, bnez.
+//
+// %hi(sym)/%lo(sym) immediates, .word sym, and j/jal targets emit HI16,
+// LO16, WORD32 and JUMP26 relocations; PC-relative branches must target
+// labels defined in the same file.
+func Assemble(name, src string) (*objfile.Object, error) {
+	a := &asm{
+		name:    name,
+		labels:  map[string]symref{},
+		globals: map[string]bool{},
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.finish()
+}
+
+type symref struct {
+	section objfile.Section
+	offset  uint32
+}
+
+type pending struct {
+	line    int
+	section objfile.Section
+	offset  uint32
+	word    uint32
+	kind    objfile.RelType
+	sym     string
+	addend  int32
+	branch  bool // PC-relative branch: resolve locally, no reloc
+}
+
+type asm struct {
+	name    string
+	text    []byte
+	data    []byte
+	bss     uint32
+	labels  map[string]symref
+	globals map[string]bool
+	externs []string
+	deps    []objfile.ModuleRef
+	paths   []string
+	usesGP  bool
+	fixups  []pending
+	section objfile.Section
+	line    int
+}
+
+func (a *asm) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", a.name, a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *asm) run(src string) error {
+	a.section = objfile.SecText
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return a.errf("bad label %q", label)
+			}
+			if err := a.defineLabel(label); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.instruction(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.', r == '$' && i > 0:
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *asm) defineLabel(label string) error {
+	if _, dup := a.labels[label]; dup {
+		return a.errf("label %q redefined", label)
+	}
+	off := uint32(len(a.text))
+	if a.section == objfile.SecData {
+		off = uint32(len(a.data))
+	}
+	a.labels[label] = symref{section: a.section, offset: off}
+	return nil
+}
+
+// splitArgs splits an operand list on commas, respecting parentheses and
+// quoted strings.
+func splitArgs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func (a *asm) directive(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	args := splitArgs(rest)
+	switch dir {
+	case ".text":
+		a.section = objfile.SecText
+	case ".data":
+		a.section = objfile.SecData
+	case ".globl", ".global":
+		for _, g := range args {
+			if !isIdent(g) {
+				return a.errf(".globl: bad name %q", g)
+			}
+			a.globals[g] = true
+		}
+	case ".extern":
+		for _, g := range args {
+			if !isIdent(g) {
+				return a.errf(".extern: bad name %q", g)
+			}
+			a.externs = append(a.externs, g)
+		}
+	case ".word":
+		if a.section != objfile.SecData {
+			return a.errf(".word outside .data")
+		}
+		for _, arg := range args {
+			if err := a.dataWord(arg); err != nil {
+				return err
+			}
+		}
+	case ".byte":
+		if a.section != objfile.SecData {
+			return a.errf(".byte outside .data")
+		}
+		for _, arg := range args {
+			v, err := parseInt(arg)
+			if err != nil {
+				return a.errf(".byte: %v", err)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".asciiz", ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("%s: bad string %s", dir, rest)
+		}
+		if a.section != objfile.SecData {
+			return a.errf("%s outside .data", dir)
+		}
+		a.data = append(a.data, []byte(s)...)
+		if dir == ".asciiz" {
+			a.data = append(a.data, 0)
+		}
+	case ".space":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return a.errf(".space: bad size %q", rest)
+		}
+		if a.section == objfile.SecData {
+			a.data = append(a.data, make([]byte, n)...)
+		} else {
+			if n%4 != 0 {
+				return a.errf(".space in .text must be word-aligned")
+			}
+			a.text = append(a.text, make([]byte, n)...)
+		}
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 || n > 12 {
+			return a.errf(".align: bad exponent %q", rest)
+		}
+		al := uint32(1) << uint(n)
+		buf := &a.data
+		if a.section == objfile.SecText {
+			buf = &a.text
+		}
+		for uint32(len(*buf))%al != 0 {
+			*buf = append(*buf, 0)
+		}
+	case ".comm":
+		if len(args) != 2 {
+			return a.errf(".comm needs NAME, SIZE")
+		}
+		size, err := parseInt(args[1])
+		if err != nil || size <= 0 {
+			return a.errf(".comm: bad size %q", args[1])
+		}
+		a.bss = (a.bss + 3) &^ 3
+		a.labels[args[0]] = symref{section: objfile.SecBss, offset: a.bss}
+		a.bss += uint32(size)
+	case ".dep":
+		if len(args) != 2 {
+			return a.errf(".dep needs NAME, CLASS")
+		}
+		class, err := parseClass(args[1])
+		if err != nil {
+			return a.errf(".dep: %v", err)
+		}
+		a.deps = append(a.deps, objfile.ModuleRef{Name: args[0], Class: class})
+	case ".searchpath":
+		if rest == "" {
+			return a.errf(".searchpath needs a directory")
+		}
+		a.paths = append(a.paths, rest)
+	case ".usesgp":
+		a.usesGP = true
+	default:
+		return a.errf("unknown directive %s", dir)
+	}
+	return nil
+}
+
+func parseClass(s string) (objfile.Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "static-private", "sp":
+		return objfile.StaticPrivate, nil
+	case "dynamic-private", "dp":
+		return objfile.DynamicPrivate, nil
+	case "static-public", "spub":
+		return objfile.StaticPublic, nil
+	case "dynamic-public", "dpub":
+		return objfile.DynamicPublic, nil
+	}
+	return 0, fmt.Errorf("unknown sharing class %q", s)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// symExpr parses "sym", "sym+N" or "sym-N".
+func symExpr(s string) (string, int32, bool) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			off, err := parseInt(s[i:])
+			if err != nil {
+				return "", 0, false
+			}
+			name := s[:i]
+			if !isIdent(name) {
+				return "", 0, false
+			}
+			return name, int32(off), true
+		}
+	}
+	if !isIdent(s) {
+		return "", 0, false
+	}
+	return s, 0, true
+}
+
+func (a *asm) dataWord(arg string) error {
+	for uint32(len(a.data))%4 != 0 {
+		a.data = append(a.data, 0)
+	}
+	if v, err := parseInt(arg); err == nil {
+		var w [4]byte
+		binary.BigEndian.PutUint32(w[:], uint32(v))
+		a.data = append(a.data, w[:]...)
+		return nil
+	}
+	sym, addend, ok := symExpr(arg)
+	if !ok {
+		return a.errf(".word: bad expression %q", arg)
+	}
+	off := uint32(len(a.data))
+	a.data = append(a.data, 0, 0, 0, 0)
+	a.fixups = append(a.fixups, pending{
+		line: a.line, section: objfile.SecData, offset: off,
+		kind: objfile.RelWord32, sym: sym, addend: addend,
+	})
+	return nil
+}
+
+// ---- instruction assembly ------------------------------------------------
+
+func (a *asm) emit(w uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], w)
+	a.text = append(a.text, b[:]...)
+}
+
+func (a *asm) reg(s string) (int, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, a.errf("expected register, got %q", s)
+	}
+	body := s[1:]
+	if n, ok := RegNames[body]; ok {
+		return n, nil
+	}
+	n, err := strconv.Atoi(body)
+	if err != nil || n < 0 || n > 31 {
+		return 0, a.errf("bad register %q", s)
+	}
+	return n, nil
+}
+
+// immKind classifies an immediate operand.
+type immOperand struct {
+	value  uint16
+	reloc  objfile.RelType // RelHi16/RelLo16, or 0xFF for none
+	sym    string
+	addend int32
+}
+
+const noReloc objfile.RelType = 0xFF
+
+func (a *asm) imm(s string) (immOperand, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		sym, add, ok := symExpr(s[4 : len(s)-1])
+		if !ok {
+			return immOperand{}, a.errf("bad %%hi expression %q", s)
+		}
+		return immOperand{reloc: objfile.RelHi16, sym: sym, addend: add}, nil
+	}
+	if strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")") {
+		sym, add, ok := symExpr(s[4 : len(s)-1])
+		if !ok {
+			return immOperand{}, a.errf("bad %%lo expression %q", s)
+		}
+		return immOperand{reloc: objfile.RelLo16, sym: sym, addend: add}, nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return immOperand{}, a.errf("bad immediate %q", s)
+	}
+	if v < -32768 || v > 65535 {
+		return immOperand{}, a.errf("immediate %d out of 16-bit range", v)
+	}
+	return immOperand{value: uint16(v), reloc: noReloc}, nil
+}
+
+// memOperand parses "off($reg)" where off may be empty, a number, or %lo(sym).
+func (a *asm) mem(s string) (immOperand, int, error) {
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return immOperand{}, 0, a.errf("bad memory operand %q", s)
+	}
+	base, err := a.reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return immOperand{}, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return immOperand{reloc: noReloc}, base, nil
+	}
+	imm, err := a.imm(offStr)
+	if err != nil {
+		return immOperand{}, 0, err
+	}
+	return imm, base, nil
+}
+
+func (a *asm) emitImm(op, rt, rs int, imm immOperand) {
+	if imm.reloc != noReloc {
+		a.fixups = append(a.fixups, pending{
+			line: a.line, section: objfile.SecText, offset: uint32(len(a.text)),
+			kind: imm.reloc, sym: imm.sym, addend: imm.addend,
+		})
+	}
+	a.emit(EncodeI(op, rt, rs, imm.value))
+}
+
+func (a *asm) instruction(line string) error {
+	sp := strings.IndexAny(line, " \t")
+	mn := line
+	rest := ""
+	if sp >= 0 {
+		mn = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	mn = strings.ToLower(mn)
+	args := splitArgs(rest)
+
+	need := func(n int) error {
+		if len(args) != n {
+			return a.errf("%s needs %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+
+	switch mn {
+	case "nop":
+		a.emit(Nop)
+		return nil
+	case "halt":
+		a.emit(uint32(OpHALT) << 26)
+		return nil
+	case "syscall":
+		a.emit(EncodeR(FnSYSCALL, 0, 0, 0, 0))
+		return nil
+	case "break":
+		a.emit(EncodeR(FnBREAK, 0, 0, 0, 0))
+		return nil
+
+	case "sllv", "srlv", "srav":
+		// rd, rt (value), rs (shift amount), per MIPS.
+		if err := need(3); err != nil {
+			return err
+		}
+		fn := map[string]int{"sllv": FnSLLV, "srlv": FnSRLV, "srav": FnSRAV}[mn]
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(EncodeR(fn, rd, rs, rt, 0))
+		return nil
+
+	case "add", "addu", "sub", "subu", "and", "or", "xor", "nor", "slt", "sltu", "mul", "div":
+		if err := need(3); err != nil {
+			return err
+		}
+		fn := map[string]int{
+			"add": FnADD, "addu": FnADDU, "sub": FnSUB, "subu": FnSUBU,
+			"and": FnAND, "or": FnOR, "xor": FnXOR, "nor": FnNOR,
+			"slt": FnSLT, "sltu": FnSLTU, "mul": FnMUL, "div": FnDIV,
+		}[mn]
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(EncodeR(fn, rd, rs, rt, 0))
+		return nil
+
+	case "sll", "srl", "sra":
+		if err := need(3); err != nil {
+			return err
+		}
+		fn := map[string]int{"sll": FnSLL, "srl": FnSRL, "sra": FnSRA}[mn]
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		sh, err := parseInt(args[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return a.errf("bad shift amount %q", args[2])
+		}
+		a.emit(EncodeR(fn, rd, 0, rt, int(sh)))
+		return nil
+
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(EncodeR(FnJR, 0, rs, 0, 0))
+		return nil
+	case "jalr":
+		// jalr $rs  or  jalr $rd, $rs
+		switch len(args) {
+		case 1:
+			rs, err := a.reg(args[0])
+			if err != nil {
+				return err
+			}
+			a.emit(EncodeR(FnJALR, RegRA, rs, 0, 0))
+		case 2:
+			rd, err := a.reg(args[0])
+			if err != nil {
+				return err
+			}
+			rs, err := a.reg(args[1])
+			if err != nil {
+				return err
+			}
+			a.emit(EncodeR(FnJALR, rd, rs, 0, 0))
+		default:
+			return a.errf("jalr needs 1 or 2 operands")
+		}
+		return nil
+
+	case "addi", "addiu", "slti", "sltiu", "andi", "ori", "xori":
+		if err := need(3); err != nil {
+			return err
+		}
+		op := map[string]int{
+			"addi": OpADDI, "addiu": OpADDIU, "slti": OpSLTI, "sltiu": OpSLTIU,
+			"andi": OpANDI, "ori": OpORI, "xori": OpXORI,
+		}[mn]
+		rt, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(args[2])
+		if err != nil {
+			return err
+		}
+		a.emitImm(op, rt, rs, imm)
+		return nil
+
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(args[1])
+		if err != nil {
+			return err
+		}
+		a.emitImm(OpLUI, rt, 0, imm)
+		return nil
+
+	case "lw", "lb", "lbu", "sw", "sb":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]int{"lw": OpLW, "lb": OpLB, "lbu": OpLBU, "sw": OpSW, "sb": OpSB}[mn]
+		rt, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, base, err := a.mem(args[1])
+		if err != nil {
+			return err
+		}
+		if base == RegGP {
+			// gp-relative addressing: mark the module and use a GPREL16
+			// relocation so ldl can detect and reject it.
+			a.usesGP = true
+			if imm.reloc == objfile.RelLo16 {
+				imm.reloc = objfile.RelGPRel16
+			}
+		}
+		a.emitImm(op, rt, base, imm)
+		return nil
+
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return err
+		}
+		op := OpBEQ
+		if mn == "bne" {
+			op = OpBNE
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		return a.emitBranch(op, rt, rs, args[2])
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := OpBEQ
+		if mn == "bnez" {
+			op = OpBNE
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		return a.emitBranch(op, 0, rs, args[1])
+	case "blez", "bgtz":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := OpBLEZ
+		if mn == "bgtz" {
+			op = OpBGTZ
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		return a.emitBranch(op, 0, rs, args[1])
+	case "b":
+		if err := need(1); err != nil {
+			return err
+		}
+		return a.emitBranch(OpBEQ, 0, 0, args[0])
+
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := OpJ
+		if mn == "jal" {
+			op = OpJAL
+		}
+		sym, add, ok := symExpr(args[0])
+		if !ok {
+			return a.errf("bad jump target %q", args[0])
+		}
+		// Jump targets always get a JUMP26 relocation: even a local
+		// target moves when the module is relocated.
+		a.fixups = append(a.fixups, pending{
+			line: a.line, section: objfile.SecText, offset: uint32(len(a.text)),
+			kind: objfile.RelJump26, sym: sym, addend: add,
+		})
+		a.emit(EncodeJ(op, 0))
+		return nil
+
+	case "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(EncodeR(FnOR, rd, rs, 0, 0))
+		return nil
+
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return a.errf("li: bad immediate %q", args[1])
+		}
+		u := uint32(v)
+		a.emit(EncodeI(OpLUI, rt, 0, uint16(u>>16)))
+		a.emit(EncodeI(OpORI, rt, rt, uint16(u)))
+		return nil
+
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		sym, add, ok := symExpr(args[1])
+		if !ok {
+			return a.errf("la: bad symbol %q", args[1])
+		}
+		a.fixups = append(a.fixups, pending{
+			line: a.line, section: objfile.SecText, offset: uint32(len(a.text)),
+			kind: objfile.RelHi16, sym: sym, addend: add,
+		})
+		a.emit(EncodeI(OpLUI, rt, 0, 0))
+		a.fixups = append(a.fixups, pending{
+			line: a.line, section: objfile.SecText, offset: uint32(len(a.text)),
+			kind: objfile.RelLo16, sym: sym, addend: add,
+		})
+		a.emit(EncodeI(OpADDIU, rt, rt, 0))
+		return nil
+	}
+	return a.errf("unknown instruction %q", mn)
+}
+
+func (a *asm) emitBranch(op, rt, rs int, target string) error {
+	if !isIdent(target) {
+		return a.errf("bad branch target %q", target)
+	}
+	a.fixups = append(a.fixups, pending{
+		line: a.line, section: objfile.SecText, offset: uint32(len(a.text)),
+		kind: objfile.RelBranch16, sym: target, branch: true,
+	})
+	a.emit(EncodeI(op, rt, rs, 0))
+	return nil
+}
+
+// ---- finalisation ----------------------------------------------------------
+
+func (a *asm) finish() (*objfile.Object, error) {
+	for uint32(len(a.text))%4 != 0 {
+		a.text = append(a.text, 0)
+	}
+	o := &objfile.Object{
+		Name:       a.name,
+		UsesGP:     a.usesGP,
+		Text:       a.text,
+		Data:       a.data,
+		BssSize:    a.bss,
+		Deps:       a.deps,
+		SearchPath: a.paths,
+	}
+	symIdx := map[string]int{}
+	addSym := func(name string, ref symref, defined bool) int {
+		if i, ok := symIdx[name]; ok {
+			return i
+		}
+		s := objfile.Symbol{Name: name, Global: a.globals[name]}
+		if defined {
+			s.Section = ref.section
+			s.Value = ref.offset
+		} else {
+			s.Global = true
+		}
+		o.Symbols = append(o.Symbols, s)
+		symIdx[name] = len(o.Symbols) - 1
+		return symIdx[name]
+	}
+	// Defined labels first, in deterministic order: text, data, bss by offset.
+	type lab struct {
+		name string
+		ref  symref
+	}
+	var labs []lab
+	for name, ref := range a.labels {
+		labs = append(labs, lab{name, ref})
+	}
+	sort.Slice(labs, func(i, j int) bool {
+		li, lj := labs[i], labs[j]
+		if li.ref.section != lj.ref.section {
+			return li.ref.section < lj.ref.section
+		}
+		if li.ref.offset != lj.ref.offset {
+			return li.ref.offset < lj.ref.offset
+		}
+		return li.name < lj.name
+	})
+	for _, l := range labs {
+		addSym(l.name, l.ref, true)
+	}
+	for _, e := range a.externs {
+		if _, defined := a.labels[e]; !defined {
+			addSym(e, symref{}, false)
+		}
+	}
+	// Resolve fixups.
+	for _, fx := range a.fixups {
+		a.line = fx.line
+		if fx.branch {
+			ref, ok := a.labels[fx.sym]
+			if !ok {
+				return nil, a.errf("branch to undefined label %q (branches cannot cross modules)", fx.sym)
+			}
+			if ref.section != objfile.SecText {
+				return nil, a.errf("branch target %q not in .text", fx.sym)
+			}
+			off, repOK := BranchOffset(fx.offset, ref.offset)
+			if !repOK {
+				return nil, a.errf("branch to %q out of range", fx.sym)
+			}
+			w := binary.BigEndian.Uint32(a.text[fx.offset:])
+			binary.BigEndian.PutUint32(o.Text[fx.offset:], PatchImm16(w, off))
+			continue
+		}
+		idx := addSym(fx.sym, a.labels[fx.sym], false)
+		if ref, ok := a.labels[fx.sym]; ok {
+			idx = addSym(fx.sym, ref, true)
+		}
+		o.Relocs = append(o.Relocs, objfile.Reloc{
+			Section: fx.section,
+			Offset:  fx.offset,
+			Sym:     idx,
+			Type:    fx.kind,
+			Addend:  fx.addend,
+		})
+	}
+	// Globals with no definition and no reference still become externs.
+	for g := range a.globals {
+		if _, ok := a.labels[g]; !ok {
+			addSym(g, symref{}, false)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one instruction word executed at pc.
+func Disassemble(w, pc uint32) string {
+	in := Decode(w)
+	r := func(n int) string { return "$" + regName(n) }
+	switch in.Op {
+	case OpSpecial:
+		switch in.Fn {
+		case FnSLL:
+			if w == 0 {
+				return "nop"
+			}
+			return fmt.Sprintf("sll %s, %s, %d", r(in.RD), r(in.RT), in.Shamt)
+		case FnSRL:
+			return fmt.Sprintf("srl %s, %s, %d", r(in.RD), r(in.RT), in.Shamt)
+		case FnSRA:
+			return fmt.Sprintf("sra %s, %s, %d", r(in.RD), r(in.RT), in.Shamt)
+		case FnSLLV:
+			return fmt.Sprintf("sllv %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+		case FnSRLV:
+			return fmt.Sprintf("srlv %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+		case FnSRAV:
+			return fmt.Sprintf("srav %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+		case FnJR:
+			return fmt.Sprintf("jr %s", r(in.RS))
+		case FnJALR:
+			return fmt.Sprintf("jalr %s, %s", r(in.RD), r(in.RS))
+		case FnSYSCALL:
+			return "syscall"
+		case FnBREAK:
+			return "break"
+		case FnMUL:
+			return fmt.Sprintf("mul %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+		case FnDIV:
+			return fmt.Sprintf("div %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+		case FnADD, FnADDU, FnSUB, FnSUBU, FnAND, FnOR, FnXOR, FnNOR, FnSLT, FnSLTU:
+			name := map[int]string{
+				FnADD: "add", FnADDU: "addu", FnSUB: "sub", FnSUBU: "subu",
+				FnAND: "and", FnOR: "or", FnXOR: "xor", FnNOR: "nor",
+				FnSLT: "slt", FnSLTU: "sltu",
+			}[in.Fn]
+			if in.Fn == FnOR && in.RT == 0 {
+				return fmt.Sprintf("move %s, %s", r(in.RD), r(in.RS))
+			}
+			return fmt.Sprintf("%s %s, %s, %s", name, r(in.RD), r(in.RS), r(in.RT))
+		}
+		return fmt.Sprintf(".word 0x%08x", w)
+	case OpJ:
+		return fmt.Sprintf("j 0x%08x", Jump26Target(w, pc))
+	case OpJAL:
+		return fmt.Sprintf("jal 0x%08x", Jump26Target(w, pc))
+	case OpBEQ:
+		if in.RS == 0 && in.RT == 0 {
+			return fmt.Sprintf("b 0x%08x", BranchTarget(pc, in.Imm))
+		}
+		return fmt.Sprintf("beq %s, %s, 0x%08x", r(in.RS), r(in.RT), BranchTarget(pc, in.Imm))
+	case OpBNE:
+		return fmt.Sprintf("bne %s, %s, 0x%08x", r(in.RS), r(in.RT), BranchTarget(pc, in.Imm))
+	case OpBLEZ:
+		return fmt.Sprintf("blez %s, 0x%08x", r(in.RS), BranchTarget(pc, in.Imm))
+	case OpBGTZ:
+		return fmt.Sprintf("bgtz %s, 0x%08x", r(in.RS), BranchTarget(pc, in.Imm))
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		name := map[int]string{
+			OpADDI: "addi", OpADDIU: "addiu", OpSLTI: "slti", OpSLTIU: "sltiu",
+			OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+		}[in.Op]
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.RT), r(in.RS), int16(in.Imm))
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%04x", r(in.RT), in.Imm)
+	case OpLB, OpLBU, OpLW, OpSB, OpSW:
+		name := map[int]string{OpLB: "lb", OpLBU: "lbu", OpLW: "lw", OpSB: "sb", OpSW: "sw"}[in.Op]
+		return fmt.Sprintf("%s %s, %d(%s)", name, r(in.RT), int16(in.Imm), r(in.RS))
+	case OpHALT:
+		return "halt"
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}
+
+// DisassembleText renders a whole text section with addresses, one
+// instruction per line.
+func DisassembleText(text []byte, base uint32) string {
+	var sb strings.Builder
+	for off := 0; off+4 <= len(text); off += 4 {
+		pc := base + uint32(off)
+		w := binary.BigEndian.Uint32(text[off:])
+		fmt.Fprintf(&sb, "%08x:  %08x  %s\n", pc, w, Disassemble(w, pc))
+	}
+	return sb.String()
+}

@@ -1,0 +1,262 @@
+// Package isa defines R3K-lite, the simulated 32-bit RISC architecture of
+// the reproduction, together with an assembler and disassembler.
+//
+// R3K-lite keeps exactly the properties of the MIPS R3000 that the paper's
+// linkers must cope with:
+//
+//   - absolute addresses are materialised with LUI/ORI pairs, so the
+//     linkers patch HI16/LO16 relocation pairs (with carry adjustment);
+//   - J/JAL carry a 26-bit word target and can only reach addresses that
+//     share the top 4 bits of PC+4 — the "28-bit addressing limit on the
+//     processor's jump instructions" for which lds and ldl must substitute
+//     trampolines ("jumps to new, nearby code fragments that load the
+//     appropriate target address into a register and jump indirectly");
+//   - an optional global-pointer register with 16-bit offsets, which is
+//     "incompatible with a large sparse address space", so ldl insists
+//     that modules be compiled with gp disabled.
+//
+// Unlike the R3000 there are no branch delay slots; this simplifies the
+// interpreter without changing anything the linkers care about.
+package isa
+
+import "fmt"
+
+// Register numbers, MIPS calling convention.
+const (
+	RegZero = 0 // hardwired zero
+	RegAT   = 1 // assembler temporary (used by trampolines)
+	RegV0   = 2 // return value / syscall number
+	RegV1   = 3 // second return value / errno
+	RegA0   = 4 // first argument
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8
+	RegT9   = 25
+	RegGP   = 28 // global pointer (disabled for shared modules)
+	RegSP   = 29 // stack pointer
+	RegFP   = 30 // frame pointer
+	RegRA   = 31 // return address
+)
+
+// RegNames maps conventional register names to numbers.
+var RegNames = map[string]int{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+// regName returns the conventional name for a register number.
+func regName(r int) string {
+	for name, n := range RegNames {
+		if n == r {
+			return name
+		}
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Primary opcodes (6-bit op field).
+const (
+	OpSpecial = 0
+	OpJ       = 2
+	OpJAL     = 3
+	OpBEQ     = 4
+	OpBNE     = 5
+	OpBLEZ    = 6
+	OpBGTZ    = 7
+	OpADDI    = 8
+	OpADDIU   = 9
+	OpSLTI    = 10
+	OpSLTIU   = 11
+	OpANDI    = 12
+	OpORI     = 13
+	OpXORI    = 14
+	OpLUI     = 15
+	OpLB      = 32
+	OpLW      = 35
+	OpLBU     = 36
+	OpSB      = 40
+	OpSW      = 43
+	OpHALT    = 63 // R3K-lite extension: stop the processor
+)
+
+// SPECIAL function codes (funct field when op == OpSpecial).
+const (
+	FnSLL     = 0
+	FnSRL     = 2
+	FnSRA     = 3
+	FnSLLV    = 4
+	FnSRLV    = 6
+	FnSRAV    = 7
+	FnJR      = 8
+	FnJALR    = 9
+	FnSYSCALL = 12
+	FnBREAK   = 13
+	FnMUL     = 24 // R3K-lite: rd = rs * rt (no HI/LO)
+	FnDIV     = 26 // R3K-lite: rd = rs / rt (signed; divide by zero traps)
+	FnADD     = 32
+	FnADDU    = 33
+	FnSUB     = 34
+	FnSUBU    = 35
+	FnAND     = 36
+	FnOR      = 37
+	FnXOR     = 38
+	FnNOR     = 39
+	FnSLT     = 42
+	FnSLTU    = 43
+)
+
+// JumpRegionMask selects the bits of PC+4 that a J/JAL target must share:
+// the top 4 bits, leaving a 28-bit (256 MB) reachable region.
+const JumpRegionMask uint32 = 0xF0000000
+
+// Field extraction.
+func opOf(w uint32) int    { return int(w >> 26) }
+func rsOf(w uint32) int    { return int(w >> 21 & 31) }
+func rtOf(w uint32) int    { return int(w >> 16 & 31) }
+func rdOf(w uint32) int    { return int(w >> 11 & 31) }
+func shamtOf(w uint32) int { return int(w >> 6 & 31) }
+func fnOf(w uint32) int    { return int(w & 63) }
+func immOf(w uint32) uint16 {
+	return uint16(w)
+}
+func targetOf(w uint32) uint32 { return w & 0x03FFFFFF }
+
+// EncodeR encodes an R-type (SPECIAL) instruction.
+func EncodeR(fn, rd, rs, rt, shamt int) uint32 {
+	return uint32(rs&31)<<21 | uint32(rt&31)<<16 | uint32(rd&31)<<11 | uint32(shamt&31)<<6 | uint32(fn&63)
+}
+
+// EncodeI encodes an I-type instruction.
+func EncodeI(op, rt, rs int, imm uint16) uint32 {
+	return uint32(op&63)<<26 | uint32(rs&31)<<21 | uint32(rt&31)<<16 | uint32(imm)
+}
+
+// EncodeJ encodes a J-type instruction with a byte target address; the
+// target's word address is truncated to 26 bits.
+func EncodeJ(op int, target uint32) uint32 {
+	return uint32(op&63)<<26 | (target>>2)&0x03FFFFFF
+}
+
+// JumpReach reports whether a J/JAL at pc can encode a jump to target.
+func JumpReach(pc, target uint32) bool {
+	return (pc+4)&JumpRegionMask == target&JumpRegionMask
+}
+
+// PatchJump26 rewrites the 26-bit target field of a J/JAL word to point at
+// target (a byte address).
+func PatchJump26(w, target uint32) uint32 {
+	return w&0xFC000000 | (target>>2)&0x03FFFFFF
+}
+
+// Jump26Target extracts the byte target of a J/JAL word executed at pc.
+func Jump26Target(w, pc uint32) uint32 {
+	return (pc+4)&JumpRegionMask | targetOf(w)<<2
+}
+
+// PatchImm16 rewrites the 16-bit immediate field of an I-type word.
+func PatchImm16(w uint32, imm uint16) uint32 {
+	return w&0xFFFF0000 | uint32(imm)
+}
+
+// Hi16 returns the %hi() half of addr, adjusted so that a sign-extending
+// %lo() addition reconstructs addr (the MIPS carry rule).
+func Hi16(addr uint32) uint16 {
+	return uint16((addr + 0x8000) >> 16)
+}
+
+// Lo16 returns the %lo() half of addr.
+func Lo16(addr uint32) uint16 {
+	return uint16(addr)
+}
+
+// ComposeHiLo reconstructs an address from its Hi16/Lo16 halves the way the
+// hardware does: (hi << 16) + sign-extended lo.
+func ComposeHiLo(hi, lo uint16) uint32 {
+	return uint32(hi)<<16 + uint32(int32(int16(lo)))
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Word  uint32
+	Op    int
+	Fn    int // valid when Op == OpSpecial
+	RS    int
+	RT    int
+	RD    int
+	Shamt int
+	Imm   uint16 // I-type immediate
+	// Target is the 26-bit word target field (J-type), NOT shifted.
+	Target uint32
+}
+
+// Decode decodes an instruction word.
+func Decode(w uint32) Inst {
+	return Inst{
+		Word:   w,
+		Op:     opOf(w),
+		Fn:     fnOf(w),
+		RS:     rsOf(w),
+		RT:     rtOf(w),
+		RD:     rdOf(w),
+		Shamt:  shamtOf(w),
+		Imm:    immOf(w),
+		Target: targetOf(w),
+	}
+}
+
+// SignExt sign-extends a 16-bit immediate.
+func SignExt(imm uint16) uint32 { return uint32(int32(int16(imm))) }
+
+// BranchTarget returns the destination of a taken branch at pc with the
+// given immediate (word offset relative to pc+4).
+func BranchTarget(pc uint32, imm uint16) uint32 {
+	return pc + 4 + SignExt(imm)<<2
+}
+
+// BranchOffset computes the 16-bit word offset for a branch at pc to
+// target, reporting whether it is representable.
+func BranchOffset(pc, target uint32) (uint16, bool) {
+	diff := int64(int32(target)) - int64(int32(pc+4))
+	if diff%4 != 0 {
+		return 0, false
+	}
+	words := diff / 4
+	if words < -32768 || words > 32767 {
+		return 0, false
+	}
+	return uint16(int16(words)), true
+}
+
+// Nop is the canonical no-op (sll $zero, $zero, 0).
+const Nop uint32 = 0
+
+// TrampolineWords returns the code fragment the linkers substitute for an
+// over-long jump: load the 32-bit target into $at and jump through it.
+// Link reports whether the fragment must preserve $ra semantics (JAL).
+//
+//	lui  $at, %hi(target)
+//	ori  $at, $at, %lo(target)
+//	jr   $at            (or jalr $ra, $at for calls)
+func TrampolineWords(target uint32, link bool) []uint32 {
+	// Use unsigned composition for the trampoline (ORI does not sign
+	// extend), so hi is the plain top half.
+	hi := uint16(target >> 16)
+	lo := uint16(target)
+	jump := EncodeR(FnJR, 0, RegAT, 0, 0)
+	if link {
+		jump = EncodeR(FnJALR, RegRA, RegAT, 0, 0)
+	}
+	return []uint32{
+		EncodeI(OpLUI, RegAT, 0, hi),
+		EncodeI(OpORI, RegAT, RegAT, lo),
+		jump,
+	}
+}
+
+// TrampolineSize is the byte size of a trampoline fragment.
+const TrampolineSize = 12

@@ -1,0 +1,366 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hemlock/internal/objfile"
+)
+
+func TestHi16Lo16CarryRule(t *testing.T) {
+	// The MIPS carry rule: %lo is sign-extended when added, so %hi must be
+	// adjusted for addresses whose low half has bit 15 set.
+	addrs := []uint32{0, 1, 0x7FFF, 0x8000, 0xFFFF, 0x12348000, 0x30007FFC, 0x3000FFFC, 0xFFFFFFFF}
+	for _, a := range addrs {
+		if got := ComposeHiLo(Hi16(a), Lo16(a)); got != a {
+			t.Errorf("ComposeHiLo(Hi16, Lo16)(0x%08x) = 0x%08x", a, got)
+		}
+	}
+}
+
+func TestHi16Lo16Property(t *testing.T) {
+	f := func(a uint32) bool { return ComposeHiLo(Hi16(a), Lo16(a)) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpReach(t *testing.T) {
+	// Private text (region 0) cannot J into the shared file system
+	// (0x30000000, region 3): the paper's 28-bit jump limit.
+	if JumpReach(0x00400000, 0x30100000) {
+		t.Fatal("jump across 256MB regions should be unreachable")
+	}
+	if !JumpReach(0x00400000, 0x0FFFFFFC) {
+		t.Fatal("jump within region 0 should be reachable")
+	}
+	if !JumpReach(0x30000000, 0x3FFFFFFC) {
+		t.Fatal("jump within shared region should be reachable")
+	}
+	// PC+4 is what matters at a region's last word.
+	if JumpReach(0x0FFFFFFC, 0x00400000) {
+		t.Fatal("jump in delay of region boundary uses PC+4's region")
+	}
+}
+
+func TestJump26PatchAndTarget(t *testing.T) {
+	w := EncodeJ(OpJAL, 0)
+	w = PatchJump26(w, 0x30100040)
+	if got := Jump26Target(w, 0x30000000); got != 0x30100040 {
+		t.Fatalf("Jump26Target = 0x%08x", got)
+	}
+	in := Decode(w)
+	if in.Op != OpJAL {
+		t.Fatalf("patch clobbered opcode: %d", in.Op)
+	}
+}
+
+func TestBranchOffsetRoundTrip(t *testing.T) {
+	pc := uint32(0x1000)
+	for _, target := range []uint32{0x1004, 0x1000, 0x0F00, 0x1000 + 4*32767} {
+		off, ok := BranchOffset(pc, target)
+		if !ok {
+			t.Fatalf("offset to 0x%x not representable", target)
+		}
+		if got := BranchTarget(pc, off); got != target {
+			t.Fatalf("BranchTarget = 0x%x, want 0x%x", got, target)
+		}
+	}
+	if _, ok := BranchOffset(pc, pc+4+4*40000); ok {
+		t.Fatal("out-of-range branch accepted")
+	}
+	if _, ok := BranchOffset(pc, pc+2); ok {
+		t.Fatal("unaligned branch accepted")
+	}
+}
+
+func TestTrampolineWords(t *testing.T) {
+	ws := TrampolineWords(0x30ABCDE0, false)
+	if len(ws)*4 != TrampolineSize {
+		t.Fatalf("trampoline is %d bytes, want %d", len(ws)*4, TrampolineSize)
+	}
+	// lui $at, 0x30AB ; ori $at, $at, 0xCDE0 ; jr $at
+	lui := Decode(ws[0])
+	if lui.Op != OpLUI || lui.RT != RegAT || lui.Imm != 0x30AB {
+		t.Fatalf("bad lui: %s", Disassemble(ws[0], 0))
+	}
+	ori := Decode(ws[1])
+	if ori.Op != OpORI || ori.Imm != 0xCDE0 {
+		t.Fatalf("bad ori: %s", Disassemble(ws[1], 0))
+	}
+	jr := Decode(ws[2])
+	if jr.Op != OpSpecial || jr.Fn != FnJR || jr.RS != RegAT {
+		t.Fatalf("bad jr: %s", Disassemble(ws[2], 0))
+	}
+	call := TrampolineWords(0x30ABCDE0, true)
+	jalr := Decode(call[2])
+	if jalr.Fn != FnJALR || jalr.RD != RegRA {
+		t.Fatalf("call trampoline lacks jalr: %s", Disassemble(call[2], 0))
+	}
+}
+
+const sampleProg = `
+        .text
+        .globl  main
+        .extern shared_counter
+main:
+        la      $t0, shared_counter
+        lw      $t1, 0($t0)
+        addiu   $t1, $t1, 1
+        sw      $t1, 0($t0)
+        jal     helper
+        li      $v0, 10
+        syscall
+        halt
+helper:
+        lui     $t2, %hi(local_word)
+        lw      $t3, %lo(local_word)($t2)
+        jr      $ra
+
+        .data
+        .globl  table
+local_word:
+        .word   7
+table:
+        .word   1, 2, 3
+ptr:
+        .word   table+4
+msg:
+        .asciiz "hi"
+        .align  2
+buf:
+        .space  8
+        .comm   scratch, 64
+`
+
+func TestAssembleSampleProgram(t *testing.T) {
+	o, err := Assemble("sample.s", sampleProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// main exported, helper local, shared_counter undefined.
+	main, ok := o.Lookup("main")
+	if !ok || !main.Global || main.Section != objfile.SecText || main.Value != 0 {
+		t.Fatalf("main: %+v", main)
+	}
+	helper, ok := o.Lookup("helper")
+	if !ok || helper.Global || helper.Section != objfile.SecText {
+		t.Fatalf("helper: %+v", helper)
+	}
+	if und := o.Undefined(); len(und) != 1 || und[0] != "shared_counter" {
+		t.Fatalf("undefined = %v", und)
+	}
+	// Relocations: la emits HI16+LO16 to shared_counter; jal emits JUMP26
+	// to helper; lui/lw pair to local_word; .word table+4 is WORD32.
+	var kinds []string
+	for _, r := range o.Relocs {
+		kinds = append(kinds, o.Symbols[r.Sym].Name+":"+r.Type.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{
+		"shared_counter:HI16", "shared_counter:LO16",
+		"helper:JUMP26",
+		"local_word:HI16", "local_word:LO16",
+		"table:WORD32",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing relocation %s in %s", want, joined)
+		}
+	}
+	// .word table+4 carries the addend.
+	for _, r := range o.Relocs {
+		if o.Symbols[r.Sym].Name == "table" && r.Type == objfile.RelWord32 && r.Addend != 4 {
+			t.Errorf("table reloc addend = %d, want 4", r.Addend)
+		}
+	}
+	// scratch went to bss.
+	scr, ok := o.Lookup("scratch")
+	if !ok || scr.Section != objfile.SecBss {
+		t.Fatalf("scratch: %+v", scr)
+	}
+	if o.BssSize < 64 {
+		t.Fatalf("bss size %d < 64", o.BssSize)
+	}
+	if o.UsesGP {
+		t.Fatal("module should not be marked gp-using")
+	}
+}
+
+func TestAssembleBranches(t *testing.T) {
+	src := `
+        .text
+loop:   addiu   $t0, $t0, 1
+        bne     $t0, $t1, loop
+        beqz    $t0, done
+        b       loop
+done:   halt
+`
+	o, err := Assemble("b.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branches resolved locally: no BRANCH16 relocations remain.
+	for _, r := range o.Relocs {
+		if r.Type == objfile.RelBranch16 {
+			t.Fatal("branch relocation leaked into object")
+		}
+	}
+	// bne at offset 4 targets loop (offset 0): imm = -2 words.
+	w := Decode(be32(o.Text, 4))
+	if w.Op != OpBNE || int16(w.Imm) != -2 {
+		t.Fatalf("bne imm = %d, want -2", int16(w.Imm))
+	}
+}
+
+func be32(b []byte, off int) uint32 {
+	return uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+}
+
+func TestAssembleBranchToUndefinedFails(t *testing.T) {
+	_, err := Assemble("bad.s", ".text\n beq $t0, $t1, elsewhere\n")
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestAssembleGPDetection(t *testing.T) {
+	o, err := Assemble("gp.s", `
+        .text
+        lw      $t0, %lo(var)($gp)
+        .data
+var:    .word 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.UsesGP {
+		t.Fatal("gp-relative load not detected")
+	}
+	var found bool
+	for _, r := range o.Relocs {
+		if r.Type == objfile.RelGPRel16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("GPREL16 relocation not emitted")
+	}
+	// The explicit directive works too.
+	o2, err := Assemble("gp2.s", ".usesgp\n.text\nnop\n")
+	if err != nil || !o2.UsesGP {
+		t.Fatalf("explicit .usesgp: %v %v", o2, err)
+	}
+}
+
+func TestAssembleDepsAndSearchPath(t *testing.T) {
+	o, err := Assemble("deps.s", `
+        .dep    shared1.o, dynamic-public
+        .dep    helper.o, dp
+        .searchpath /lib/project
+        .text
+        nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Deps) != 2 || o.Deps[0].Class != objfile.DynamicPublic || o.Deps[1].Class != objfile.DynamicPrivate {
+		t.Fatalf("deps = %+v", o.Deps)
+	}
+	if len(o.SearchPath) != 1 || o.SearchPath[0] != "/lib/project" {
+		t.Fatalf("search path = %v", o.SearchPath)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		".text\n bogus $t0\n",
+		".text\n add $t0, $t1\n",          // wrong arity
+		".text\n add $t0, $t1, $zz\n",     // bad register
+		".text\n addi $t0, $t1, 100000\n", // imm out of range
+		".word 5\n",                       // .word in .text
+		".text\nfoo:\nfoo: nop\n",         // duplicate label
+		".data\n .asciiz bad\n",           // unquoted string
+		".dep x\n",                        // missing class
+		".dep x, nonsense\n",              // bad class
+		".text\n lw $t0, %hi(x)(bad\n",    // malformed mem operand
+		".align 99\n",                     // bad align
+		"1abc: nop\n",                     // bad label
+	}
+	for _, src := range cases {
+		if _, err := Assemble("err.s", src); err == nil {
+			t.Errorf("accepted bad program %q", src)
+		}
+	}
+}
+
+func TestAssembleLi32(t *testing.T) {
+	o, err := Assemble("li.s", ".text\n li $t0, 0x30ABCDEF\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lui := Decode(be32(o.Text, 0))
+	ori := Decode(be32(o.Text, 4))
+	if lui.Imm != 0x30AB || ori.Imm != 0xCDEF {
+		t.Fatalf("li encoded 0x%04x/0x%04x", lui.Imm, ori.Imm)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	// Spot checks that the disassembler names things sensibly.
+	cases := map[uint32]string{
+		Nop:                            "nop",
+		EncodeR(FnADD, 2, 4, 5, 0):     "add $v0, $a0, $a1",
+		EncodeI(OpLW, 9, 8, 0xFFFC):    "lw $t1, -4($t0)",
+		EncodeI(OpLUI, 1, 0, 0x30AB):   "lui $at, 0x30ab",
+		EncodeR(FnSYSCALL, 0, 0, 0, 0): "syscall",
+		uint32(OpHALT) << 26:           "halt",
+		EncodeR(FnJR, 0, RegRA, 0, 0):  "jr $ra",
+		EncodeR(FnOR, 3, 7, 0, 0):      "move $v1, $a3",
+	}
+	for w, want := range cases {
+		if got := Disassemble(w, 0x1000); got != want {
+			t.Errorf("Disassemble(%08x) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestDisassembleText(t *testing.T) {
+	o, err := Assemble("d.s", ".text\n nop\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DisassembleText(o.Text, 0x400000)
+	if !strings.Contains(out, "00400000") || !strings.Contains(out, "halt") {
+		t.Fatalf("bad disassembly:\n%s", out)
+	}
+}
+
+func TestEncodeDecodeFieldsProperty(t *testing.T) {
+	f := func(op6, rs, rt uint8, imm uint16) bool {
+		op := int(op6 % 64)
+		w := EncodeI(op, int(rt%32), int(rs%32), imm)
+		in := Decode(w)
+		return in.Op == op && in.RS == int(rs%32) && in.RT == int(rt%32) && in.Imm == imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	o, err := Assemble("c.s", `
+start:  nop   # increment
+        halt  # done
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := o.Lookup("start")
+	if !ok || s.Value != 0 {
+		t.Fatalf("start: %+v", s)
+	}
+}

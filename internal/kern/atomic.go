@@ -1,0 +1,76 @@
+package kern
+
+import "sync"
+
+// Atomic operations on simulated memory. The paper points out that shared
+// memory obliges processes to synchronise explicitly, citing user-space
+// spin locks; real hardware provides an atomic primitive (test-and-set on
+// the Sequent, LL/SC on later MIPS). The simulation provides the
+// equivalent here: word-sized atomics executed under a kernel-wide lock,
+// with full fault handling, so user-space locks can be built in shared
+// segments. The atomicMu critical sections also give the host language the
+// happens-before edges that make data guarded by such locks safe to access
+// from concurrent goroutines driving different processes.
+
+var atomicMu sync.Mutex
+
+// TestAndSet atomically reads the word at addr and sets it to 1, returning
+// the previous value.
+func (p *Process) TestAndSet(addr uint32) (uint32, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	old, err := p.LoadWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.StoreWord(addr, 1); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// AtomicStore stores val at addr with the same ordering as TestAndSet
+// (used to release locks built on it).
+func (p *Process) AtomicStore(addr, val uint32) error {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	return p.StoreWord(addr, val)
+}
+
+// AtomicLoad loads the word at addr with acquire ordering.
+func (p *Process) AtomicLoad(addr uint32) (uint32, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	return p.LoadWord(addr)
+}
+
+// AtomicAdd atomically adds delta to the word at addr and returns the new
+// value.
+func (p *Process) AtomicAdd(addr, delta uint32) (uint32, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	v, err := p.LoadWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	if err := p.StoreWord(addr, v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// CompareAndSwap atomically replaces old with new at addr, reporting
+// whether the swap happened.
+func (p *Process) CompareAndSwap(addr, old, new uint32) (bool, error) {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	v, err := p.LoadWord(addr)
+	if err != nil {
+		return false, err
+	}
+	if v != old {
+		return false, nil
+	}
+	return true, p.StoreWord(addr, new)
+}

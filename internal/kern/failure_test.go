@@ -1,0 +1,135 @@
+package kern
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/layout"
+	"hemlock/internal/mem"
+	"hemlock/internal/shmfs"
+)
+
+// newTinyKernel boots a kernel whose physical memory is capped, for
+// out-of-memory injection.
+func newTinyKernel(t *testing.T, frames int) *Kernel {
+	t.Helper()
+	phys := mem.NewPhysical(frames)
+	fs, err := shmfs.New(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithFS(fs, phys)
+}
+
+func TestExecFailsCleanlyWhenOutOfMemory(t *testing.T) {
+	k := newTinyKernel(t, 8) // far too small for image + stack
+	p := k.Spawn(0)
+	im := buildImage(t, ".text\n halt\n")
+	err := p.Exec(im)
+	if err == nil || !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("exec under memory pressure: %v", err)
+	}
+	// The failed exec must not leak live frames beyond what it mapped
+	// before failing; exiting reclaims everything.
+	p.Exit(1)
+	if st := k.Phys.Stats(); st.Live != 0 {
+		t.Fatalf("leaked %d frames after failed exec + exit", st.Live)
+	}
+}
+
+func TestSharedFileGrowthFailsUnderMemoryPressure(t *testing.T) {
+	k := newTinyKernel(t, 4)
+	k.FS.Create("/seg", shmfs.DefaultFileMode, 0)
+	p := k.Spawn(0)
+	_, err := k.MapSharedFile(p, "/seg", 64*mem.PageSize, addrspace.ProtRW)
+	if !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("map under memory pressure: %v", err)
+	}
+}
+
+func TestFaultRetryLimit(t *testing.T) {
+	// A handler that claims success without resolving anything must not
+	// hang the kernel.
+	k := New()
+	p := k.Spawn(0)
+	calls := 0
+	p.Handler = func(pr *Process, f *addrspace.Fault) error {
+		calls++
+		return nil // "handled", but nothing changed
+	}
+	err := p.StoreWord(0x30000000, 1)
+	if err == nil || !strings.Contains(err.Error(), "retry limit") {
+		t.Fatalf("no-progress handler: %v", err)
+	}
+	if calls != maxFaultRetries {
+		t.Fatalf("handler called %d times, want %d", calls, maxFaultRetries)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+	boom := errors.New("handler exploded")
+	p.Handler = func(pr *Process, f *addrspace.Fault) error { return boom }
+	if err := p.StoreWord(0x30000000, 1); !errors.Is(err, boom) {
+		t.Fatalf("handler error lost: %v", err)
+	}
+}
+
+func TestExitReclaimsEverything(t *testing.T) {
+	// Soak: spawn/exec/run/exit repeatedly; live frames must return to
+	// exactly the file-backed frames.
+	k := New()
+	k.FS.Create("/pub", shmfs.DefaultFileMode, 0)
+	k.FS.Truncate("/pub", 3*mem.PageSize, 0)
+	fileFrames := k.Phys.Stats().Live
+	im := buildImage(t, ".text\n li $t0, 1\n halt\n")
+	for i := 0; i < 10; i++ {
+		p := k.Spawn(0)
+		if err := p.Exec(im); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.MapSharedFile(p, "/pub", 0, addrspace.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Run(p, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := k.Phys.Stats(); st.Live != fileFrames {
+		t.Fatalf("live frames = %d after all exits, want %d (shared file only)", st.Live, fileFrames)
+	}
+}
+
+func TestForkUnderMemoryPressure(t *testing.T) {
+	k := newTinyKernel(t, 70)
+	parent := k.Spawn(0)
+	im := buildImage(t, ".text\n halt\n")
+	if err := parent.Exec(im); err != nil {
+		t.Fatalf("parent exec: %v", err)
+	}
+	// The stack alone is 64 pages; a fork cannot fit.
+	if _, err := k.Fork(parent); !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("fork under pressure: %v", err)
+	}
+}
+
+func TestSbrkLimit(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+	p.brk = layout.PrivDataLimit - mem.PageSize
+	if _, err := p.Sbrk(10 * mem.PageSize); err == nil {
+		t.Fatal("sbrk past region limit succeeded")
+	}
+}
+
+func TestPrivateRegionExhaustion(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+	// Burn through the private module region with one huge allocation.
+	if _, err := p.AllocPrivate(layout.PrivDataLimit); err == nil {
+		t.Fatal("oversized private allocation succeeded")
+	}
+}

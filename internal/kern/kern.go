@@ -1,0 +1,491 @@
+// Package kern implements the simulated Unix kernel that hosts Hemlock: it
+// owns physical memory and the shared file system, creates processes, forks
+// them with copy-private/share-public semantics, delivers memory faults to
+// the user-level SIGSEGV handler, and dispatches the system calls R3K-lite
+// programs make — including the new calls that translate back and forth
+// between addresses and path names in the shared file system.
+package kern
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/layout"
+	"hemlock/internal/mem"
+	"hemlock/internal/objfile"
+	"hemlock/internal/shmfs"
+	"hemlock/internal/vm"
+)
+
+// Errors.
+var (
+	ErrUnhandled = errors.New("kern: fault not handled")
+	ErrNoProcess = errors.New("kern: no such process")
+	ErrBadFD     = errors.New("kern: bad file descriptor")
+	ErrExited    = errors.New("kern: process has exited")
+)
+
+// FaultHandler is a user-level fault handler: the simulated SIGSEGV
+// catcher. Returning nil means the fault was resolved and the instruction
+// should be restarted; returning (or wrapping) ErrUnhandled passes the
+// fault along (to the program's own handler, then to default disposition).
+type FaultHandler func(p *Process, f *addrspace.Fault) error
+
+// Kernel is the machine: physical memory, the shared file system, and the
+// process table.
+type Kernel struct {
+	mu      sync.Mutex
+	Phys    *mem.Physical
+	FS      *shmfs.FS
+	procs   map[int]*Process
+	nextPID int
+
+	// FaultCount counts faults delivered to user-level handlers (the
+	// E-lazy and E-ptr experiments read it).
+	FaultCount uint64
+
+	pdServices []*pdService
+}
+
+// New boots a kernel with a fresh shared file system.
+func New() *Kernel {
+	phys := mem.NewPhysical(0)
+	fs, err := shmfs.New(phys)
+	if err != nil {
+		panic(err) // cannot happen: New only fails on allocation
+	}
+	return &Kernel{Phys: phys, FS: fs, procs: map[int]*Process{}, nextPID: 1}
+}
+
+// NewWithFS boots a kernel around an existing file system (a loaded disk
+// image). phys must be the pool backing fs.
+func NewWithFS(fs *shmfs.FS, phys *mem.Physical) *Kernel {
+	return &Kernel{Phys: phys, FS: fs, procs: map[int]*Process{}, nextPID: 1}
+}
+
+// openFile is one open file description.
+type openFile struct {
+	path   string
+	offset uint32
+	write  bool
+}
+
+// Process is a simulated Unix process.
+type Process struct {
+	K    *Kernel
+	PID  int
+	PPID int
+	UID  int
+	AS   *addrspace.Space
+	CPU  *vm.CPU
+	Env  map[string]string
+	CWD  string
+
+	// Handler is the Hemlock run-time fault handler installed by crt0;
+	// UserHandler is a program-provided SIGSEGV handler, invoked only when
+	// the dynamic linking system's handler cannot resolve a fault.
+	Handler     FaultHandler
+	UserHandler FaultHandler
+
+	// BreakHandler services BREAK traps: ldl installs one when the image
+	// has jump-table stubs (the SunOS-style lazy function linking). The
+	// handler adjusts the CPU state (typically rewinding PC to the patched
+	// stub) and returns nil to resume.
+	BreakHandler func(p *Process) error
+
+	// CloneRuntime, when set, duplicates the per-process runtime state
+	// (the dynamic linker's bookkeeping) for a forked child. ldl installs
+	// it so that fork — which the paper retains "by weight of precedent"
+	// — leaves the child with working fault handling at its own (copied)
+	// private instances and the shared public ones.
+	CloneRuntime func(parent, child *Process)
+
+	// Runtime carries the per-process dynamic-linker state (owned by
+	// package ldl; the kernel treats it as opaque).
+	Runtime interface{}
+
+	Stdout bytes.Buffer
+
+	files  map[int]*openFile
+	nextFD int
+
+	brk      uint32 // heap break
+	privBase uint32 // bump allocator for dynamic private module instances
+
+	mappedSlots map[int]bool // shared-fs inodes currently mapped
+
+	Exited   bool
+	ExitCode int
+}
+
+// Spawn creates an empty process (no load image yet) for uid.
+func (k *Kernel) Spawn(uid int) *Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p := &Process{
+		K:           k,
+		PID:         k.nextPID,
+		UID:         uid,
+		AS:          addrspace.New(k.Phys),
+		Env:         map[string]string{},
+		CWD:         "/",
+		files:       map[int]*openFile{},
+		nextFD:      3,
+		privBase:    layout.PrivDataBase + 0x10000000, // dynamic private instances
+		mappedSlots: map[int]bool{},
+	}
+	p.CPU = vm.New(p.AS)
+	k.nextPID++
+	k.procs[p.PID] = p
+	return p
+}
+
+// Process returns the process with the given pid.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Processes returns the live process list in pid order.
+func (k *Kernel) Processes() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		if !p.Exited {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// Getenv reads an environment variable.
+func (p *Process) Getenv(key string) string { return p.Env[key] }
+
+// Setenv sets an environment variable ("by modifying environment variables
+// prior to execution, we can arrange for new processes to find shared data
+// in a temporary directory").
+func (p *Process) Setenv(key, value string) { p.Env[key] = value }
+
+// ---- exec ------------------------------------------------------------------
+
+// Exec maps a load image into the (empty) process: text, data, bss, a
+// stack, and an initial heap break. The caller (package core) then runs the
+// crt0 sequence, which invokes ldl before main.
+func (p *Process) Exec(im *objfile.Image) error {
+	if p.Exited {
+		return ErrExited
+	}
+	// Map the whole image span as one RWX region. Text, data and bss may
+	// share pages (the linkers lay modules out contiguously), and the
+	// trampoline area past bss must be executable, so per-section
+	// protection is not possible at page granularity. Shared modules get
+	// real per-slot protection via MapSharedFile and ldl.
+	lo := addrspace.PageBase(im.TextBase)
+	hi := im.TextBase + uint32(len(im.Text))
+	if e := im.DataBase + uint32(len(im.Data)); len(im.Data) > 0 && e > hi {
+		hi = e
+	}
+	if e := im.BssBase + im.BssSize; im.BssSize > 0 && e > hi {
+		hi = e
+	}
+	if dlo := addrspace.PageBase(im.DataBase); len(im.Data) > 0 && dlo < lo {
+		lo = dlo
+	}
+	hi = pageCeil(hi)
+	if hi > lo {
+		if err := p.AS.MapAnon(lo, hi-lo, addrspace.ProtRWX); err != nil {
+			return fmt.Errorf("kern: exec %s image: %w", im.Name, err)
+		}
+	}
+	if len(im.Text) > 0 {
+		if _, err := p.AS.Write(im.TextBase, im.Text); err != nil {
+			return fmt.Errorf("kern: exec %s text: %w", im.Name, err)
+		}
+	}
+	if len(im.Data) > 0 {
+		if _, err := p.AS.Write(im.DataBase, im.Data); err != nil {
+			return fmt.Errorf("kern: exec %s data: %w", im.Name, err)
+		}
+	}
+	// Stack.
+	stackBase := layout.StackTop - layout.DefaultStackSize
+	if err := p.AS.MapAnon(stackBase, layout.DefaultStackSize, addrspace.ProtRW); err != nil {
+		return fmt.Errorf("kern: exec %s stack: %w", im.Name, err)
+	}
+	p.CPU.Regs[29] = layout.StackTop - 16 // $sp
+	p.CPU.PC = im.Entry
+	p.brk = pageCeil(im.BssBase + im.BssSize)
+	if p.brk < layout.PrivDataBase {
+		p.brk = layout.PrivDataBase
+	}
+	return nil
+}
+
+func pageCeil(v uint32) uint32 { return (v + mem.PageSize - 1) &^ (mem.PageSize - 1) }
+
+// Sbrk grows the heap by n bytes and returns the previous break.
+func (p *Process) Sbrk(n uint32) (uint32, error) {
+	old := p.brk
+	if n == 0 {
+		return old, nil
+	}
+	newBrk := pageCeil(old + n)
+	if newBrk > layout.PrivDataLimit {
+		return 0, fmt.Errorf("kern: sbrk beyond private data region")
+	}
+	if newBrk > old {
+		if err := p.AS.MapAnon(old, newBrk-old, addrspace.ProtRW); err != nil {
+			return 0, err
+		}
+	}
+	p.brk = newBrk
+	return old, nil
+}
+
+// AllocPrivate carves out a page-aligned private region for a dynamic
+// private module instance and returns its base.
+func (p *Process) AllocPrivate(size uint32) (uint32, error) {
+	base := p.privBase
+	end := pageCeil(base + size)
+	if end > layout.PrivDataLimit {
+		return 0, fmt.Errorf("kern: private module region exhausted")
+	}
+	if err := p.AS.MapAnon(base, end-base, addrspace.ProtRWX); err != nil {
+		return 0, err
+	}
+	p.privBase = end
+	return base, nil
+}
+
+// ---- fork ------------------------------------------------------------------
+
+// Fork creates a child process: "The child process that results from a
+// fork receives a copy of each segment in the private portion of the
+// parent's address space, and shares the single copy of each segment in
+// the public portion." Parent and child come out with identical program
+// counters and registers.
+func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	child := k.Spawn(parent.UID)
+	child.PPID = parent.PID
+	child.CWD = parent.CWD
+	for key, v := range parent.Env {
+		child.Env[key] = v
+	}
+	// Private below the shared region.
+	if err := parent.AS.CloneRange(child.AS, 0, layout.SharedBase); err != nil {
+		return nil, err
+	}
+	// Private above it (the stack).
+	if err := parent.AS.CloneRange(child.AS, layout.SharedLimit, layout.KernelBase); err != nil {
+		return nil, err
+	}
+	// Public: share the frames.
+	parent.AS.ShareRange(child.AS, layout.SharedBase, layout.SharedLimit)
+	// Identical CPU state.
+	cpu := parent.CPU.Snapshot()
+	child.CPU = &cpu
+	child.CPU.AS = child.AS
+	child.brk = parent.brk
+	child.privBase = parent.privBase
+	for ino := range parent.mappedSlots {
+		child.mappedSlots[ino] = true
+	}
+	child.Handler = parent.Handler
+	child.UserHandler = parent.UserHandler
+	child.BreakHandler = parent.BreakHandler
+	child.CloneRuntime = parent.CloneRuntime
+	if parent.CloneRuntime != nil {
+		parent.CloneRuntime(parent, child)
+	}
+	return child, nil
+}
+
+// Exit terminates the process, reclaiming its private segments. Segments
+// shared between processes are NOT reclaimed — that is the garbage
+// collection problem the paper discusses; shared files persist until
+// explicitly destroyed.
+func (p *Process) Exit(code int) {
+	if p.Exited {
+		return
+	}
+	p.Exited = true
+	p.ExitCode = code
+	p.AS.Release()
+	p.K.mu.Lock()
+	delete(p.K.procs, p.PID)
+	p.K.mu.Unlock()
+}
+
+// ---- fault delivery ---------------------------------------------------------
+
+// HandleFault delivers a memory fault to the process's user-level
+// handlers: first the Hemlock run-time handler, then — if it cannot
+// resolve the fault — the program-provided SIGSEGV handler, if one exists.
+// A nil return means the faulting instruction should be restarted.
+func (k *Kernel) HandleFault(p *Process, f *addrspace.Fault) error {
+	k.mu.Lock()
+	k.FaultCount++
+	k.mu.Unlock()
+	if p.Handler != nil {
+		err := p.Handler(p, f)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrUnhandled) {
+			return err
+		}
+	}
+	if p.UserHandler != nil {
+		err := p.UserHandler(p, f)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrUnhandled) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %v (segmentation fault, pid %d)", ErrUnhandled, f, p.PID)
+}
+
+// MapSharedFile maps the shared-fs file at path into the process at the
+// file's fixed address, sized to whole pages covering size bytes (or the
+// current file size if larger). The mapping aliases the file's frames, so
+// loads and stores ARE file reads and writes.
+func (k *Kernel) MapSharedFile(p *Process, path string, size uint32, prot addrspace.Prot) (shmfs.Stat, error) {
+	write := prot&addrspace.ProtWrite != 0
+	frames, st, err := k.FS.Frames(path, size, p.UID, write)
+	if err != nil {
+		return shmfs.Stat{}, err
+	}
+	if p.mappedSlots[st.Ino] {
+		return st, nil // already mapped; idempotent
+	}
+	need := int(addrspace.PageCount(st.Size))
+	if need == 0 {
+		need = 1
+		// Map at least one page so the segment is addressable.
+		frames, st, err = k.FS.Frames(path, mem.PageSize, p.UID, write)
+		if err != nil {
+			return shmfs.Stat{}, err
+		}
+	}
+	if err := p.AS.MapFrames(st.Addr, frames[:need], prot); err != nil {
+		return shmfs.Stat{}, err
+	}
+	p.mappedSlots[st.Ino] = true
+	return st, nil
+}
+
+// SlotMapped reports whether the shared slot for inode ino is mapped.
+func (p *Process) SlotMapped(ino int) bool { return p.mappedSlots[ino] }
+
+// UnmapSharedSlot removes the mapping of a shared slot from this process
+// (the file itself persists).
+func (p *Process) UnmapSharedSlot(ino int) {
+	if !p.mappedSlots[ino] {
+		return
+	}
+	p.AS.Unmap(shmfs.AddrOf(ino), shmfs.SlotSize)
+	delete(p.mappedSlots, ino)
+}
+
+// ---- fault-retrying memory access (hosted programs) -------------------------
+
+// maxFaultRetries bounds handler-retry loops: a handler that "resolves" a
+// fault without making progress must not hang the kernel.
+const maxFaultRetries = 64
+
+func (p *Process) retrying(access func() error) error {
+	for i := 0; i < maxFaultRetries; i++ {
+		err := access()
+		if err == nil {
+			return nil
+		}
+		f, ok := addrspace.IsFault(err)
+		if !ok {
+			return err
+		}
+		if herr := p.K.HandleFault(p, f); herr != nil {
+			return herr
+		}
+	}
+	return fmt.Errorf("kern: fault retry limit exceeded (pid %d)", p.PID)
+}
+
+// ReadMem reads memory with fault handling, exactly as a load instruction
+// would: unmapped shared segments are faulted in by the handler.
+func (p *Process) ReadMem(addr uint32, buf []byte) error {
+	done := 0
+	return p.retrying(func() error {
+		n, err := p.AS.Read(addr+uint32(done), buf[done:])
+		done += n
+		return err
+	})
+}
+
+// WriteMem writes memory with fault handling.
+func (p *Process) WriteMem(addr uint32, buf []byte) error {
+	done := 0
+	return p.retrying(func() error {
+		n, err := p.AS.Write(addr+uint32(done), buf[done:])
+		done += n
+		return err
+	})
+}
+
+// LoadWord loads a word with fault handling.
+func (p *Process) LoadWord(addr uint32) (uint32, error) {
+	var v uint32
+	err := p.retrying(func() error {
+		var e error
+		v, e = p.AS.LoadWord(addr)
+		return e
+	})
+	return v, err
+}
+
+// StoreWord stores a word with fault handling.
+func (p *Process) StoreWord(addr, val uint32) error {
+	return p.retrying(func() error { return p.AS.StoreWord(addr, val) })
+}
+
+// LoadByte loads a byte with fault handling.
+func (p *Process) LoadByte(addr uint32) (byte, error) {
+	var v byte
+	err := p.retrying(func() error {
+		var e error
+		v, e = p.AS.LoadByte(addr)
+		return e
+	})
+	return v, err
+}
+
+// StoreByte stores a byte with fault handling.
+func (p *Process) StoreByte(addr uint32, val byte) error {
+	return p.retrying(func() error { return p.AS.StoreByte(addr, val) })
+}
+
+// CString reads a NUL-terminated string with fault handling (capped at 4096
+// bytes).
+func (p *Process) CString(addr uint32) (string, error) {
+	var out []byte
+	for i := uint32(0); i < 4096; i++ {
+		b, err := p.LoadByte(addr + i)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", fmt.Errorf("kern: unterminated string at 0x%08x", addr)
+}

@@ -1,0 +1,265 @@
+package kern
+
+import (
+	"strings"
+	"testing"
+
+	"hemlock/internal/isa"
+	"hemlock/internal/layout"
+	"hemlock/internal/shmfs"
+)
+
+// TestRecursiveFibonacci runs a real recursive program: exercises the
+// calling convention, stack discipline, branches and arithmetic together.
+func TestRecursiveFibonacci(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+	im := buildImage(t, `
+        .text
+        # int fib(n): n in $a0, result in $v0
+        .globl  main
+main:
+        li      $a0, 10
+        addiu   $sp, $sp, -8
+        sw      $ra, 0($sp)
+        jal     fib
+        lw      $ra, 0($sp)
+        addiu   $sp, $sp, 8
+        move    $a0, $v0        # exit(fib(10))
+        li      $v0, 1
+        syscall
+
+fib:
+        li      $t0, 2
+        slt     $t1, $a0, $t0   # n < 2 ?
+        beqz    $t1, rec
+        move    $v0, $a0
+        jr      $ra
+rec:
+        addiu   $sp, $sp, -12
+        sw      $ra, 0($sp)
+        sw      $a0, 4($sp)
+        addiu   $a0, $a0, -1
+        jal     fib             # fib(n-1)
+        sw      $v0, 8($sp)
+        lw      $a0, 4($sp)
+        addiu   $a0, $a0, -2
+        jal     fib             # fib(n-2)
+        lw      $t2, 8($sp)
+        addu    $v0, $v0, $t2
+        lw      $ra, 0($sp)
+        addiu   $sp, $sp, 12
+        jr      $ra
+`)
+	if err := p.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := k.Run(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 55 {
+		t.Fatalf("fib(10) = %d, want 55", p.ExitCode)
+	}
+	if steps < 1000 {
+		t.Fatalf("only %d steps for a recursive fib(10)?", steps)
+	}
+}
+
+// TestMapSharedSyscall: the mmap-style path — a VM program maps a shared
+// file by name and reads through the mapping.
+func TestMapSharedSyscall(t *testing.T) {
+	k := New()
+	k.FS.Create("/boxx", shmfs.DefaultFileMode, 0)
+	k.FS.WriteAt("/boxx", 0, []byte{0, 0, 0, 77}, 0)
+	p := k.Spawn(0)
+	im := buildImage(t, `
+        .text
+        li      $v0, 14         # map_shared(path, size)
+        la      $a0, path
+        li      $a1, 4096
+        syscall
+        bnez    $v1, fail
+        lw      $a0, 0($v0)     # read through the mapping
+        li      $v0, 1
+        syscall
+fail:   li      $a0, 255
+        li      $v0, 1
+        syscall
+        .data
+path:   .asciiz "/boxx"
+`)
+	if err := p.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(p, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 77 {
+		t.Fatalf("exit = %d, want 77", p.ExitCode)
+	}
+}
+
+// TestMapSharedSyscallMissingFile returns ENOENT.
+func TestMapSharedSyscallMissingFile(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+	im := buildImage(t, `
+        .text
+        li      $v0, 14
+        la      $a0, path
+        li      $a1, 4096
+        syscall
+        move    $a0, $v1        # exit(errno)
+        li      $v0, 1
+        syscall
+        .data
+path:   .asciiz "/nope"
+`)
+	p.Exec(im)
+	if _, err := k.Run(p, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != Enoent {
+		t.Fatalf("errno = %d, want ENOENT", p.ExitCode)
+	}
+}
+
+// TestConsoleInterleavedSyscalls: a loop of writes builds up ordered
+// output.
+func TestConsoleOrdering(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+	im := buildImage(t, `
+        .text
+        .globl  main
+        li      $s0, 3
+loop:   li      $v0, 2
+        li      $a0, 1
+        la      $a1, tick
+        li      $a2, 5
+        syscall
+        addiu   $s0, $s0, -1
+        bgtz    $s0, loop
+        halt
+        .data
+tick:   .ascii  "tick "
+`)
+	p.Exec(im)
+	if _, err := k.Run(p, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stdout.String() != strings.Repeat("tick ", 3) {
+		t.Fatalf("output = %q", p.Stdout.String())
+	}
+}
+
+// TestForkSyscall: parent and child come out of the fork with identical
+// PCs; the return value tells them apart; each runs to its own exit, and
+// they share the public portion of the address space.
+func TestForkSyscall(t *testing.T) {
+	k := New()
+	k.FS.Create("/mbox", shmfs.DefaultFileMode, 0)
+	parent := k.Spawn(0)
+	im := buildImage(t, `
+        .text
+        # map the mailbox first so both sides inherit the mapping
+        li      $v0, 14
+        la      $a0, path
+        li      $a1, 4096
+        syscall
+        move    $s0, $v0        # mailbox base
+        li      $v0, 17         # fork()
+        syscall
+        beqz    $v0, child
+        # parent: exit(100 + child pid is unknowable; just exit 100)
+        li      $a0, 100
+        li      $v0, 1
+        syscall
+child:
+        li      $t0, 31337      # child: write to the shared mailbox
+        sw      $t0, 0($s0)
+        li      $a0, 7
+        li      $v0, 1
+        syscall
+        .data
+path:   .asciiz "/mbox"
+`)
+	if err := parent.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(parent, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if parent.ExitCode != 100 {
+		t.Fatalf("parent exit = %d", parent.ExitCode)
+	}
+	// The child exists and runs its branch.
+	procs := k.Processes()
+	if len(procs) != 1 {
+		t.Fatalf("live processes = %d, want 1 (the child)", len(procs))
+	}
+	child := procs[0]
+	if child.PPID != parent.PID {
+		t.Fatalf("child ppid = %d", child.PPID)
+	}
+	if _, err := k.Run(child, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if child.ExitCode != 7 {
+		t.Fatalf("child exit = %d", child.ExitCode)
+	}
+	// The child's mailbox store went into the shared file.
+	buf := make([]byte, 4)
+	k.FS.ReadAt("/mbox", 0, buf, 0)
+	got := uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3])
+	if got != 31337 {
+		t.Fatalf("mailbox = %d", got)
+	}
+}
+
+// TestOpenByAddrSyscall: "we overload the arguments to open so that the
+// programmer can open a file by address instead of by name, with a single
+// system call."
+func TestOpenByAddrSyscall(t *testing.T) {
+	k := New()
+	st, _ := k.FS.Create("/named", shmfs.DefaultFileMode, 0)
+	k.FS.WriteAt("/named", 0, []byte("via address"), 0)
+	p := k.Spawn(0)
+	im := buildImage(t, `
+        .text
+        li      $v0, 10         # open_by_addr(addr, readonly)
+        lui     $a0, 0x3000     # patched below
+        li      $a1, 0
+        syscall
+        bnez    $v1, fail
+        move    $s0, $v0
+        li      $v0, 6          # read(fd, buf, 11)
+        move    $a0, $s0
+        la      $a1, buf
+        li      $a2, 11
+        syscall
+        li      $v0, 2          # write(1, buf, 11)
+        li      $a0, 1
+        la      $a1, buf
+        li      $a2, 11
+        syscall
+        halt
+fail:   halt
+        .data
+buf:    .space 16
+`)
+	p.Exec(im)
+	// li is a two-instruction pseudo, so the lui $a0 is the 3rd word.
+	w, _ := p.AS.LoadWord(layout.TextBase + 8)
+	if isa.Decode(w).Op != isa.OpLUI {
+		t.Fatalf("instruction at +8 is %s, not lui", isa.Disassemble(w, 0))
+	}
+	p.AS.StoreWord(layout.TextBase+8, isa.PatchImm16(w, uint16(st.Addr>>16)))
+	if _, err := k.Run(p, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stdout.String() != "via address" {
+		t.Fatalf("output = %q", p.Stdout.String())
+	}
+}

@@ -1,0 +1,61 @@
+// Package layout fixes the Hemlock address-space map of Figure 3:
+//
+//	0x00000000 - 0x10000000   program text + shared libraries (private)
+//	0x10000000 - 0x30000000   bss/data + heap (private)
+//	0x30000000 - 0x70000000   shared file system (public, 1 GB)
+//	0x70000000 - 0x7FFF0000   stack (private)
+//	0x80000000 - 0xFFFFFFFF   kernel
+//
+// The public portion of the address space appears the same in every
+// process; addresses in the private portion are overloaded and mean
+// different things to different processes.
+package layout
+
+import "hemlock/internal/shmfs"
+
+// Region boundaries.
+const (
+	TextBase      uint32 = 0x00400000 // start of the main program's text
+	TextLimit     uint32 = 0x10000000
+	PrivDataBase  uint32 = 0x10000000 // private data/bss/heap region
+	PrivDataLimit uint32 = 0x30000000
+	SharedBase    uint32 = shmfs.Base  // 0x30000000
+	SharedLimit   uint32 = shmfs.Limit // 0x70000000
+	StackBase     uint32 = 0x70000000
+	StackTop      uint32 = 0x7FFF0000 // stacks grow down from here
+	KernelBase    uint32 = 0x80000000
+)
+
+// DefaultStackSize is the initial stack mapping for a new process.
+const DefaultStackSize uint32 = 256 * 1024
+
+// Public reports whether addr lies in the public portion of the address
+// space (the shared file system region): it is interpreted identically in
+// every protection domain.
+func Public(addr uint32) bool { return addr >= SharedBase && addr < SharedLimit }
+
+// Private reports whether addr lies in the private, overloaded portion of
+// user space.
+func Private(addr uint32) bool {
+	return addr < KernelBase && !Public(addr)
+}
+
+// Kernel reports whether addr lies in the kernel region.
+func Kernel(addr uint32) bool { return addr >= KernelBase }
+
+// RegionName names the Figure 3 region containing addr, for diagnostics
+// and the layout printer.
+func RegionName(addr uint32) string {
+	switch {
+	case addr < TextLimit:
+		return "text+libs (private)"
+	case addr < PrivDataLimit:
+		return "data/heap (private)"
+	case addr < SharedLimit:
+		return "shared file system (public)"
+	case addr < KernelBase:
+		return "stack (private)"
+	default:
+		return "kernel"
+	}
+}

@@ -1,0 +1,56 @@
+package ldl
+
+import (
+	"hemlock/internal/kern"
+	"hemlock/internal/objfile"
+)
+
+// CloneFor duplicates the per-process linker state for a forked child.
+// Public module state (world-level) is shared — public segments are the
+// same segment in parent and child; private instance bookkeeping is
+// copied, since the child received copies of those segments at the same
+// (overloaded) private addresses.
+func (pr *Proc) CloneFor(child *kern.Process) *Proc {
+	cl := &Proc{
+		W:           pr.W,
+		P:           child,
+		Image:       pr.Image,
+		table:       pr.table, // static symbols are immutable after Start
+		imagePend:   append([]objfile.ImageReloc(nil), pr.imagePend...),
+		trampNext:   pr.trampNext,
+		userHandler: pr.userHandler,
+		plt:         pr.plt, // stub names are immutable
+	}
+	remap := map[*Instance]*Instance{nil: nil}
+	cl.root = &Instance{Name: pr.root.Name, searchPath: pr.root.searchPath}
+	remap[pr.root] = cl.root
+	for _, in := range pr.instances {
+		c := *in
+		c.pending = append([]objfile.Reloc(nil), in.pending...)
+		c.depsLoaded = nil
+		cl.instances = append(cl.instances, &c)
+		remap[in] = &c
+	}
+	for i, in := range pr.instances {
+		cl.instances[i].parent = remap[in.parent]
+	}
+	relink := func(src, dst *Instance) {
+		for _, d := range src.depsLoaded {
+			dst.depsLoaded = append(dst.depsLoaded, remap[d])
+		}
+	}
+	relink(pr.root, cl.root)
+	for i, in := range pr.instances {
+		relink(in, cl.instances[i])
+	}
+	child.Runtime = cl
+	child.Handler = cl.HandleFault
+	// Never leave the child pointing at the PARENT's break handler (the
+	// kernel copies handlers wholesale before CloneRuntime runs).
+	if cl.plt != nil {
+		child.BreakHandler = cl.handleBreak
+	} else {
+		child.BreakHandler = nil
+	}
+	return cl
+}

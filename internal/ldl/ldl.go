@@ -1,0 +1,734 @@
+// Package ldl implements Hemlock's lazy dynamic linker and its user-level
+// fault handler (sections 2-3 of the paper).
+//
+// At process start-up (invoked by the special crt0 that lds links in), ldl
+//
+//   - maps the static public modules recorded in the load image, creating
+//     from their templates any that do not yet exist;
+//   - locates each dynamic module using the run-time search strategy —
+//     (1) the LD_LIBRARY_PATH environment variable now, (2) the directories
+//     in which lds searched at static link time — creating new instances of
+//     dynamic private modules and of dynamic public modules that do not yet
+//     exist (creation of shared segments is synchronized with file
+//     locking);
+//   - maps every module with undefined references WITHOUT access
+//     permissions, so that the first reference causes a segmentation fault;
+//   - resolves undefined references from the main load image to objects in
+//     the dynamic modules, even though their locations were not known at
+//     static link time.
+//
+// The fault handler serves two purposes: it implements lazy linking (a
+// fault in a lazily-mapped module resolves that module's references,
+// mapping in — possibly inaccessibly — any new modules that are needed),
+// and it lets the process follow pointers into shared segments that are
+// not yet mapped (it asks the kernel to translate the address to a path
+// name and maps the named segment). Afterwards the faulting instruction
+// restarts.
+//
+// Scoped linking: when module M is brought in, its undefined references
+// are resolved first against the external symbols of modules on M's own
+// module list and search path; remaining references move up to M's parent,
+// then grandparent, and so on to the root. References undefined at the
+// root are left unresolved; touching them segfaults, and a program-provided
+// handler may attempt recovery.
+package ldl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/isa"
+	"hemlock/internal/kern"
+	"hemlock/internal/layout"
+	"hemlock/internal/lds"
+	"hemlock/internal/linker"
+	"hemlock/internal/objfile"
+	"hemlock/internal/shmfs"
+)
+
+// Errors.
+var (
+	ErrModuleNotFound    = errors.New("ldl: cannot find dynamic module")
+	ErrPrivateIntoPublic = errors.New("ldl: public module resolved against a private symbol (addresses in the private region are overloaded)")
+	ErrNoTrampoline      = errors.New("ldl: image trampoline area exhausted")
+)
+
+// Stats counts linker activity; the lazy-vs-eager experiment reads it.
+type Stats struct {
+	ModulesMapped   int // instances mapped into some address space
+	ModulesCreated  int // public instances created from templates
+	LazyLinks       int // modules linked on first touch
+	RelocsApplied   int
+	PointerMaps     int // segments mapped by pointer-following faults
+	ImageRelocsLeft int
+	PLTResolves     int // jump-table stubs patched on first call
+}
+
+// shared is the kernel-wide state of one public module instance.
+type shared struct {
+	path    string
+	placed  *linker.Placed
+	pending []objfile.Reloc
+	linked  bool
+}
+
+// World is the kernel-wide dynamic-linker state: public modules are linked
+// once and shared by every process, because their symbols resolve to
+// globally-agreed public addresses.
+type World struct {
+	K  *kern.Kernel
+	LD *lds.Linker
+
+	mu     sync.Mutex
+	public map[string]*shared
+	Stats  Stats
+
+	// Trace, when set, receives a line for each linker event (module
+	// mapped, segment created, lazy link, pointer-map fault, stub
+	// resolution): the LD_DEBUG of the simulation. The CLI's `run -v`
+	// wires it to stderr.
+	Trace func(format string, args ...interface{})
+}
+
+func (w *World) tracef(format string, args ...interface{}) {
+	if w.Trace != nil {
+		w.Trace(format, args...)
+	}
+}
+
+// NewWorld creates the dynamic-linker state for a kernel.
+func NewWorld(k *kern.Kernel) *World {
+	return &World{K: k, LD: lds.New(k.FS), public: map[string]*shared{}}
+}
+
+// Instance is a per-process view of one linked-in module.
+type Instance struct {
+	Name   string
+	Class  objfile.Class
+	Path   string // instance path for public modules; "" for private
+	Base   uint32
+	Size   uint32 // mapped size, page-granular
+	parent *Instance
+
+	obj    *objfile.Object
+	placed *linker.Placed
+	sh     *shared // public modules only
+
+	searchPath []string
+	deps       []objfile.ModuleRef
+	depsLoaded []*Instance
+	depsDone   bool
+
+	pending []objfile.Reloc // private modules only (public: sh.pending)
+	linked  bool
+	lazy    bool // mapped without access permissions
+}
+
+// Linked reports whether the instance has all references resolved.
+func (in *Instance) Linked() bool {
+	if in.sh != nil {
+		return in.sh.linked
+	}
+	return in.linked
+}
+
+// Proc is the per-process dynamic-linker state, stored in
+// kern.Process.Runtime by Start.
+type Proc struct {
+	W     *World
+	P     *kern.Process
+	Image *objfile.Image
+
+	table       *linker.Table // image's static symbols
+	root        *Instance     // pseudo-instance: the program itself
+	instances   []*Instance
+	imagePend   []objfile.ImageReloc
+	trampNext   uint32
+	userHandler kern.FaultHandler
+	plt         map[uint32]string // stub address -> function name
+}
+
+// Start runs ldl for a process that has just exec'd im: the work the
+// special crt0 triggers before main. It installs the fault handler and
+// returns the per-process linker state.
+func (w *World) Start(p *kern.Process, im *objfile.Image) (*Proc, error) {
+	pr := &Proc{W: w, P: p, Image: im, table: linker.NewTable(), trampNext: im.TrampBase}
+	for _, s := range im.Symbols {
+		if err := pr.table.Define(s.Name, s.Addr, s.Size); err != nil {
+			return nil, err
+		}
+	}
+	pr.imagePend = append([]objfile.ImageReloc(nil), im.Relocs...)
+	pr.root = &Instance{
+		Name:       "(program)",
+		searchPath: pr.runtimeDirs(),
+	}
+	p.Runtime = pr
+	p.Handler = pr.HandleFault
+	pr.installPLT()
+	p.CloneRuntime = func(parent, child *kern.Process) {
+		if ppr, ok := ProcOf(parent); ok {
+			ppr.CloneFor(child)
+		}
+	}
+
+	// Map static public modules, creating any that do not yet exist.
+	for _, sp := range im.Dyn.StaticPublic {
+		if _, err := pr.bringInPublic(sp.Name, objfile.StaticPublic, sp.Template, pr.root); err != nil {
+			return nil, err
+		}
+	}
+	// Locate, create and map the dynamic modules.
+	for _, ref := range im.Dyn.DynModules {
+		if _, err := pr.BringIn(ref, pr.root); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve undefined references from the main load image, including
+	// references to symbols whose location was not known at static link
+	// time.
+	if err := pr.resolveImageRelocs(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// ProcOf returns the linker state Start attached to the process.
+func ProcOf(p *kern.Process) (*Proc, bool) {
+	pr, ok := p.Runtime.(*Proc)
+	return pr, ok
+}
+
+// runtimeDirs is ldl's root search order: LD_LIBRARY_PATH now, then the
+// directories in which lds searched for static modules.
+func (pr *Proc) runtimeDirs() []string {
+	var dirs []string
+	if env := pr.P.Getenv("LD_LIBRARY_PATH"); env != "" {
+		dirs = append(dirs, strings.Split(env, ":")...)
+	}
+	d := &pr.Image.Dyn
+	if d.LinkDir != "" {
+		dirs = append(dirs, d.LinkDir)
+	}
+	dirs = append(dirs, d.CmdPath...)
+	dirs = append(dirs, d.EnvPath...)
+	dirs = append(dirs, d.DefaultPath...)
+	return dirs
+}
+
+// scopeDirs returns the search directories for a module reference made by
+// `from`: from's own path first, then its ancestors' (scoped linking).
+func (pr *Proc) scopeDirs(from *Instance) []string {
+	var dirs []string
+	for s := from; s != nil; s = s.parent {
+		dirs = append(dirs, s.searchPath...)
+	}
+	return dirs
+}
+
+// BringIn locates, creates if necessary, and maps the module named by ref,
+// scoped under parent. The module is NOT linked: if it has undefined
+// references it is mapped without access permissions so the first
+// reference faults ("brought in by ldl, created on first use").
+func (pr *Proc) BringIn(ref objfile.ModuleRef, parent *Instance) (*Instance, error) {
+	if parent == nil {
+		parent = pr.root
+	}
+	dirs := pr.scopeDirs(parent)
+	tmplPath, ok := pr.W.LD.FindModule(ref.Name, dirs)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (searched %v)", ErrModuleNotFound, ref.Name, dirs)
+	}
+	var inst *Instance
+	var err error
+	if ref.Class.Public() {
+		inst, err = pr.bringInPublic(ref.Name, ref.Class, tmplPath, parent)
+	} else {
+		inst, err = pr.bringInPrivate(ref.Name, ref.Class, tmplPath, parent)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The new module's exports may satisfy references retained in the main
+	// image — "ldl will use symbols found in dynamically-linked modules to
+	// resolve undefined references in the statically-linked portion of the
+	// program, even when the location of those symbols was not known at
+	// static link time."
+	if len(pr.imagePend) > 0 && parent == pr.root {
+		if err := pr.resolveImageRelocs(); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// bringInPublic maps (creating if necessary, under the template's file
+// lock) the persistent public instance of the module.
+func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string, parent *Instance) (*Instance, error) {
+	w := pr.W
+	instPath := lds.InstancePath(tmplPath)
+
+	// Creation of shared segments is synchronized with file locking.
+	if ok, err := w.K.FS.TryLock(tmplPath, pr.P.PID); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("ldl: template %s locked by another process", tmplPath)
+	}
+	defer w.K.FS.Unlock(tmplPath, pr.P.PID)
+
+	w.mu.Lock()
+	sh, known := w.public[instPath]
+	w.mu.Unlock()
+	if !known {
+		_, addr, created, err := w.LD.CreatePublicInstance(tmplPath, pr.P.UID)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := pr.loadTemplate(tmplPath)
+		if err != nil {
+			return nil, err
+		}
+		placed, err := linker.Place(obj, addr)
+		if err != nil {
+			return nil, err
+		}
+		// The instance file already holds the internally-relocated bytes
+		// (created now or by an earlier lds/ldl run). Recover the pending
+		// external references from the template: external resolution is
+		// deterministic, so this is safe across kernel restarts.
+		var pending []objfile.Reloc
+		for _, r := range obj.Relocs {
+			if !obj.Symbols[r.Sym].Defined() {
+				pending = append(pending, r)
+			}
+		}
+		sh = &shared{path: instPath, placed: placed, pending: pending, linked: len(pending) == 0}
+		w.mu.Lock()
+		w.public[instPath] = sh
+		if created {
+			w.Stats.ModulesCreated++
+		}
+		w.mu.Unlock()
+	}
+
+	// Already brought into this process?
+	for _, in := range pr.instances {
+		if in.Path == instPath {
+			return in, nil
+		}
+	}
+
+	prot := addrspace.ProtRWX
+	lazy := false
+	if !sh.linked {
+		// "If any module contains undefined references ... ldl maps the
+		// module without access permissions, so that the first reference
+		// will cause a segmentation fault."
+		prot = addrspace.ProtNone
+		lazy = true
+	}
+	st, err := w.K.MapSharedFile(pr.P, instPath, sh.placed.Size(), prot)
+	if err != nil {
+		return nil, err
+	}
+	w.tracef("ldl: mapped public %s at 0x%08x (%s, lazy=%v)", instPath, st.Addr, class, lazy)
+	inst := &Instance{
+		Name:       name,
+		Class:      class,
+		Path:       instPath,
+		Base:       st.Addr,
+		Size:       addrspace.PageCount(maxu32(st.Size, sh.placed.Size())) * 4096,
+		parent:     parent,
+		obj:        sh.placed.Obj,
+		placed:     sh.placed,
+		sh:         sh,
+		searchPath: sh.placed.Obj.SearchPath,
+		deps:       sh.placed.Obj.Deps,
+		lazy:       lazy,
+	}
+	pr.instances = append(pr.instances, inst)
+	parent.depsLoaded = append(parent.depsLoaded, inst)
+	w.mu.Lock()
+	w.Stats.ModulesMapped++
+	w.mu.Unlock()
+	return inst, nil
+}
+
+// bringInPrivate creates a new per-process instance of a private module.
+func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string, parent *Instance) (*Instance, error) {
+	obj, err := pr.loadTemplate(tmplPath)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve private address space; each instance is distinct, even for
+	// the same template under different parents (Figure 2 shows two
+	// separate G.o instances).
+	placedProbe, err := linker.Place(obj, 0)
+	if err != nil {
+		return nil, err
+	}
+	base, err := pr.P.AllocPrivate(placedProbe.Size())
+	if err != nil {
+		return nil, err
+	}
+	placed, err := linker.Place(obj, base)
+	if err != nil {
+		return nil, err
+	}
+	// Initialise the instance from its template and apply internal
+	// relocations through the (currently writable) mapping.
+	if err := pr.P.WriteMem(base, placed.Image()); err != nil {
+		return nil, err
+	}
+	pending, err := placed.RelocateInternal(pr.P.AS)
+	if err != nil {
+		return nil, err
+	}
+	size := addrspace.PageCount(placed.Size()) * 4096
+	lazy := len(pending) > 0
+	if lazy {
+		if err := pr.P.AS.Protect(base, size, addrspace.ProtNone); err != nil {
+			return nil, err
+		}
+	}
+	pr.W.tracef("ldl: created private instance of %s at 0x%08x (lazy=%v)", name, base, lazy)
+	inst := &Instance{
+		Name:       name,
+		Class:      class,
+		Base:       base,
+		Size:       size,
+		parent:     parent,
+		obj:        obj,
+		placed:     placed,
+		searchPath: obj.SearchPath,
+		deps:       obj.Deps,
+		pending:    pending,
+		linked:     !lazy,
+		lazy:       lazy,
+	}
+	pr.instances = append(pr.instances, inst)
+	parent.depsLoaded = append(parent.depsLoaded, inst)
+	pr.W.mu.Lock()
+	pr.W.Stats.ModulesMapped++
+	pr.W.mu.Unlock()
+	return inst, nil
+}
+
+func (pr *Proc) loadTemplate(path string) (*objfile.Object, error) {
+	data, err := pr.W.K.FS.ReadFile(path, pr.P.UID)
+	if err != nil {
+		return nil, err
+	}
+	return objfile.DecodeBytes(data)
+}
+
+func maxu32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- symbol resolution (scoped) -------------------------------------------
+
+// loadDeps brings in the module's own dependency list (lazily mapped).
+func (pr *Proc) loadDeps(in *Instance) error {
+	if in.depsDone {
+		return nil
+	}
+	in.depsDone = true
+	for _, d := range in.deps {
+		if _, err := pr.BringIn(d, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveScoped resolves a symbol for a reference made by `from`: the
+// exports of modules brought in at from's level first, then up the parent
+// chain; at the root, the image's static symbols also count.
+func (pr *Proc) resolveScoped(from *Instance, name string) (uint32, bool) {
+	for s := from; s != nil; s = s.parent {
+		for _, dep := range s.depsLoaded {
+			if addr, ok := dep.placed.AddrOf(name); ok {
+				if i := dep.obj.SymbolIndex(name); i >= 0 {
+					sym := dep.obj.Symbols[i]
+					if sym.Global && sym.Defined() {
+						return addr, true
+					}
+				}
+			}
+		}
+		if s == pr.root {
+			if addr, ok := pr.table.Resolve(name); ok {
+				return addr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// LinkModule resolves a lazily-mapped module: it loads the module's own
+// dependency list (mapping new modules, possibly inaccessibly), resolves
+// the pending references scoped at the module, patches the segment, and
+// enables access. Public modules are patched through the file so every
+// process sees the linked segment.
+func (pr *Proc) LinkModule(in *Instance) error {
+	if in.Linked() {
+		// Another process linked this public module; just enable access.
+		return pr.enable(in)
+	}
+	if err := pr.loadDeps(in); err != nil {
+		return err
+	}
+	resolver := func(name string) (uint32, bool) { return pr.resolveScoped(in, name) }
+
+	if in.sh != nil {
+		// Public: patch the shared file; resolution must only bind to
+		// public addresses, which mean the same thing in every process.
+		guard := func(name string) (uint32, bool) {
+			addr, ok := resolver(name)
+			if ok && !layout.Public(addr) {
+				return 0, false // leave pending; cannot soundly share
+			}
+			return addr, ok
+		}
+		pat := &filePatcher{fs: pr.W.K.FS, path: in.Path, base: in.Base, uid: pr.P.UID}
+		left, err := in.placed.ApplyRelocs(in.sh.pending, guard, pat)
+		if err != nil {
+			return err
+		}
+		applied := len(in.sh.pending) - len(left)
+		in.sh.pending = left
+		in.sh.linked = len(left) == 0
+		pr.W.mu.Lock()
+		pr.W.Stats.RelocsApplied += applied
+		pr.W.Stats.LazyLinks++
+		pr.W.mu.Unlock()
+		pr.W.tracef("ldl: linked public %s: %d reloc(s), %d pending", in.Path, applied, len(left))
+	} else {
+		// Private: patch through this process's address space. Make the
+		// pages writable for patching first.
+		if err := pr.P.AS.Protect(in.Base, in.Size, addrspace.ProtRW); err != nil {
+			return err
+		}
+		left, err := in.placed.ApplyRelocs(in.pending, resolver, pr.P.AS)
+		if err != nil {
+			return err
+		}
+		applied := len(in.pending) - len(left)
+		in.pending = left
+		in.linked = len(left) == 0
+		pr.W.mu.Lock()
+		pr.W.Stats.RelocsApplied += applied
+		pr.W.Stats.LazyLinks++
+		pr.W.mu.Unlock()
+		pr.W.tracef("ldl: linked private %s: %d reloc(s), %d pending", in.Name, applied, len(left))
+	}
+	// New modules may now satisfy references retained in the main image.
+	if err := pr.resolveImageRelocs(); err != nil {
+		return err
+	}
+	return pr.enable(in)
+}
+
+// enable restores access to a module's pages after linking.
+func (pr *Proc) enable(in *Instance) error {
+	in.lazy = false
+	return pr.P.AS.Protect(in.Base, in.Size, addrspace.ProtRWX)
+}
+
+// filePatcher patches a public module through the shared file system, so
+// the patched bytes land in the shared frames regardless of this process's
+// page protections.
+type filePatcher struct {
+	fs   *shmfs.FS
+	path string
+	base uint32
+	uid  int
+}
+
+func (fp *filePatcher) LoadWord(addr uint32) (uint32, error) {
+	var b [4]byte
+	if _, err := fp.fs.ReadAt(fp.path, addr-fp.base, b[:], fp.uid); err != nil {
+		return 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+func (fp *filePatcher) StoreWord(addr, val uint32) error {
+	b := [4]byte{byte(val >> 24), byte(val >> 16), byte(val >> 8), byte(val)}
+	_, err := fp.fs.WriteAt(fp.path, addr-fp.base, b[:], fp.uid)
+	return err
+}
+
+// ---- image relocations -------------------------------------------------------
+
+// resolveImageRelocs applies retained load-image relocations whose symbols
+// are now resolvable (root scope). Others stay pending; a later LinkModule
+// may satisfy them.
+func (pr *Proc) resolveImageRelocs() error {
+	var left []objfile.ImageReloc
+	for _, r := range pr.imagePend {
+		addr, ok := pr.resolveScoped(pr.root, r.Name)
+		if !ok {
+			left = append(left, r)
+			continue
+		}
+		if err := pr.applyImageReloc(r, addr); err != nil {
+			return err
+		}
+		pr.W.mu.Lock()
+		pr.W.Stats.RelocsApplied++
+		pr.W.mu.Unlock()
+	}
+	pr.imagePend = left
+	pr.W.mu.Lock()
+	pr.W.Stats.ImageRelocsLeft = len(left)
+	pr.W.mu.Unlock()
+	return nil
+}
+
+// applyImageReloc patches one retained relocation in the running image.
+func (pr *Proc) applyImageReloc(r objfile.ImageReloc, symAddr uint32) error {
+	target := symAddr + uint32(r.Addend)
+	w, err := pr.P.AS.LoadWord(r.Addr)
+	if err != nil {
+		return err
+	}
+	switch r.Type {
+	case objfile.RelWord32:
+		return pr.P.AS.StoreWord(r.Addr, target)
+	case objfile.RelHi16:
+		return pr.P.AS.StoreWord(r.Addr, isa.PatchImm16(w, isa.Hi16(target)))
+	case objfile.RelLo16:
+		return pr.P.AS.StoreWord(r.Addr, isa.PatchImm16(w, isa.Lo16(target)))
+	case objfile.RelJump26:
+		if !isa.JumpReach(r.Addr, target) {
+			tramp, err := pr.imageTrampoline(target)
+			if err != nil {
+				return err
+			}
+			target = tramp
+		}
+		return pr.P.AS.StoreWord(r.Addr, isa.PatchJump26(w, target))
+	case objfile.RelBranch16:
+		off, ok := isa.BranchOffset(r.Addr, target)
+		if !ok {
+			return fmt.Errorf("ldl: branch from 0x%08x to 0x%08x out of range", r.Addr, target)
+		}
+		return pr.P.AS.StoreWord(r.Addr, isa.PatchImm16(w, off))
+	}
+	return fmt.Errorf("ldl: unsupported retained relocation %v", r.Type)
+}
+
+// imageTrampoline allocates a fragment in the image's reserved trampoline
+// area.
+func (pr *Proc) imageTrampoline(target uint32) (uint32, error) {
+	if pr.trampNext+isa.TrampolineSize > pr.Image.TrampBase+pr.Image.TrampSize {
+		return 0, ErrNoTrampoline
+	}
+	addr := pr.trampNext
+	for i, w := range isa.TrampolineWords(target, false) {
+		if err := pr.P.AS.StoreWord(addr+uint32(i)*4, w); err != nil {
+			return 0, err
+		}
+	}
+	pr.trampNext += isa.TrampolineSize
+	return addr, nil
+}
+
+// ---- the fault handler --------------------------------------------------------
+
+// instanceAt finds the instance whose mapping covers addr.
+func (pr *Proc) instanceAt(addr uint32) *Instance {
+	for _, in := range pr.instances {
+		if addr >= in.Base && addr < in.Base+in.Size {
+			return in
+		}
+	}
+	return nil
+}
+
+// HandleFault is the user-level SIGSEGV handler the Hemlock run-time
+// library installs. It implements lazy linking and pointer-following, and
+// chains to any program-provided handler (installed via SetUserHandler)
+// when it cannot resolve the fault.
+func (pr *Proc) HandleFault(p *kern.Process, f *addrspace.Fault) error {
+	// A fault inside a module set up for lazy linking triggers the
+	// dynamic linker.
+	if in := pr.instanceAt(f.Addr); in != nil && in.lazy {
+		return pr.LinkModule(in)
+	}
+	// A fault in the shared portion of the address space: translate the
+	// address into a path name and, access rights permitting, map the
+	// named segment.
+	if layout.Public(f.Addr) && f.Unmapped {
+		path, _, err := pr.W.K.FS.AddrToPath(f.Addr)
+		if err != nil {
+			return pr.chain(p, f)
+		}
+		if _, err := pr.W.K.MapSharedFile(p, path, 0, addrspace.ProtRWX); err != nil {
+			return pr.chain(p, f)
+		}
+		pr.W.mu.Lock()
+		pr.W.Stats.PointerMaps++
+		pr.W.mu.Unlock()
+		pr.W.tracef("ldl: fault at 0x%08x mapped segment %s", f.Addr, path)
+		return nil
+	}
+	return pr.chain(p, f)
+}
+
+// chain invokes the program-provided SIGSEGV handler, if one exists: the
+// compatibility path of the library's replacement signal() call.
+func (pr *Proc) chain(p *kern.Process, f *addrspace.Fault) error {
+	if pr.userHandler != nil {
+		return pr.userHandler(p, f)
+	}
+	return kern.ErrUnhandled
+}
+
+// SetUserHandler is the library's new version of the standard signal call:
+// the program's handler runs only when the dynamic linking system's
+// handler is unable to resolve a fault.
+func (pr *Proc) SetUserHandler(h kern.FaultHandler) { pr.userHandler = h }
+
+// ---- queries -------------------------------------------------------------------
+
+// Resolve finds a symbol the way the running program would: image symbols
+// and the exports of every module brought in, root-scoped.
+func (pr *Proc) Resolve(name string) (uint32, bool) {
+	if addr, ok := pr.resolveScoped(pr.root, name); ok {
+		return addr, ok
+	}
+	// Fall back to any loaded instance's exports (diagnostics).
+	for _, in := range pr.instances {
+		if addr, ok := in.placed.AddrOf(name); ok {
+			if i := in.obj.SymbolIndex(name); i >= 0 && in.obj.Symbols[i].Global && in.obj.Symbols[i].Defined() {
+				return addr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Instances returns the modules brought into this process, in load order.
+func (pr *Proc) Instances() []*Instance { return pr.instances }
+
+// PendingImageRefs returns the names still unresolved in the main image.
+func (pr *Proc) PendingImageRefs() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range pr.imagePend {
+		if !seen[r.Name] {
+			seen[r.Name] = true
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package ldl_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/ldl"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+)
+
+// linkPLT links main.o plus extras with jump tables enabled.
+func linkPLT(t *testing.T, s *core.System, mainSrc string, extra ...lds.Input) *lds.Result {
+	t.Helper()
+	if _, err := s.Asm("/app/main.o", mainSrc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Link(&lds.Options{
+		Output:     "a.out",
+		Modules:    append([]lds.Input{{Name: "main.o", Class: objfile.StaticPrivate}}, extra...),
+		LinkDir:    "/app",
+		JumpTables: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const callSharedSrc = `
+        .text
+        .globl  main
+        .extern get_seven
+main:   addiu   $sp, $sp, -8
+        sw      $ra, 0($sp)
+        li      $a0, 30         # argument must survive the stub
+        li      $a1, 5
+        jal     get_seven
+        jal     get_seven       # second call: stub already patched
+        lw      $ra, 0($sp)
+        addiu   $sp, $sp, 8
+        jr      $ra
+`
+
+const sevenSvcSrc = `
+        .text
+        .globl  get_seven
+get_seven:
+        addu    $v0, $a0, $a1   # proves $a0/$a1 survived the stub
+        jr      $ra
+`
+
+func TestPLTFirstCallResolvesAndPatches(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/svc.o", sevenSvcSrc)
+	res := linkPLT(t, s, callSharedSrc, lds.Input{Name: "svc.o", Class: objfile.DynamicPublic})
+	if len(res.Image.PLT) != 1 || res.Image.PLT[0].Name != "get_seven" {
+		t.Fatalf("PLT = %+v", res.Image.PLT)
+	}
+	// No JUMP26 relocs retained: the calls were redirected to stubs.
+	for _, r := range res.Image.Relocs {
+		if r.Type == objfile.RelJump26 {
+			t.Fatalf("JUMP26 retained despite jump tables: %+v", r)
+		}
+	}
+	pg, err := s.Launch(res.Image, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 35 {
+		t.Fatalf("exit = %d, want 35 (args preserved through stub)", pg.P.ExitCode)
+	}
+	// Two calls, one resolution: the stub was patched in place.
+	if s.W.Stats.PLTResolves != 1 {
+		t.Fatalf("PLT resolves = %d, want 1", s.W.Stats.PLTResolves)
+	}
+}
+
+func TestPLTSharedStubForMultipleCallSites(t *testing.T) {
+	// Both call sites in main target ONE stub (grouped by symbol).
+	s := core.NewSystem()
+	s.Asm("/lib/svc.o", sevenSvcSrc)
+	res := linkPLT(t, s, callSharedSrc, lds.Input{Name: "svc.o", Class: objfile.DynamicPublic})
+	if len(res.Image.PLT) != 1 {
+		t.Fatalf("stubs = %d, want 1 for 2 call sites", len(res.Image.PLT))
+	}
+}
+
+func TestPLTUndefinedCallErrors(t *testing.T) {
+	// Calling a function nothing defines is the deferred error the paper
+	// accepts; it surfaces on the call, not at link or start-up.
+	s := core.NewSystem()
+	res := linkPLT(t, s, `
+        .text
+        .globl  main
+        .extern never_defined_fn
+main:   jal     never_defined_fn
+        jr      $ra
+`)
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatalf("launch must succeed despite the undefined call: %v", err)
+	}
+	err = pg.Run(100000)
+	var uc *ldl.ErrUndefinedCall
+	if !errors.As(err, &uc) || uc.Name != "never_defined_fn" {
+		t.Fatalf("want ErrUndefinedCall, got %v", err)
+	}
+}
+
+func TestPLTStartupSkipsCallResolution(t *testing.T) {
+	// With jump tables, start-up retains no pending image refs for the
+	// called function even though the module is mapped lazily later.
+	s := core.NewSystem()
+	s.Asm("/lib/svc.o", sevenSvcSrc)
+	res := linkPLT(t, s, callSharedSrc, lds.Input{Name: "svc.o", Class: objfile.DynamicPublic})
+	pg, err := s.Launch(res.Image, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range pg.LDL.PendingImageRefs() {
+		if ref == "get_seven" {
+			t.Fatal("call resolved eagerly despite jump tables")
+		}
+	}
+	if s.W.Stats.PLTResolves != 0 {
+		t.Fatal("stub resolved before any call")
+	}
+}
+
+func TestPLTDataRefsStillResolvedAtLoad(t *testing.T) {
+	// "references to data objects are all resolved at load time" — the
+	// jump-table option must not defer data relocations.
+	s := core.NewSystem()
+	s.Asm("/lib/data.o", ".data\n.globl shared_w\nshared_w: .word 11\n")
+	res := linkPLT(t, s, `
+        .text
+        .globl  main
+        .extern shared_w
+main:   la      $t0, shared_w
+        lw      $v0, 0($t0)
+        jr      $ra
+`, lds.Input{Name: "data.o", Class: objfile.DynamicPublic})
+	pg, err := s.Launch(res.Image, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 11 {
+		t.Fatalf("exit = %d", pg.P.ExitCode)
+	}
+	if s.W.Stats.PLTResolves != 0 {
+		t.Fatal("data reference went through a stub")
+	}
+}
+
+func TestPLTImageRoundTrip(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/svc.o", sevenSvcSrc)
+	res := linkPLT(t, s, callSharedSrc, lds.Input{Name: "svc.o", Class: objfile.DynamicPublic})
+	b, err := res.Image.ImageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := objfile.DecodeImageBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im2.PLT) != 1 || im2.PLT[0] != res.Image.PLT[0] {
+		t.Fatalf("PLT lost in encoding: %+v", im2.PLT)
+	}
+	// The re-decoded image still runs.
+	pg, err := s.Launch(im2, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 35 {
+		t.Fatalf("exit = %d", pg.P.ExitCode)
+	}
+}
+
+func TestPLTWarningEmitted(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/svc.o", sevenSvcSrc)
+	res := linkPLT(t, s, callSharedSrc, lds.Input{Name: "svc.o", Class: objfile.DynamicPublic})
+	var found bool
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "jump-table") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no jump-table note in %v", res.Warnings)
+	}
+}
+
+func TestPLTSurvivesFork(t *testing.T) {
+	// A forked child's first call through an unresolved stub must be
+	// handled by the CHILD's linker state, not the parent's.
+	s := core.NewSystem()
+	s.Asm("/lib/svc.o", sevenSvcSrc)
+	res := linkPLT(t, s, callSharedSrc, lds.Input{Name: "svc.o", Class: objfile.DynamicPublic})
+	parent, err := s.Launch(res.Image, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the CHILD first: its stub (a private copy of the image page)
+	// resolves through its own state.
+	if err := child.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if child.P.ExitCode != 35 {
+		t.Fatalf("child exit = %d", child.P.ExitCode)
+	}
+	// The parent's copy of the stub is still unresolved (private pages
+	// were copied, not shared), and resolves independently.
+	if err := parent.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if parent.P.ExitCode != 35 {
+		t.Fatalf("parent exit = %d", parent.P.ExitCode)
+	}
+	if s.W.Stats.PLTResolves != 2 {
+		t.Fatalf("PLT resolves = %d, want 2 (one per private stub copy)", s.W.Stats.PLTResolves)
+	}
+}

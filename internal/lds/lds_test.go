@@ -1,0 +1,343 @@
+package lds_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+	"hemlock/internal/shmfs"
+)
+
+const mainReturns42 = `
+        .text
+        .globl  main
+main:   li      $v0, 42
+        jr      $ra
+`
+
+func newSys(t *testing.T) *core.System {
+	t.Helper()
+	return core.NewSystem()
+}
+
+func TestLinkAndRunStaticPrivate(t *testing.T) {
+	s := newSys(t)
+	if _, err := s.Asm("/home/user/main.o", mainReturns42); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := s.BuildAndRun(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "main.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/home/user",
+	}, 0, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.P.ExitCode != 42 {
+		t.Fatalf("exit code = %d, want 42", prog.P.ExitCode)
+	}
+}
+
+func TestStaticPrivateNewInstancePerProcess(t *testing.T) {
+	// Table 1: static private modules get a new instance per process.
+	s := newSys(t)
+	s.Asm("/lib/counter.o", `
+        .text
+        .globl  main
+main:   la      $t0, count
+        lw      $v0, 0($t0)
+        addiu   $v0, $v0, 1
+        sw      $v0, 0($t0)
+        jr      $ra
+        .data
+count:  .word   0
+`)
+	opts := &lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "counter.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/lib",
+	}
+	res, err := s.Link(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		prog, err := s.Launch(res.Image, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		// Every run starts from a fresh instance: count goes 0 -> 1.
+		if prog.P.ExitCode != 1 {
+			t.Fatalf("run %d exit code = %d, want 1 (private instance)", i, prog.P.ExitCode)
+		}
+	}
+}
+
+func TestStaticPublicSharedAcrossProcesses(t *testing.T) {
+	// Table 1: static public modules have ONE persistent instance at a
+	// globally-agreed address; writes are genuinely shared.
+	s := newSys(t)
+	s.Asm("/lib/hits.o", `
+        .data
+        .globl  hits
+hits:   .word   0
+`)
+	s.Asm("/home/app/main.o", `
+        .text
+        .globl  main
+        .extern hits
+main:   la      $t0, hits
+        lw      $v0, 0($t0)
+        addiu   $v0, $v0, 1
+        sw      $v0, 0($t0)
+        jr      $ra
+`)
+	opts := &lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "hits.o", Class: objfile.StaticPublic},
+		},
+		LinkDir: "/home/app",
+		CmdPath: []string{"/lib"},
+	}
+	res, err := s.Link(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The public instance exists as a file named by dropping ".o".
+	st, err := s.FS.StatPath("/lib/hits")
+	if err != nil {
+		t.Fatalf("public module instance not created: %v", err)
+	}
+	for run := 1; run <= 3; run++ {
+		prog, err := s.Launch(res.Image, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		if prog.P.ExitCode != run {
+			t.Fatalf("run %d exit code = %d, want %d (persistent shared counter)", run, prog.P.ExitCode, run)
+		}
+	}
+	// Relinking another program reuses the existing instance.
+	res2, err := s.Link(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Image.Dyn.StaticPublic[0].Addr != st.Addr {
+		t.Fatal("second link assigned a different address")
+	}
+}
+
+func TestPublicModuleAtInodeAddress(t *testing.T) {
+	s := newSys(t)
+	s.Asm("/lib/tbl.o", ".data\n.globl t\nt: .word 5\n")
+	res, err := s.Link(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "/lib/tbl.o", Class: objfile.StaticPublic}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.Image.Dyn.StaticPublic[0]
+	st, _ := s.FS.StatPath(ref.Path)
+	if ref.Addr != shmfs.AddrOf(st.Ino) {
+		t.Fatalf("module at 0x%x, slot says 0x%x", ref.Addr, shmfs.AddrOf(st.Ino))
+	}
+	// The image's symbol table has `t` at the public address.
+	addr, ok := res.Image.Lookup("t")
+	if !ok || addr < ref.Addr || addr >= ref.Addr+shmfs.SlotSize {
+		t.Fatalf("t at 0x%x, outside slot", addr)
+	}
+}
+
+func TestMissingStaticModuleAborts(t *testing.T) {
+	s := newSys(t)
+	_, err := s.Link(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "nope.o", Class: objfile.StaticPrivate}},
+	})
+	if !errors.Is(err, lds.ErrStaticModuleMissing) {
+		t.Fatalf("want ErrStaticModuleMissing, got %v", err)
+	}
+}
+
+func TestMissingDynamicModuleWarns(t *testing.T) {
+	s := newSys(t)
+	s.Asm("/d/main.o", mainReturns42)
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "future.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir: "/d",
+	})
+	if err != nil {
+		t.Fatalf("link should continue despite missing dynamic module: %v", err)
+	}
+	var warned bool
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "future.o") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no warning about missing dynamic module: %v", res.Warnings)
+	}
+	if len(res.Image.Dyn.DynModules) != 1 || res.Image.Dyn.DynModules[0].Name != "future.o" {
+		t.Fatalf("dynamic module not recorded: %+v", res.Image.Dyn.DynModules)
+	}
+}
+
+func TestSearchOrderFirstHitWins(t *testing.T) {
+	// "If there is more than one static module with the same name, lds
+	// uses the first one it finds": current dir before -L before env
+	// before defaults.
+	s := newSys(t)
+	s.Asm("/cur/mod.o", ".text\n.globl main\nmain: li $v0, 1\n jr $ra\n")
+	s.Asm("/cmd/mod.o", ".text\n.globl main\nmain: li $v0, 2\n jr $ra\n")
+	s.Asm("/env/mod.o", ".text\n.globl main\nmain: li $v0, 3\n jr $ra\n")
+	s.Asm("/def/mod.o", ".text\n.globl main\nmain: li $v0, 4\n jr $ra\n")
+	try := func(opts lds.Options, want int) {
+		t.Helper()
+		opts.Output = "a.out"
+		opts.Modules = []lds.Input{{Name: "mod.o", Class: objfile.StaticPrivate}}
+		prog, err := s.BuildAndRun(&opts, 0, nil, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.P.ExitCode != want {
+			t.Fatalf("picked module returning %d, want %d", prog.P.ExitCode, want)
+		}
+	}
+	try(lds.Options{LinkDir: "/cur", CmdPath: []string{"/cmd"}, EnvPath: []string{"/env"}, DefaultPath: []string{"/def"}}, 1)
+	try(lds.Options{CmdPath: []string{"/cmd"}, EnvPath: []string{"/env"}, DefaultPath: []string{"/def"}}, 2)
+	try(lds.Options{EnvPath: []string{"/env"}, DefaultPath: []string{"/def"}}, 3)
+	try(lds.Options{DefaultPath: []string{"/def"}}, 4)
+}
+
+func TestRetainedRelocationsNoted(t *testing.T) {
+	s := newSys(t)
+	s.Asm("/d/main.o", `
+        .text
+        .globl  main
+        .extern shared_fn
+main:   jal     shared_fn
+        jr      $ra
+`)
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "svc.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir: "/d",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Image.Relocs) == 0 {
+		t.Fatal("no retained relocations")
+	}
+	if got := res.Image.UndefinedRelocs(); len(got) != 1 || got[0] != "shared_fn" {
+		t.Fatalf("undefined = %v", got)
+	}
+	// A JUMP26 was retained, so a trampoline slot was reserved.
+	if res.Image.TrampSize == 0 {
+		t.Fatal("no trampoline area reserved for retained jump")
+	}
+}
+
+func TestDuplicateStaticSymbolErrors(t *testing.T) {
+	s := newSys(t)
+	s.Asm("/d/a.o", ".data\n.globl x\nx: .word 1\n")
+	s.Asm("/d/b.o", ".data\n.globl x\nx: .word 2\n")
+	_, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "a.o", Class: objfile.StaticPrivate},
+			{Name: "b.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir: "/d",
+	})
+	if err == nil {
+		t.Fatal("duplicate global definition accepted in flat static link")
+	}
+}
+
+func TestGPModuleRejected(t *testing.T) {
+	s := newSys(t)
+	s.Asm("/d/gp.o", ".usesgp\n.text\n.globl main\nmain: jr $ra\n")
+	_, err := s.Link(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "gp.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/d",
+	})
+	if err == nil || !strings.Contains(err.Error(), "gp") {
+		t.Fatalf("gp module not rejected: %v", err)
+	}
+}
+
+func TestInstancePath(t *testing.T) {
+	if lds.InstancePath("/lib/shared1.o") != "/lib/shared1" {
+		t.Fatal("InstancePath drops final .o")
+	}
+	if lds.InstancePath("/lib/data") != "/lib/data" {
+		t.Fatal("InstancePath leaves non-.o names alone")
+	}
+}
+
+func TestSearchDirsOrder(t *testing.T) {
+	o := &lds.Options{
+		LinkDir:     "/cwd",
+		CmdPath:     []string{"/a", "/b"},
+		EnvPath:     []string{"/c"},
+		DefaultPath: []string{"/lib"},
+	}
+	got := lds.SearchDirs(o)
+	want := []string{"/cwd", "/a", "/b", "/c", "/lib"}
+	if len(got) != len(want) {
+		t.Fatalf("dirs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestModuleTooLargeForSegment(t *testing.T) {
+	s := newSys(t)
+	// A template with bss larger than the 1 MB slot cannot become a
+	// public module.
+	obj := objfileBuilderHuge(t)
+	if err := s.AddTemplate("/lib/huge.o", obj); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Link(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "/lib/huge.o", Class: objfile.StaticPublic}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "1 MB") {
+		t.Fatalf("oversized module accepted: %v", err)
+	}
+}
+
+func objfileBuilderHuge(t *testing.T) *objfile.Object {
+	t.Helper()
+	o, err := objfile.NewBuilder("huge.o").Bss("big", shmfs.MaxFile+4096, true).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}

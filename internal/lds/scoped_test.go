@@ -1,0 +1,320 @@
+package lds_test
+
+import (
+	"errors"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+)
+
+// Scoped STATIC linking: the §6 fix the paper promises ("scoped linking is
+// currently available in Hemlock only for dynamic modules. We plan to
+// correct this deficiency in a new, fully-functional static linker").
+// These tests run the Figure 2 shapes entirely at static link time.
+
+// TestScopedStaticTwoEos: two different static modules both named e.o,
+// pulled in by b.o and c.o through their own search paths, resolve without
+// a naming conflict — a flat static link would abort on the duplicate.
+func TestScopedStaticTwoEos(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/libB/e.o", ".data\n.globl evalue\nevalue: .word 111\n")
+	s.Asm("/libC/e.o", ".data\n.globl evalue\nevalue: .word 222\n")
+	s.Asm("/lib/b.o", `
+        .dep    e.o, static-private
+        .searchpath /libB
+        .data
+        .globl  b_eptr
+b_eptr: .word evalue
+`)
+	s.Asm("/lib/c.o", `
+        .dep    e.o, static-private
+        .searchpath /libC
+        .data
+        .globl  c_eptr
+c_eptr: .word evalue
+`)
+	s.Asm("/bin/main.o", `
+        .text
+        .globl  main
+        .extern b_eptr
+        .extern c_eptr
+main:   la      $t0, b_eptr
+        lw      $t0, 0($t0)     # -> B's evalue
+        lw      $t1, 0($t0)     # 111
+        la      $t0, c_eptr
+        lw      $t0, 0($t0)     # -> C's evalue
+        lw      $t2, 0($t0)     # 222
+        addu    $v0, $t1, $t2   # 333 proves both bound correctly
+        jr      $ra
+`)
+	pg, err := s.BuildAndRun(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "b.o", Class: objfile.StaticPrivate},
+			{Name: "c.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	}, 0, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 333 {
+		t.Fatalf("exit = %d, want 333 (scoped bindings)", pg.P.ExitCode)
+	}
+}
+
+// TestScopedStaticPrivateInstancesDistinct: one g.o template, two static
+// parents, two instances (the two G.o boxes in Figure 2).
+func TestScopedStaticPrivateInstancesDistinct(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/g.o", ".data\n.globl gval\ngval: .word 9\n")
+	s.Asm("/lib/d.o", `
+        .dep    g.o, static-private
+        .searchpath /lib
+        .data
+        .globl  d_gptr
+d_gptr: .word gval
+`)
+	s.Asm("/lib/f.o", `
+        .dep    g.o, static-private
+        .searchpath /lib
+        .data
+        .globl  f_gptr
+f_gptr: .word gval
+`)
+	s.Asm("/bin/main.o", trivialScopedMain)
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "d.o", Class: objfile.StaticPrivate},
+			{Name: "f.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _ := pg.Var("d_gptr")
+	fp, _ := pg.Var("f_gptr")
+	if dp == nil || fp == nil {
+		t.Fatal("pointers unresolved")
+	}
+	da, _ := dp.Load()
+	fa, _ := fp.Load()
+	if da == 0 || fa == 0 {
+		t.Fatal("scoped static refs unresolved")
+	}
+	if da == fa {
+		t.Fatal("two static private instances share one address")
+	}
+	// Writes through one do not alias the other.
+	pg.VarAt("", da).Store(77)
+	if v, _ := pg.VarAt("", fa).Load(); v == 77 {
+		t.Fatal("instances alias")
+	}
+}
+
+const trivialScopedMain = `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`
+
+// TestScopedStaticChildNotGlobal: a child's exports do not leak into the
+// flat namespace, so the main image cannot bind to them.
+func TestScopedStaticChildNotGlobal(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/sub/inner.o", ".data\n.globl inner_sym\ninner_sym: .word 1\n")
+	s.Asm("/lib/outer.o", `
+        .dep    inner.o, static-private
+        .searchpath /sub
+        .data
+        .globl  outer_ok
+outer_ok: .word inner_sym
+`)
+	s.Asm("/bin/main.o", `
+        .text
+        .globl  main
+        .extern inner_sym
+main:   la      $t0, inner_sym
+        move    $v0, $t0
+        jr      $ra
+`)
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "outer.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main's reference to inner_sym stays retained: the child's export is
+	// visible only inside outer's scope.
+	var found bool
+	for _, r := range res.Image.Relocs {
+		if r.Name == "inner_sym" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("child export leaked into the root namespace")
+	}
+}
+
+// TestScopedStaticChain: a dependency chain resolved at static link time.
+func TestScopedStaticChain(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/leaf.o", ".data\n.globl leafv\nleafv: .word 5\n")
+	s.Asm("/lib/mid.o", `
+        .dep    leaf.o, static-private
+        .searchpath /lib
+        .data
+        .globl  midptr
+midptr: .word leafv
+`)
+	s.Asm("/lib/top.o", `
+        .dep    mid.o, static-private
+        .searchpath /lib
+        .data
+        .globl  topptr
+topptr: .word midptr
+`)
+	s.Asm("/bin/main.o", `
+        .text
+        .globl  main
+        .extern topptr
+main:   la      $t0, topptr
+        lw      $t0, 0($t0)     # -> midptr
+        lw      $t0, 0($t0)     # -> leafv
+        lw      $v0, 0($t0)     # 5
+        jr      $ra
+`)
+	pg, err := s.BuildAndRun(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "top.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	}, 0, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 5 {
+		t.Fatalf("exit = %d, want 5 (three-level static chain)", pg.P.ExitCode)
+	}
+}
+
+// TestScopedStaticMissingDepAborts: static children inherit the abort-on-
+// missing rule.
+func TestScopedStaticMissingDepAborts(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/broken.o", `
+        .dep    ghost.o, static-private
+        .data
+x:      .word 1
+`)
+	s.Asm("/bin/main.o", trivialScopedMain)
+	_, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "broken.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if !errors.Is(err, lds.ErrStaticModuleMissing) {
+		t.Fatalf("missing static dep: %v", err)
+	}
+}
+
+// TestScopedStaticCycleDetected: a self-referential module list terminates
+// with a clear error rather than expanding forever.
+func TestScopedStaticCycleDetected(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/loop.o", `
+        .dep    loop.o, static-private
+        .searchpath /lib
+        .data
+x:      .word 1
+`)
+	s.Asm("/bin/main.o", trivialScopedMain)
+	_, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "loop.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err == nil {
+		t.Fatal("infinite static expansion not caught")
+	}
+}
+
+// TestScopedStaticPublicDep: a static module pulls in a static PUBLIC
+// dependency: one persistent instance, visible in its parent's scope.
+func TestScopedStaticPublicDep(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/table.o", ".data\n.globl shared_tbl\nshared_tbl: .word 42\n")
+	s.Asm("/lib/user1.o", `
+        .dep    table.o, static-public
+        .searchpath /lib
+        .data
+        .globl  u1ptr
+u1ptr:  .word shared_tbl
+`)
+	s.Asm("/lib/user2.o", `
+        .dep    table.o, static-public
+        .searchpath /lib
+        .data
+        .globl  u2ptr
+u2ptr:  .word shared_tbl
+`)
+	s.Asm("/bin/main.o", trivialScopedMain)
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "user1.o", Class: objfile.StaticPrivate},
+			{Name: "user2.o", Class: objfile.StaticPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := pg.Var("u1ptr")
+	p2, _ := pg.Var("u2ptr")
+	a1, _ := p1.Load()
+	a2, _ := p2.Load()
+	if a1 == 0 || a1 != a2 {
+		t.Fatalf("public dep not shared: 0x%x vs 0x%x", a1, a2)
+	}
+	if v, _ := pg.VarAt("", a1).Load(); v != 42 {
+		t.Fatalf("shared_tbl = %d", v)
+	}
+}

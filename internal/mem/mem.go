@@ -1,0 +1,145 @@
+// Package mem provides the simulated paged physical memory that underlies
+// every Hemlock address space and every shared-file-system file.
+//
+// Physical memory is a pool of fixed-size frames. Frames are reference
+// counted so that a single frame can back a shared-file-system file, be
+// mapped into any number of simulated address spaces, and be released only
+// when the last user drops it. The paper's whole point is that mapped
+// segments and file contents are the same bytes; sharing frames is how the
+// simulation keeps that true.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size in bytes of a physical frame and of a virtual page.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// ErrOutOfMemory is returned when the physical memory pool is exhausted.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// Frame is one page of simulated physical memory. The zero value is not
+// usable; frames are obtained from a Physical pool.
+type Frame struct {
+	Data [PageSize]byte
+
+	pool *Physical
+	pfn  int
+	refs int
+}
+
+// PFN returns the frame's physical frame number within its pool.
+func (f *Frame) PFN() int { return f.pfn }
+
+// Physical is a pool of physical frames with a simple free list. It is safe
+// for concurrent use.
+type Physical struct {
+	mu       sync.Mutex
+	limit    int // maximum number of live frames; 0 means unlimited
+	live     int
+	nextPFN  int
+	allocCnt uint64
+	freeCnt  uint64
+}
+
+// NewPhysical returns a pool that will hand out at most limitFrames frames
+// at any one time. limitFrames <= 0 means unlimited.
+func NewPhysical(limitFrames int) *Physical {
+	return &Physical{limit: limitFrames}
+}
+
+// Alloc returns a zeroed frame with reference count 1.
+func (p *Physical) Alloc() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.limit > 0 && p.live >= p.limit {
+		return nil, fmt.Errorf("%w: limit %d frames", ErrOutOfMemory, p.limit)
+	}
+	f := &Frame{pool: p, pfn: p.nextPFN, refs: 1}
+	p.nextPFN++
+	p.live++
+	p.allocCnt++
+	return f, nil
+}
+
+// AllocN allocates n zeroed frames, releasing any partial allocation on
+// failure.
+func (p *Physical) AllocN(n int) ([]*Frame, error) {
+	frames := make([]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			for _, g := range frames {
+				g.Release()
+			}
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// Retain increments the frame's reference count. It is used when a frame is
+// mapped into an additional address space or retained by a file.
+func (f *Frame) Retain() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.refs <= 0 {
+		panic("mem: Retain on released frame")
+	}
+	f.refs++
+}
+
+// Release decrements the reference count, returning the frame to the pool
+// when it reaches zero.
+func (f *Frame) Release() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.refs <= 0 {
+		panic("mem: Release on released frame")
+	}
+	f.refs--
+	if f.refs == 0 {
+		f.pool.live--
+		f.pool.freeCnt++
+	}
+}
+
+// Refs reports the current reference count (for tests and fsck).
+func (f *Frame) Refs() int {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	return f.refs
+}
+
+// Stats describes pool usage.
+type Stats struct {
+	Live   int    // frames currently referenced
+	Limit  int    // configured limit (0 = unlimited)
+	Allocs uint64 // total Alloc calls
+	Frees  uint64 // total frames fully released
+}
+
+// Stats returns a snapshot of pool usage.
+func (p *Physical) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Live: p.live, Limit: p.limit, Allocs: p.allocCnt, Frees: p.freeCnt}
+}
+
+// Copy returns a new frame whose contents are a copy of f (reference count
+// 1). Used by fork for private pages.
+func (f *Frame) Copy() (*Frame, error) {
+	g, err := f.pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	g.Data = f.Data
+	return g, nil
+}

@@ -1,0 +1,153 @@
+// Package netsim is a broadcast datagram network connecting simulated
+// machines, the substrate under the rwhod scenario: "Running on each
+// machine, rwhod periodically broadcasts local status information (load
+// average, current users, etc.) to other machines, and receives analogous
+// information from its peers."
+//
+// Datagrams are copied per receiver (UDP semantics), queues are bounded,
+// and an optional deterministic drop function models a lossy LAN, so the
+// experiments stay reproducible.
+package netsim
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrDetached is returned after a node leaves the network.
+var ErrDetached = errors.New("netsim: node is detached")
+
+// DefaultQueueDepth bounds each node's inbox; excess datagrams are
+// dropped, as a real socket buffer would.
+const DefaultQueueDepth = 256
+
+// Datagram is one received message.
+type Datagram struct {
+	From    string
+	Payload []byte
+}
+
+// Network is the broadcast bus.
+type Network struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+
+	// Drop, when non-nil, decides whether the datagram from -> to is
+	// lost. It must be deterministic for reproducible experiments.
+	Drop func(from, to string, seq uint64) bool
+
+	seq       uint64
+	delivered uint64
+	dropped   uint64
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{nodes: map[string]*Node{}}
+}
+
+// Node is one machine's network interface.
+type Node struct {
+	name     string
+	net      *Network
+	inbox    []Datagram
+	detached bool
+}
+
+// Attach joins the network under the given name, replacing any previous
+// node with that name.
+func (n *Network) Attach(name string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.nodes[name]; ok {
+		old.detached = true
+	}
+	nd := &Node{name: name, net: n}
+	n.nodes[name] = nd
+	return nd
+}
+
+// Nodes returns the attached node names, sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports delivered and dropped datagram counts.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered, n.dropped
+}
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Broadcast sends payload to every other attached node (not to itself),
+// copying per receiver.
+func (nd *Node) Broadcast(payload []byte) error {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd.detached {
+		return ErrDetached
+	}
+	n.seq++
+	for name, peer := range n.nodes {
+		if peer == nd || peer.detached {
+			continue
+		}
+		if n.Drop != nil && n.Drop(nd.name, name, n.seq) {
+			n.dropped++
+			continue
+		}
+		if len(peer.inbox) >= DefaultQueueDepth {
+			n.dropped++
+			continue
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		peer.inbox = append(peer.inbox, Datagram{From: nd.name, Payload: cp})
+		n.delivered++
+	}
+	return nil
+}
+
+// Recv pops the next datagram, reporting false when the inbox is empty.
+func (nd *Node) Recv() (Datagram, bool) {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(nd.inbox) == 0 {
+		return Datagram{}, false
+	}
+	d := nd.inbox[0]
+	nd.inbox = nd.inbox[1:]
+	return d, true
+}
+
+// Pending reports queued datagrams.
+func (nd *Node) Pending() int {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return len(nd.inbox)
+}
+
+// Detach removes the node from the network; further Broadcasts fail and
+// peers stop delivering to it.
+func (nd *Node) Detach() {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd.detached = true
+	if n.nodes[nd.name] == nd {
+		delete(n.nodes, nd.name)
+	}
+}

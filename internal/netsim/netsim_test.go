@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBroadcastReachesPeersNotSelf(t *testing.T) {
+	n := New()
+	a, b, c := n.Attach("a"), n.Attach("b"), n.Attach("c")
+	if err := a.Broadcast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range []*Node{b, c} {
+		d, ok := peer.Recv()
+		if !ok || string(d.Payload) != "hello" || d.From != "a" {
+			t.Fatalf("%s: %+v %v", peer.Name(), d, ok)
+		}
+	}
+	if _, ok := a.Recv(); ok {
+		t.Fatal("sender received its own broadcast")
+	}
+}
+
+func TestDatagramsAreCopies(t *testing.T) {
+	n := New()
+	a, b := n.Attach("a"), n.Attach("b")
+	msg := []byte("payload")
+	a.Broadcast(msg)
+	msg[0] = 'X'
+	d, _ := b.Recv()
+	if string(d.Payload) != "payload" {
+		t.Fatalf("payload aliased: %q", d.Payload)
+	}
+}
+
+func TestOrderingPerSender(t *testing.T) {
+	n := New()
+	a, b := n.Attach("a"), n.Attach("b")
+	for i := 0; i < 5; i++ {
+		a.Broadcast([]byte{byte(i)})
+	}
+	for i := 0; i < 5; i++ {
+		d, ok := b.Recv()
+		if !ok || d.Payload[0] != byte(i) {
+			t.Fatalf("datagram %d: %+v", i, d)
+		}
+	}
+}
+
+func TestDropFunction(t *testing.T) {
+	n := New()
+	n.Drop = func(from, to string, seq uint64) bool { return to == "b" }
+	a := n.Attach("a")
+	b := n.Attach("b")
+	c := n.Attach("c")
+	a.Broadcast([]byte("x"))
+	if _, ok := b.Recv(); ok {
+		t.Fatal("dropped datagram delivered")
+	}
+	if _, ok := c.Recv(); !ok {
+		t.Fatal("undropped datagram lost")
+	}
+	if del, drop := n.Stats(); del != 1 || drop != 1 {
+		t.Fatalf("stats = %d/%d", del, drop)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	for i := 0; i < DefaultQueueDepth+10; i++ {
+		a.Broadcast([]byte{1})
+	}
+	if b.Pending() != DefaultQueueDepth {
+		t.Fatalf("pending = %d", b.Pending())
+	}
+	_, dropped := n.Stats()
+	if dropped != 10 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	n := New()
+	a, b := n.Attach("a"), n.Attach("b")
+	b.Detach()
+	a.Broadcast([]byte("x"))
+	if _, ok := b.Recv(); ok {
+		t.Fatal("detached node received")
+	}
+	if err := b.Broadcast([]byte("y")); !errors.Is(err, ErrDetached) {
+		t.Fatalf("detached broadcast: %v", err)
+	}
+	if got := n.Nodes(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("nodes = %v", got)
+	}
+}
+
+func TestReattachReplaces(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	n.Attach("b")
+	a2 := n.Attach("a") // same name
+	if err := a.Broadcast([]byte("old")); !errors.Is(err, ErrDetached) {
+		t.Fatalf("stale node still attached: %v", err)
+	}
+	if err := a2.Broadcast([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+}

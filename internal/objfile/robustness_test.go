@@ -1,0 +1,92 @@
+package objfile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Decoders face bytes from the simulated file system that any process may
+// have scribbled on; they must reject corruption with errors, never panic
+// or hang.
+
+func mutatedCopies(b []byte, rng *rand.Rand, n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		c := append([]byte(nil), b...)
+		switch rng.Intn(3) {
+		case 0: // flip bytes
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				c[rng.Intn(len(c))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			c = c[:rng.Intn(len(c))]
+		case 2: // grow with junk
+			junk := make([]byte, rng.Intn(64))
+			rng.Read(junk)
+			c = append(c, junk...)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestDecodeObjectNeverPanics(t *testing.T) {
+	o := NewBuilder("fuzz.o").
+		Word("w", 1, true).
+		String("s", "payload", true).
+		Bss("b", 64, false).
+		Pointer("p", "w", 0, true).
+		Dep("other.o", DynamicPublic).
+		SearchPath("/lib").
+		MustBuild()
+	enc, err := o.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i, c := range mutatedCopies(enc, rng, 500) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation %d: decoder panicked: %v", i, r)
+				}
+			}()
+			obj, err := DecodeBytes(c)
+			if err == nil && obj != nil {
+				// A surviving decode must at least be self-consistent.
+				if verr := obj.Validate(); verr != nil {
+					t.Fatalf("mutation %d: decode accepted invalid object: %v", i, verr)
+				}
+			}
+		}()
+	}
+}
+
+func TestDecodeImageNeverPanics(t *testing.T) {
+	im := &Image{
+		Name: "a.out", Entry: 0x400000, TextBase: 0x400000,
+		Text: make([]byte, 64), DataBase: 0x500000, Data: make([]byte, 32),
+		Symbols: []ImageSym{{Name: "main", Addr: 0x400000}},
+		Relocs:  []ImageReloc{{Addr: 0x400010, Name: "x", Type: RelWord32}},
+		PLT:     []ImageSym{{Name: "fn", Addr: 0x400040, Size: 12}},
+		Dyn: DynInfo{
+			DynModules:  []ModuleRef{{Name: "m.o", Class: DynamicPublic}},
+			DefaultPath: []string{"/lib"},
+		},
+	}
+	enc, err := im.ImageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i, c := range mutatedCopies(enc, rng, 500) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation %d: image decoder panicked: %v", i, r)
+				}
+			}()
+			_, _ = DecodeImageBytes(c)
+		}()
+	}
+}

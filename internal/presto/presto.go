@@ -1,0 +1,260 @@
+// Package presto reproduces the paper's parallel-application case study.
+//
+// Porting the Presto runtime to IRIX required globals that are shared
+// between the processes of a parallel application. Without compiler
+// support, the Rochester group first wrote a post-processor that edited
+// the compiler's assembly output to move shared variables into shared
+// segments — 432 lines, consuming a quarter to a third of total
+// compilation time, and fragile across compiler releases. With Hemlock,
+// shared variables are simply grouped in a separate file and linked as a
+// dynamic public module:
+//
+//   - the parent process (set-up only, does no application work and does
+//     NOT link the shared data file) creates a temporary directory, puts a
+//     symbolic link to the shared data template into it, and prepends the
+//     directory to LD_LIBRARY_PATH;
+//   - the children specify the shared data as a dynamic public module; the
+//     first one to run ldl creates and initialises the segment from the
+//     template (under file locking), and all of them link it in;
+//   - on completion the parent deletes the segment, symlink and directory.
+//
+// Both paths are implemented here: PostProcess is a working re-creation of
+// the assembly-editing baseline (for our assembler), and App is the
+// Hemlock version.
+package presto
+
+import (
+	"fmt"
+	"strings"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+	"hemlock/internal/shmfs"
+)
+
+// ---- the post-processor baseline ------------------------------------------------
+
+// PostProcess re-creates the assembly post-processor: it scans compiler
+// (assembler) output for the definitions of the named shared variables,
+// removes them from the program source, and emits a second source file
+// containing just those definitions, leaving .extern declarations behind.
+// The returned pair must then both be assembled — the extra pass whose
+// cost the paper measured at 1/4 to 1/3 of total compilation time.
+func PostProcess(src string, shared []string) (progSrc, sharedSrc string, err error) {
+	want := map[string]bool{}
+	for _, s := range shared {
+		want[s] = true
+	}
+	var prog, shd strings.Builder
+	shd.WriteString("        .data\n")
+	lines := strings.Split(src, "\n")
+	inData := false
+	moved := map[string]bool{}
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		trimmed := strings.TrimSpace(stripComment(line))
+		switch {
+		case trimmed == ".data":
+			inData = true
+		case trimmed == ".text":
+			inData = false
+		}
+		label, rest := splitLabel(trimmed)
+		if inData && label != "" && want[label] {
+			// Move the label's definition lines (until the next label or
+			// directive section change) to the shared file.
+			shd.WriteString("        .globl  " + label + "\n")
+			shd.WriteString(label + ":\n")
+			if rest != "" {
+				shd.WriteString("        " + rest + "\n")
+			}
+			for i+1 < len(lines) {
+				nxt := strings.TrimSpace(stripComment(lines[i+1]))
+				nl, _ := splitLabel(nxt)
+				if nl != "" || nxt == ".text" || nxt == ".data" || strings.HasPrefix(nxt, ".globl") {
+					break
+				}
+				if nxt != "" {
+					shd.WriteString("        " + nxt + "\n")
+				}
+				i++
+			}
+			prog.WriteString("        .extern " + label + "\n")
+			moved[label] = true
+			continue
+		}
+		prog.WriteString(line + "\n")
+	}
+	for _, s := range shared {
+		if !moved[s] {
+			return "", "", fmt.Errorf("presto: shared variable %q not found in assembly", s)
+		}
+	}
+	return prog.String(), shd.String(), nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func splitLabel(trimmed string) (label, rest string) {
+	i := strings.IndexByte(trimmed, ':')
+	if i <= 0 {
+		return "", trimmed
+	}
+	return strings.TrimSpace(trimmed[:i]), strings.TrimSpace(trimmed[i+1:])
+}
+
+// ---- the Hemlock version ----------------------------------------------------------
+
+// App is one parallel application run set up the Hemlock way.
+type App struct {
+	Sys      *core.System
+	ID       string
+	TempDir  string
+	template string // template path inside the temp dir (a symlink)
+	Image    *objfile.Image
+	Env      map[string]string
+	workers  []*core.Program
+}
+
+// SharedTemplateSource returns the assembly for a shared-globals module
+// with a per-worker counter array and a done flag.
+func SharedTemplateSource(maxWorkers int) string {
+	return fmt.Sprintf(`
+        .data
+        .globl  presto_nworkers
+presto_nworkers:
+        .word   %d
+        .globl  presto_counters
+presto_counters:
+        .space  %d
+        .globl  presto_done
+presto_done:
+        .word   0
+`, maxWorkers, 4*maxWorkers)
+}
+
+// Setup is the parent's role: install templates, create the temporary
+// directory, symlink the shared-data template into it, extend
+// LD_LIBRARY_PATH, and link the worker image. The parent itself never
+// links the shared module.
+func Setup(s *core.System, id string, maxWorkers int) (*App, error) {
+	app := &App{Sys: s, ID: id, Env: map[string]string{}}
+	tmplPath := "/lib/presto-shared.o"
+	if _, err := s.FS.StatPath(tmplPath); err != nil {
+		if _, err := s.Asm(tmplPath, SharedTemplateSource(maxWorkers)); err != nil {
+			return nil, err
+		}
+	}
+	app.TempDir = "/tmp/presto." + id
+	if err := s.FS.MkdirAll(app.TempDir, shmfs.DefaultDirMode, 0); err != nil {
+		return nil, err
+	}
+	app.template = app.TempDir + "/presto-shared.o"
+	if err := s.FS.Symlink(tmplPath, app.template, 0); err != nil {
+		return nil, err
+	}
+	app.Env["LD_LIBRARY_PATH"] = app.TempDir
+
+	if _, err := s.Asm("/bin/presto-worker.o", `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`); err != nil {
+		return nil, err
+	}
+	res, err := s.Link(&lds.Options{
+		Output: "presto-worker",
+		Modules: []lds.Input{
+			{Name: "presto-worker.o", Class: objfile.StaticPrivate},
+			// The children specify the shared data as a dynamic public
+			// module, found at run time via LD_LIBRARY_PATH.
+			{Name: "presto-shared.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir: "/bin",
+	})
+	if err != nil {
+		return nil, err
+	}
+	app.Image = res.Image
+	return app, nil
+}
+
+// Worker is one child of the parallel application.
+type Worker struct {
+	Index    int
+	Program  *core.Program
+	counters *core.Var
+}
+
+// StartWorker launches child i. The first child's ldl creates and
+// initialises the shared segment from the symlinked template; the rest
+// link the existing one.
+func (a *App) StartWorker(i int) (*Worker, error) {
+	pg, err := a.Sys.Launch(a.Image, 0, a.Env)
+	if err != nil {
+		return nil, err
+	}
+	ctr, err := pg.Var("presto_counters")
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{Index: i, Program: pg, counters: ctr}
+	a.workers = append(a.workers, pg)
+	return w, nil
+}
+
+// Add accumulates into the worker's shared counter slot: a shared-variable
+// write with ordinary store syntax.
+func (w *Worker) Add(delta uint32) error {
+	cur, err := w.counters.LoadAt(uint32(w.Index) * 4)
+	if err != nil {
+		return err
+	}
+	return w.counters.StoreAt(uint32(w.Index)*4, cur+delta)
+}
+
+// Value reads the worker's own counter.
+func (w *Worker) Value() (uint32, error) {
+	return w.counters.LoadAt(uint32(w.Index) * 4)
+}
+
+// Sum reads every worker's counter through any worker's mapping.
+func (w *Worker) Sum(n int) (uint32, error) {
+	var total uint32
+	for i := 0; i < n; i++ {
+		v, err := w.counters.LoadAt(uint32(i) * 4)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// SharedSegmentPath returns the path of the segment the first worker
+// created.
+func (a *App) SharedSegmentPath() string {
+	return lds.InstancePath(a.template)
+}
+
+// Cleanup is the parent's final role: delete the shared segment, the
+// template symlink, and the temporary directory.
+func (a *App) Cleanup() error {
+	seg := a.SharedSegmentPath()
+	if _, err := a.Sys.FS.StatPath(seg); err == nil {
+		if err := a.Sys.FS.Unlink(seg, 0); err != nil {
+			return err
+		}
+	}
+	if err := a.Sys.FS.Unlink(a.template, 0); err != nil {
+		return err
+	}
+	return a.Sys.FS.Rmdir(a.TempDir, 0)
+}

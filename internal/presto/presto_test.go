@@ -1,0 +1,173 @@
+package presto
+
+import (
+	"strings"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/isa"
+)
+
+func TestPostProcessSplitsSharedVariables(t *testing.T) {
+	src := `
+        .text
+        .globl  main
+main:   la      $t0, shared_sum
+        lw      $t1, 0($t0)
+        jr      $ra
+        .data
+private_buf:
+        .space  16
+shared_sum:
+        .word   0
+shared_arr:
+        .word   1, 2, 3
+        .word   4
+tail_private:
+        .word   9
+`
+	prog, shd, err := PostProcess(src, []string{"shared_sum", "shared_arr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program source lost the definitions but gained externs.
+	if strings.Contains(prog, "shared_sum:") || strings.Contains(prog, "shared_arr:") {
+		t.Fatal("shared definitions left in program source")
+	}
+	if !strings.Contains(prog, ".extern shared_sum") {
+		t.Fatal("missing extern declaration")
+	}
+	if !strings.Contains(prog, "private_buf:") || !strings.Contains(prog, "tail_private:") {
+		t.Fatal("private definitions lost")
+	}
+	// Both halves must assemble, and the shared half exports the moved
+	// variables.
+	po, err := isa.Assemble("prog.s", prog)
+	if err != nil {
+		t.Fatalf("program half does not assemble: %v", err)
+	}
+	so, err := isa.Assemble("shared.s", shd)
+	if err != nil {
+		t.Fatalf("shared half does not assemble: %v", err)
+	}
+	if len(so.Exports()) != 2 {
+		t.Fatalf("shared exports = %v", so.Exports())
+	}
+	if got := po.Undefined(); len(got) != 2 {
+		t.Fatalf("program undefined = %v", got)
+	}
+	// The multi-line array definition moved whole: 4+4*4 = 20 data bytes
+	// plus alignment.
+	if so.SectionSize(2) < 20 { // SecData
+		t.Fatalf("shared data only %d bytes", so.SectionSize(2))
+	}
+}
+
+func TestPostProcessMissingVariable(t *testing.T) {
+	if _, _, err := PostProcess(".data\nx: .word 1\n", []string{"ghost"}); err == nil {
+		t.Fatal("missing shared variable accepted")
+	}
+}
+
+func TestParallelAppSharedCounters(t *testing.T) {
+	s := core.NewSystem()
+	app, err := Setup(s, "42", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const P = 4
+	var workers []*Worker
+	for i := 0; i < P; i++ {
+		w, err := app.StartWorker(i)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workers = append(workers, w)
+	}
+	// The first worker created the segment inside the temp dir.
+	if _, err := s.FS.StatPath(app.SharedSegmentPath()); err != nil {
+		t.Fatalf("shared segment missing: %v", err)
+	}
+	// Each worker accumulates into its own slot.
+	for round := 0; round < 10; round++ {
+		for _, w := range workers {
+			if err := w.Add(uint32(w.Index + 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Any worker sees everyone's work: 10*(1+2+3+4) = 100.
+	sum, err := workers[0].Sum(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 100 {
+		t.Fatalf("sum = %d, want 100", sum)
+	}
+	// Cleanup removes segment, symlink and directory.
+	if err := app.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FS.StatPath(app.TempDir); err == nil {
+		t.Fatal("temp dir survived cleanup")
+	}
+}
+
+func TestTwoAppsGetDistinctSegments(t *testing.T) {
+	// Two application instances use different temp dirs, so their shared
+	// segments are distinct even though they come from one template.
+	s := core.NewSystem()
+	a1, err := Setup(s, "1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Setup(s, "2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := a1.StartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := a2.StartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Add(7)
+	v2, err := w2.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 0 {
+		t.Fatalf("app 2 sees app 1's counter: %d", v2)
+	}
+	if a1.SharedSegmentPath() == a2.SharedSegmentPath() {
+		t.Fatal("apps share a segment path")
+	}
+}
+
+func TestLateWorkerSeesEarlierWrites(t *testing.T) {
+	s := core.NewSystem()
+	app, err := Setup(s, "9", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := app.StartWorker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0.Add(99)
+	// A worker that joins later links the already-created segment and
+	// sees the accumulated state.
+	w1, err := app.StartWorker(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := w1.Sum(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 99 {
+		t.Fatalf("late worker sees sum %d, want 99", sum)
+	}
+}

@@ -1,0 +1,118 @@
+package rwho
+
+// The distributed half of the rwhod scenario: a fleet of simulated
+// machines, each with its own kernel and shared file system, connected by
+// a broadcast network. Every machine's rwhod periodically broadcasts its
+// local status and folds received packets into its local shared-memory
+// database, where the rwho/ruptime utilities read it.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hemlock/internal/core"
+	"hemlock/internal/netsim"
+	"hemlock/internal/objfile"
+)
+
+// Machine is one host: its own Hemlock system, its shared status
+// database, and a network interface.
+type Machine struct {
+	Host string
+	Sys  *core.System
+	DB   *SharedDB
+	Node *netsim.Node
+
+	image *objfile.Image
+	boot  uint32
+	index int
+}
+
+// NewMachine boots a host named host, installs the whod module sized for
+// maxHosts, starts the "daemon" (the process whose mapping the DB handle
+// uses), and attaches to the network.
+func NewMachine(net *netsim.Network, host string, index, maxHosts int) (*Machine, error) {
+	sys := core.NewSystem()
+	im, err := Install(sys, maxHosts)
+	if err != nil {
+		return nil, err
+	}
+	daemon, err := sys.Launch(im, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	db, err := Open(daemon)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Host:  host,
+		Sys:   sys,
+		DB:    db,
+		Node:  net.Attach(host),
+		image: im,
+		boot:  1000 + uint32(index),
+		index: index,
+	}, nil
+}
+
+// Status reports the machine's own record at tick t.
+func (m *Machine) Status(t uint32) Status {
+	return Status{
+		Host:     m.Host,
+		RecvTime: t,
+		BootTime: m.boot,
+		Load:     [3]uint32{uint32(m.index*7+int(t))%400 + 1, uint32(m.index*13)%300 + 1, uint32(m.index*3)%200 + 1},
+		NUsers:   uint32(m.index) % 12,
+	}
+}
+
+// Tick is one rwhod broadcast round: record the local status and send it
+// to every peer.
+func (m *Machine) Tick(t uint32) error {
+	st := m.Status(t)
+	if err := m.DB.Update(st); err != nil {
+		return fmt.Errorf("rwho: %s: local update: %w", m.Host, err)
+	}
+	return m.Node.Broadcast(encodeSlot(st))
+}
+
+// Drain processes every queued peer packet into the local database,
+// returning how many were applied.
+func (m *Machine) Drain() (int, error) {
+	n := 0
+	for {
+		d, ok := m.Node.Recv()
+		if !ok {
+			return n, nil
+		}
+		if len(d.Payload) != SlotSize {
+			continue // runt packet; rwhod ignores it
+		}
+		st := decodeSlot(d.Payload)
+		if binary.BigEndian.Uint32(d.Payload[offInUse:]) == 0 || st.Host == "" {
+			continue
+		}
+		if err := m.DB.Update(st); err != nil {
+			return n, fmt.Errorf("rwho: %s: applying packet from %s: %w", m.Host, d.From, err)
+		}
+		n++
+	}
+}
+
+// Ruptime runs the assembly ruptime utility on this machine and returns
+// its console output and host count.
+func (m *Machine) Ruptime() (string, int, error) {
+	im, err := InstallUptime(m.Sys)
+	if err != nil {
+		return "", 0, err
+	}
+	pg, err := m.Sys.Launch(im, 0, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := pg.Run(10_000_000); err != nil {
+		return "", 0, err
+	}
+	return pg.Output(), pg.P.ExitCode, nil
+}

@@ -1,0 +1,307 @@
+package rwho
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fmt"
+
+	"hemlock/internal/core"
+	"hemlock/internal/netsim"
+)
+
+func TestFileDBRoundTrip(t *testing.T) {
+	s := core.NewSystem()
+	db, err := NewFileDB(s.FS, "/var/rwho", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := db.Update(SyntheticStatus(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d records", len(got))
+	}
+	want := SyntheticStatus(3, 100)
+	if got[3] != want {
+		t.Fatalf("record 3 = %+v, want %+v", got[3], want)
+	}
+	// Update overwrites in place.
+	upd := SyntheticStatus(3, 222)
+	db.Update(upd)
+	got, _ = db.Query()
+	if len(got) != 5 || got[3] != upd {
+		t.Fatalf("after update: %+v", got[3])
+	}
+}
+
+func TestSharedDBThroughHemlock(t *testing.T) {
+	s := core.NewSystem()
+	im, err := Install(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The daemon writes through one process...
+	daemon, err := s.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddb, err := Open(daemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ddb.Update(SyntheticStatus(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...and a separate rwho process reads the same segment directly.
+	client, err := s.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := Open(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cdb.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("client sees %d records", len(got))
+	}
+	if got[2] != SyntheticStatus(2, 100) {
+		t.Fatalf("record 2 = %+v", got[2])
+	}
+	st, err := cdb.Lookup("machine04")
+	if err != nil || st != SyntheticStatus(4, 100) {
+		t.Fatalf("lookup: %+v, %v", st, err)
+	}
+	if _, err := cdb.Lookup("nonesuch"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("lookup missing host: %v", err)
+	}
+}
+
+func TestSharedAndFileDBAgree(t *testing.T) {
+	s := core.NewSystem()
+	im, err := Install(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdb, err := NewFileDB(s.FS, "/var/rwho", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		st := SyntheticStatus(i, 7)
+		if err := sdb.Update(st); err != nil {
+			t.Fatal(err)
+		}
+		if err := fdb.Update(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := sdb.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fdb.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSharedDBTableFull(t *testing.T) {
+	s := core.NewSystem()
+	im, err := Install(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Update(SyntheticStatus(0, 1))
+	db.Update(SyntheticStatus(1, 1))
+	if err := db.Update(SyntheticStatus(2, 1)); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("want ErrTableFull, got %v", err)
+	}
+	// Re-updating an existing host still works.
+	if err := db.Update(SyntheticStatus(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotCodecRoundTrip(t *testing.T) {
+	st := SyntheticStatus(7, 12345)
+	got := decodeSlot(encodeSlot(st))
+	if got != st {
+		t.Fatalf("%+v != %+v", got, st)
+	}
+}
+
+func TestRuptimeAssemblyUtility(t *testing.T) {
+	// The whole loop, with the query side written in R3K-lite assembly:
+	// compiled code scanning the shared table that a hosted daemon wrote.
+	s := core.NewSystem()
+	im, err := Install(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := s.Launch(im, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(daemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Update(SyntheticStatus(i, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	upImg, err := InstallUptime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(upImg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 3 {
+		t.Fatalf("ruptime counted %d hosts, want 3", pg.P.ExitCode)
+	}
+	out := pg.Output()
+	for i := 0; i < 3; i++ {
+		host := SyntheticStatus(i, 9).Host
+		if !strings.Contains(out, host+"\n") {
+			t.Fatalf("output missing %q:\n%s", host, out)
+		}
+	}
+}
+
+func TestDistributedFleetConverges(t *testing.T) {
+	// Five machines, each its own kernel and shared fs, exchanging rwhod
+	// broadcasts. After a round of ticks and drains, every machine's
+	// shared database lists every host.
+	net := netsim.New()
+	const fleet = 5
+	var machines []*Machine
+	for i := 0; i < fleet; i++ {
+		m, err := NewMachine(net, fmt.Sprintf("machine%02d", i), i, fleet+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines = append(machines, m)
+	}
+	for _, m := range machines {
+		if err := m.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range machines {
+		applied, err := m.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != fleet-1 {
+			t.Fatalf("%s applied %d packets, want %d", m.Host, applied, fleet-1)
+		}
+	}
+	for _, m := range machines {
+		got, err := m.DB.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != fleet {
+			t.Fatalf("%s sees %d hosts", m.Host, len(got))
+		}
+		// The assembly ruptime agrees.
+		out, count, err := m.Ruptime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != fleet {
+			t.Fatalf("%s ruptime counted %d", m.Host, count)
+		}
+		for i := 0; i < fleet; i++ {
+			if !strings.Contains(out, fmt.Sprintf("machine%02d", i)) {
+				t.Fatalf("%s ruptime missing machine%02d:\n%s", m.Host, i, out)
+			}
+		}
+	}
+}
+
+func TestDistributedFleetSurvivesLoss(t *testing.T) {
+	// A lossy LAN: every third datagram to machine01 is dropped; later
+	// rounds re-deliver fresh status, so the fleet still converges.
+	net := netsim.New()
+	net.Drop = func(from, to string, seq uint64) bool {
+		return to == "machine01" && seq%3 == 0
+	}
+	const fleet = 4
+	var machines []*Machine
+	for i := 0; i < fleet; i++ {
+		m, err := NewMachine(net, fmt.Sprintf("machine%02d", i), i, fleet+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines = append(machines, m)
+	}
+	for tick := uint32(1); tick <= 5; tick++ {
+		for _, m := range machines {
+			if err := m.Tick(tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, m := range machines {
+			if _, err := m.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, m := range machines {
+		got, err := m.DB.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != fleet {
+			t.Fatalf("%s sees %d hosts after lossy rounds", m.Host, len(got))
+		}
+	}
+	if _, dropped := net.Stats(); dropped == 0 {
+		t.Fatal("loss model never fired")
+	}
+}

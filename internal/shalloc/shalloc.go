@@ -1,0 +1,393 @@
+// Package shalloc is Hemlock's per-segment storage allocator: "a package
+// designed to allocate space from the heaps associated with individual
+// segments, instead of a heap associated with the calling program."
+//
+// The heap's entire state — free list included — lives inside the segment
+// itself, expressed in absolute virtual addresses. Because a shared
+// segment occupies the same virtual address in every protection domain,
+// any process that maps the segment can attach to the heap and allocate or
+// free, and the pointers it builds are meaningful to every other process.
+// This is what lets the Hemlock version of xfig keep its pointer-rich
+// object lists directly in a persistent segment.
+//
+// Layout (all words big-endian, addresses absolute):
+//
+//	base+0   magic "SHAL"
+//	base+4   segment size
+//	base+8   address of first free block (0 = none)
+//	base+12  allocated byte count (statistics)
+//	base+16  first block
+//
+// Each block: [size u32 | status u32] header followed by the payload.
+// Free blocks keep the address of the next free block in their first
+// payload word; the free list is address-ordered so adjacent free blocks
+// can be coalesced.
+package shalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mem is the memory the heap lives in. kern.Process and addrspace.Space
+// both satisfy it; accesses through kern.Process get fault handling, so
+// attaching to a heap in an unmapped shared segment just works.
+type Mem interface {
+	LoadWord(addr uint32) (uint32, error)
+	StoreWord(addr, val uint32) error
+}
+
+// Errors.
+var (
+	ErrNoSpace     = errors.New("shalloc: out of segment space")
+	ErrBadFree     = errors.New("shalloc: free of unallocated or corrupt block")
+	ErrNotAHeap    = errors.New("shalloc: segment does not contain a heap")
+	ErrCorrupt     = errors.New("shalloc: heap metadata corrupt")
+	ErrTooSmall    = errors.New("shalloc: segment too small for a heap")
+	ErrDoubleInit  = errors.New("shalloc: segment already initialised")
+	ErrZeroAlloc   = errors.New("shalloc: zero-size allocation")
+	ErrOutOfBounds = errors.New("shalloc: address outside segment")
+)
+
+const (
+	magic       = 0x5348414C // "SHAL"
+	hdrMagic    = 0
+	hdrSize     = 4
+	hdrFreeHead = 8
+	hdrUsed     = 12
+	heapStart   = 16
+
+	blockHdr   = 8 // size + status words
+	minPayload = 8 // room for the free-list link and alignment
+
+	statusFree  = 0xF4EEF4EE
+	statusInUse = 0xA110CA7E
+)
+
+// Heap is a handle on a segment heap. The handle holds only the base
+// address and the Mem to go through; all state is in the segment.
+type Heap struct {
+	m    Mem
+	base uint32
+}
+
+// Init formats a heap across [base, base+size) and returns a handle. It
+// refuses to clobber an existing heap (use Attach for that).
+func Init(m Mem, base, size uint32) (*Heap, error) {
+	if size < heapStart+blockHdr+minPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooSmall, size)
+	}
+	if base%4 != 0 || size%4 != 0 {
+		return nil, fmt.Errorf("shalloc: base/size must be word aligned")
+	}
+	if w, err := m.LoadWord(base + hdrMagic); err == nil && w == magic {
+		return nil, ErrDoubleInit
+	} else if err != nil {
+		return nil, err
+	}
+	first := base + heapStart
+	firstSize := size - heapStart - blockHdr
+	if err := storeAll(m, map[uint32]uint32{
+		base + hdrMagic:    magic,
+		base + hdrSize:     size,
+		base + hdrFreeHead: first,
+		base + hdrUsed:     0,
+		first:              firstSize,
+		first + 4:          statusFree,
+		first + blockHdr:   0, // next free
+	}); err != nil {
+		return nil, err
+	}
+	return &Heap{m: m, base: base}, nil
+}
+
+// Attach opens an existing heap at base.
+func Attach(m Mem, base uint32) (*Heap, error) {
+	w, err := m.LoadWord(base + hdrMagic)
+	if err != nil {
+		return nil, err
+	}
+	if w != magic {
+		return nil, fmt.Errorf("%w: at 0x%08x", ErrNotAHeap, base)
+	}
+	return &Heap{m: m, base: base}, nil
+}
+
+// InitOrAttach attaches if a heap exists, initialising otherwise: the
+// first process to touch a fresh segment formats it.
+func InitOrAttach(m Mem, base, size uint32) (*Heap, error) {
+	h, err := Attach(m, base)
+	if err == nil {
+		return h, nil
+	}
+	if errors.Is(err, ErrNotAHeap) {
+		return Init(m, base, size)
+	}
+	return nil, err
+}
+
+func storeAll(m Mem, words map[uint32]uint32) error {
+	for a, v := range words {
+		if err := m.StoreWord(a, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Base returns the heap's segment base address.
+func (h *Heap) Base() uint32 { return h.base }
+
+func (h *Heap) segSize() (uint32, error) { return h.m.LoadWord(h.base + hdrSize) }
+
+func align8(v uint32) uint32 { return (v + 7) &^ 7 }
+
+// Alloc allocates n bytes (rounded up to 8) and returns the payload's
+// absolute address. First-fit with block splitting.
+func (h *Heap) Alloc(n uint32) (uint32, error) {
+	if n == 0 {
+		return 0, ErrZeroAlloc
+	}
+	n = align8(n)
+	if n < minPayload {
+		n = minPayload
+	}
+	var prev uint32 // address of the free-list link pointing at cur (0 = head)
+	cur, err := h.m.LoadWord(h.base + hdrFreeHead)
+	if err != nil {
+		return 0, err
+	}
+	for cur != 0 {
+		size, err := h.m.LoadWord(cur)
+		if err != nil {
+			return 0, err
+		}
+		status, err := h.m.LoadWord(cur + 4)
+		if err != nil {
+			return 0, err
+		}
+		if status != statusFree {
+			return 0, fmt.Errorf("%w: free list hits non-free block at 0x%08x", ErrCorrupt, cur)
+		}
+		next, err := h.m.LoadWord(cur + blockHdr)
+		if err != nil {
+			return 0, err
+		}
+		if size >= n {
+			// Split if the remainder can hold a block.
+			if size >= n+blockHdr+minPayload {
+				rest := cur + blockHdr + n
+				if err := storeAll(h.m, map[uint32]uint32{
+					rest:     size - n - blockHdr,
+					rest + 4: statusFree,
+					rest + 8: next,
+					cur:      n,
+				}); err != nil {
+					return 0, err
+				}
+				next = rest
+			}
+			if err := h.setLink(prev, next); err != nil {
+				return 0, err
+			}
+			if err := h.m.StoreWord(cur+4, statusInUse); err != nil {
+				return 0, err
+			}
+			sz, _ := h.m.LoadWord(cur)
+			used, _ := h.m.LoadWord(h.base + hdrUsed)
+			if err := h.m.StoreWord(h.base+hdrUsed, used+sz); err != nil {
+				return 0, err
+			}
+			return cur + blockHdr, nil
+		}
+		prev, cur = cur+blockHdr, next
+	}
+	return 0, fmt.Errorf("%w: %d bytes requested", ErrNoSpace, n)
+}
+
+// setLink writes the free-list link at linkAddr (0 means the head).
+func (h *Heap) setLink(linkAddr, val uint32) error {
+	if linkAddr == 0 {
+		return h.m.StoreWord(h.base+hdrFreeHead, val)
+	}
+	return h.m.StoreWord(linkAddr, val)
+}
+
+// Free returns the block whose payload starts at addr to the free list,
+// coalescing with adjacent free blocks.
+func (h *Heap) Free(addr uint32) error {
+	segSize, err := h.segSize()
+	if err != nil {
+		return err
+	}
+	blk := addr - blockHdr
+	if addr < h.base+heapStart+blockHdr || addr >= h.base+segSize {
+		return fmt.Errorf("%w: 0x%08x", ErrOutOfBounds, addr)
+	}
+	status, err := h.m.LoadWord(blk + 4)
+	if err != nil {
+		return err
+	}
+	if status != statusInUse {
+		return fmt.Errorf("%w: 0x%08x (status 0x%08x)", ErrBadFree, addr, status)
+	}
+	size, err := h.m.LoadWord(blk)
+	if err != nil {
+		return err
+	}
+	used, _ := h.m.LoadWord(h.base + hdrUsed)
+	if err := h.m.StoreWord(h.base+hdrUsed, used-size); err != nil {
+		return err
+	}
+	// Insert address-ordered.
+	var prevBlk, prevLink uint32
+	cur, err := h.m.LoadWord(h.base + hdrFreeHead)
+	if err != nil {
+		return err
+	}
+	for cur != 0 && cur < blk {
+		next, err := h.m.LoadWord(cur + blockHdr)
+		if err != nil {
+			return err
+		}
+		prevBlk, prevLink = cur, cur+blockHdr
+		cur = next
+	}
+	if err := h.m.StoreWord(blk+4, statusFree); err != nil {
+		return err
+	}
+	if err := h.m.StoreWord(blk+blockHdr, cur); err != nil {
+		return err
+	}
+	if err := h.setLink(prevLink, blk); err != nil {
+		return err
+	}
+	// Coalesce forward (blk + next).
+	if cur != 0 && blk+blockHdr+size == cur {
+		curSize, err := h.m.LoadWord(cur)
+		if err != nil {
+			return err
+		}
+		curNext, err := h.m.LoadWord(cur + blockHdr)
+		if err != nil {
+			return err
+		}
+		size += blockHdr + curSize
+		if err := h.m.StoreWord(blk, size); err != nil {
+			return err
+		}
+		if err := h.m.StoreWord(blk+blockHdr, curNext); err != nil {
+			return err
+		}
+	}
+	// Coalesce backward (prev + blk).
+	if prevBlk != 0 {
+		prevSize, err := h.m.LoadWord(prevBlk)
+		if err != nil {
+			return err
+		}
+		if prevBlk+blockHdr+prevSize == blk {
+			blkNext, err := h.m.LoadWord(blk + blockHdr)
+			if err != nil {
+				return err
+			}
+			if err := h.m.StoreWord(prevBlk, prevSize+blockHdr+size); err != nil {
+				return err
+			}
+			if err := h.m.StoreWord(prevBlk+blockHdr, blkNext); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats describes heap occupancy.
+type Stats struct {
+	SegmentSize uint32
+	UsedBytes   uint32
+	FreeBytes   uint32
+	FreeBlocks  int
+}
+
+// Stats walks the free list and reports occupancy.
+func (h *Heap) Stats() (Stats, error) {
+	var st Stats
+	var err error
+	if st.SegmentSize, err = h.segSize(); err != nil {
+		return st, err
+	}
+	if st.UsedBytes, err = h.m.LoadWord(h.base + hdrUsed); err != nil {
+		return st, err
+	}
+	cur, err := h.m.LoadWord(h.base + hdrFreeHead)
+	if err != nil {
+		return st, err
+	}
+	for cur != 0 {
+		size, err := h.m.LoadWord(cur)
+		if err != nil {
+			return st, err
+		}
+		st.FreeBytes += size
+		st.FreeBlocks++
+		if cur, err = h.m.LoadWord(cur + blockHdr); err != nil {
+			return st, err
+		}
+		if st.FreeBlocks > 1<<20 {
+			return st, fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+	}
+	return st, nil
+}
+
+// Check validates heap invariants: the free list is address-ordered,
+// within bounds, and contains only free blocks with no adjacent pairs
+// left uncoalesced.
+func (h *Heap) Check() error {
+	segSize, err := h.segSize()
+	if err != nil {
+		return err
+	}
+	limit := h.base + segSize
+	var last uint32
+	cur, err := h.m.LoadWord(h.base + hdrFreeHead)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for cur != 0 {
+		if cur <= last {
+			return fmt.Errorf("%w: free list not address-ordered at 0x%08x", ErrCorrupt, cur)
+		}
+		if cur < h.base+heapStart || cur+blockHdr > limit {
+			return fmt.Errorf("%w: free block 0x%08x out of bounds", ErrCorrupt, cur)
+		}
+		status, err := h.m.LoadWord(cur + 4)
+		if err != nil {
+			return err
+		}
+		if status != statusFree {
+			return fmt.Errorf("%w: non-free block 0x%08x on free list", ErrCorrupt, cur)
+		}
+		size, err := h.m.LoadWord(cur)
+		if err != nil {
+			return err
+		}
+		if cur+blockHdr+size > limit {
+			return fmt.Errorf("%w: block 0x%08x overruns segment", ErrCorrupt, cur)
+		}
+		next, err := h.m.LoadWord(cur + blockHdr)
+		if err != nil {
+			return err
+		}
+		if next != 0 && cur+blockHdr+size == next {
+			return fmt.Errorf("%w: adjacent free blocks 0x%08x/0x%08x not coalesced", ErrCorrupt, cur, next)
+		}
+		last, cur = cur, next
+		if n++; n > 1<<20 {
+			return fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+	}
+	return nil
+}

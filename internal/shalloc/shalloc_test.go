@@ -1,0 +1,269 @@
+package shalloc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/mem"
+)
+
+const (
+	segBase uint32 = 0x30100000
+	segSize uint32 = 64 * 1024
+)
+
+func newHeap(t *testing.T) (*Heap, *addrspace.Space) {
+	t.Helper()
+	as := addrspace.New(mem.NewPhysical(0))
+	if err := as.MapAnon(segBase, segSize, addrspace.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Init(as, segBase, segSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, as
+}
+
+func TestAllocFree(t *testing.T) {
+	h, _ := newHeap(t)
+	a, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if a%8 != 0 || b%8 != 0 {
+		t.Fatalf("unaligned payloads 0x%x 0x%x", a, b)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedBytes != 0 {
+		t.Fatalf("used = %d after freeing all", st.UsedBytes)
+	}
+	if st.FreeBlocks != 1 {
+		t.Fatalf("free blocks = %d, want 1 (coalesced)", st.FreeBlocks)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationsAreWritable(t *testing.T) {
+	h, as := newHeap(t)
+	a, _ := h.Alloc(16)
+	if err := as.StoreWord(a, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreWord(a+12, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.LoadWord(a); v != 0xDEAD {
+		t.Fatal("payload not stored")
+	}
+}
+
+func TestDoubleFreeRejected(t *testing.T) {
+	h, _ := newHeap(t)
+	a, _ := h.Alloc(32)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestFreeBogusAddressRejected(t *testing.T) {
+	h, _ := newHeap(t)
+	if err := h.Free(segBase + segSize + 100); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out-of-bounds free: %v", err)
+	}
+	a, _ := h.Alloc(32)
+	if err := h.Free(a + 8); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("interior free: %v", err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	h, _ := newHeap(t)
+	var allocs []uint32
+	for {
+		a, err := h.Alloc(1024)
+		if err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatal(err)
+			}
+			break
+		}
+		allocs = append(allocs, a)
+	}
+	if len(allocs) < 50 {
+		t.Fatalf("only %d KB-size blocks fit in a 64 KB segment", len(allocs))
+	}
+	// Free everything; space is fully recovered.
+	for _, a := range allocs {
+		if err := h.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Alloc(segSize / 2); err != nil {
+		t.Fatalf("large alloc after full free failed: %v", err)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingBothDirections(t *testing.T) {
+	h, _ := newHeap(t)
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	c, _ := h.Alloc(64)
+	_, _ = h.Alloc(64) // guard so c doesn't merge with the wilderness
+	// Free a and c (non-adjacent), then b: all three must merge.
+	h.Free(a)
+	h.Free(c)
+	st, _ := h.Stats()
+	if st.FreeBlocks != 3 { // a, c, wilderness
+		t.Fatalf("free blocks = %d, want 3", st.FreeBlocks)
+	}
+	h.Free(b)
+	st, _ = h.Stats()
+	if st.FreeBlocks != 2 { // merged a+b+c, wilderness
+		t.Fatalf("free blocks after merge = %d, want 2", st.FreeBlocks)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachSeesSameHeap(t *testing.T) {
+	// Two handles (standing in for two processes mapping the same
+	// segment) share all state, which lives in the segment.
+	h1, as := newHeap(t)
+	a, _ := h1.Alloc(128)
+	h2, err := Attach(as, segBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h2.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("second handle reallocated a live block")
+	}
+	if err := h2.Free(a); err != nil {
+		t.Fatalf("free through other handle: %v", err)
+	}
+	st, _ := h1.Stats()
+	if st.FreeBlocks == 0 {
+		t.Fatal("free not visible through first handle")
+	}
+}
+
+func TestInitRefusesClobber(t *testing.T) {
+	_, as := newHeap(t)
+	if _, err := Init(as, segBase, segSize); !errors.Is(err, ErrDoubleInit) {
+		t.Fatalf("re-init: %v", err)
+	}
+	h, err := InitOrAttach(as, segBase, segSize)
+	if err != nil || h == nil {
+		t.Fatalf("InitOrAttach on existing heap: %v", err)
+	}
+}
+
+func TestAttachRejectsRawSegment(t *testing.T) {
+	as := addrspace.New(mem.NewPhysical(0))
+	as.MapAnon(segBase, segSize, addrspace.ProtRW)
+	if _, err := Attach(as, segBase); !errors.Is(err, ErrNotAHeap) {
+		t.Fatalf("attach to raw segment: %v", err)
+	}
+}
+
+func TestZeroAlloc(t *testing.T) {
+	h, _ := newHeap(t)
+	if _, err := h.Alloc(0); !errors.Is(err, ErrZeroAlloc) {
+		t.Fatalf("zero alloc: %v", err)
+	}
+}
+
+func TestTooSmallSegment(t *testing.T) {
+	as := addrspace.New(mem.NewPhysical(0))
+	as.MapAnon(segBase, 4096, addrspace.ProtRW)
+	if _, err := Init(as, segBase, 16); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("tiny segment: %v", err)
+	}
+}
+
+// Randomised invariant test: any interleaving of allocs and frees keeps
+// the heap consistent and never double-hands-out memory.
+func TestRandomisedInvariants(t *testing.T) {
+	h, as := newHeap(t)
+	rng := rand.New(rand.NewSource(42))
+	live := map[uint32]uint32{} // payload -> size
+	stamp := map[uint32]uint32{}
+	for i := 0; i < 2000; i++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			n := uint32(rng.Intn(256) + 1)
+			a, err := h.Alloc(n)
+			if errors.Is(err, ErrNoSpace) {
+				// Free something and continue.
+				for p := range live {
+					h.Free(p)
+					delete(live, p)
+					break
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// No overlap with any live block.
+			for p, sz := range live {
+				if a < p+sz && p < a+n {
+					t.Fatalf("overlap: new [0x%x,+%d) with [0x%x,+%d)", a, n, p, sz)
+				}
+			}
+			v := rng.Uint32()
+			as.StoreWord(a, v)
+			live[a] = n
+			stamp[a] = v
+		} else {
+			for p := range live {
+				if got, _ := as.LoadWord(p); got != stamp[p] {
+					t.Fatalf("payload 0x%x clobbered: %x != %x", p, got, stamp[p])
+				}
+				if err := h.Free(p); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, p)
+				break
+			}
+		}
+		if i%100 == 0 {
+			if err := h.Check(); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

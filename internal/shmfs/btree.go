@@ -1,0 +1,251 @@
+package shmfs
+
+// The paper's 64-bit roadmap for the address-to-file mapping: "Within the
+// kernel, we will abandon the linear lookup table and the direct
+// association between inode numbers and addresses. Instead, we will add an
+// address field to the on-disk version of each inode, and will link these
+// inodes into a lookup structure — most likely a B-tree — whose presence
+// on the disk allows it to survive across re-boots."
+//
+// This file implements that B-tree: keys are segment base addresses,
+// values are (inode, path). It is maintained alongside the linear table so
+// the E-fs ablation can compare all three lookup strategies (linear scan,
+// direct slot index, B-tree) over identical state. On a 32-bit prototype
+// the direct index is trivially available; the B-tree is what scales to a
+// 64-bit address space where slots are not dense.
+
+import "fmt"
+
+const btreeOrder = 8 // max children per node; max keys = btreeOrder-1
+
+type btreeEntry struct {
+	base uint32
+	ino  int
+	path string
+}
+
+type btreeNode struct {
+	entries  []btreeEntry
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// AddrTree is a B-tree from segment base address to file identity.
+type AddrTree struct {
+	root  *btreeNode
+	count int
+}
+
+// NewAddrTree returns an empty tree.
+func NewAddrTree() *AddrTree {
+	return &AddrTree{root: &btreeNode{}}
+}
+
+// Len returns the number of entries.
+func (t *AddrTree) Len() int { return t.count }
+
+// Insert adds (or replaces) the entry for base.
+func (t *AddrTree) Insert(base uint32, ino int, path string) {
+	if replaced := t.root.replace(base, ino, path); replaced {
+		return
+	}
+	if len(t.root.entries) == btreeOrder-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	t.root.insertNonFull(btreeEntry{base: base, ino: ino, path: path})
+	t.count++
+}
+
+// replace updates an existing key in place, reporting whether it existed.
+func (n *btreeNode) replace(base uint32, ino int, path string) bool {
+	i := n.search(base)
+	if i < len(n.entries) && n.entries[i].base == base {
+		n.entries[i].ino = ino
+		n.entries[i].path = path
+		return true
+	}
+	if n.leaf() {
+		return false
+	}
+	return n.children[i].replace(base, ino, path)
+}
+
+// search returns the index of the first entry with base >= key.
+func (n *btreeNode) search(key uint32) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].base < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.entries) / 2
+	up := child.entries[mid]
+	right := &btreeNode{entries: append([]btreeEntry(nil), child.entries[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+	n.entries = append(n.entries, btreeEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(e btreeEntry) {
+	i := n.search(e.base)
+	if n.leaf() {
+		n.entries = append(n.entries, btreeEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return
+	}
+	if len(n.children[i].entries) == btreeOrder-1 {
+		n.splitChild(i)
+		if e.base > n.entries[i].base {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(e)
+}
+
+// LookupCovering finds the entry whose [base, base+SlotSize) range covers
+// addr.
+func (t *AddrTree) LookupCovering(addr uint32) (ino int, path string, off uint32, ok bool) {
+	n := t.root
+	var best *btreeEntry
+	for n != nil {
+		i := n.search(addr)
+		if i < len(n.entries) && n.entries[i].base == addr {
+			best = &n.entries[i]
+			break
+		}
+		// The covering entry, if any, is the predecessor of addr.
+		if i > 0 {
+			best = &n.entries[i-1]
+		}
+		if n.leaf() {
+			break
+		}
+		if i > 0 {
+			// Descend right of the predecessor to find a closer one.
+			n = n.children[i]
+		} else {
+			n = n.children[0]
+		}
+	}
+	if best == nil || addr < best.base || addr >= best.base+SlotSize {
+		return 0, "", 0, false
+	}
+	return best.ino, best.path, addr - best.base, true
+}
+
+// Delete removes the entry for base, reporting whether it existed. The
+// implementation rebuilds from an in-order walk when the simple leaf-removal
+// case does not apply; deletions are rare (file destruction) next to
+// lookups, and correctness matters more than asymptotics here.
+func (t *AddrTree) Delete(base uint32) bool {
+	if !t.contains(base) {
+		return false
+	}
+	entries := t.Walk()
+	nt := NewAddrTree()
+	for _, e := range entries {
+		if e.base != base {
+			nt.Insert(e.base, e.ino, e.path)
+		}
+	}
+	t.root, t.count = nt.root, nt.count
+	return true
+}
+
+func (t *AddrTree) contains(base uint32) bool {
+	n := t.root
+	for n != nil {
+		i := n.search(base)
+		if i < len(n.entries) && n.entries[i].base == base {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Walk returns all entries in ascending base order.
+func (t *AddrTree) Walk() []btreeEntry {
+	var out []btreeEntry
+	var rec func(n *btreeNode)
+	rec = func(n *btreeNode) {
+		for i, e := range n.entries {
+			if !n.leaf() {
+				rec(n.children[i])
+			}
+			out = append(out, e)
+		}
+		if !n.leaf() {
+			rec(n.children[len(n.children)-1])
+		}
+	}
+	rec(t.root)
+	return out
+}
+
+// Check validates B-tree invariants: sorted keys, child key ranges, and
+// uniform leaf depth.
+func (t *AddrTree) Check() error {
+	depth := -1
+	var rec func(n *btreeNode, lo, hi uint64, d int) error
+	rec = func(n *btreeNode, lo, hi uint64, d int) error {
+		for i := 0; i < len(n.entries); i++ {
+			k := uint64(n.entries[i].base)
+			if k < lo || k >= hi {
+				return fmt.Errorf("shmfs: btree key 0x%x outside (0x%x,0x%x)", k, lo, hi)
+			}
+			if i > 0 && n.entries[i-1].base >= n.entries[i].base {
+				return fmt.Errorf("shmfs: btree keys out of order")
+			}
+		}
+		if n.leaf() {
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				return fmt.Errorf("shmfs: btree leaves at depths %d and %d", depth, d)
+			}
+			return nil
+		}
+		if len(n.children) != len(n.entries)+1 {
+			return fmt.Errorf("shmfs: btree node has %d entries, %d children", len(n.entries), len(n.children))
+		}
+		next := lo
+		for i, c := range n.children {
+			var bound uint64
+			if i < len(n.entries) {
+				bound = uint64(n.entries[i].base)
+			} else {
+				bound = hi
+			}
+			if err := rec(c, next, bound, d+1); err != nil {
+				return err
+			}
+			next = bound + 1
+		}
+		return nil
+	}
+	return rec(t.root, 0, 1<<33, 0)
+}

@@ -1,0 +1,159 @@
+package shmfs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	tr := NewAddrTree()
+	for i := 0; i < 200; i++ {
+		tr.Insert(AddrOf(i), i, fmt.Sprintf("/f%d", i))
+		if err := tr.Check(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 200; i++ {
+		ino, path, off, ok := tr.LookupCovering(AddrOf(i) + uint32(i))
+		if !ok || ino != i || path != fmt.Sprintf("/f%d", i) || off != uint32(i) {
+			t.Fatalf("lookup %d: %d %q %d %v", i, ino, path, off, ok)
+		}
+	}
+	// Address past the last slot's range is not covered.
+	if _, _, _, ok := tr.LookupCovering(AddrOf(200) + 5); ok {
+		t.Fatal("uncovered address resolved")
+	}
+}
+
+func TestBTreeEmptyAndMiss(t *testing.T) {
+	tr := NewAddrTree()
+	if _, _, _, ok := tr.LookupCovering(Base); ok {
+		t.Fatal("empty tree resolved an address")
+	}
+	tr.Insert(AddrOf(5), 5, "/five")
+	if _, _, _, ok := tr.LookupCovering(AddrOf(4)); ok {
+		t.Fatal("gap before entry resolved")
+	}
+	if _, _, _, ok := tr.LookupCovering(AddrOf(6)); ok {
+		t.Fatal("gap after entry resolved")
+	}
+}
+
+func TestBTreeReplace(t *testing.T) {
+	tr := NewAddrTree()
+	tr.Insert(AddrOf(3), 3, "/old")
+	tr.Insert(AddrOf(3), 3, "/new")
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d after replace", tr.Len())
+	}
+	_, path, _, _ := tr.LookupCovering(AddrOf(3))
+	if path != "/new" {
+		t.Fatalf("path = %q", path)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewAddrTree()
+	for i := 0; i < 60; i++ {
+		tr.Insert(AddrOf(i), i, fmt.Sprintf("/f%d", i))
+	}
+	for i := 0; i < 60; i += 3 {
+		if !tr.Delete(AddrOf(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(AddrOf(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 40 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 60; i++ {
+		_, _, _, ok := tr.LookupCovering(AddrOf(i))
+		want := i%3 != 0
+		if ok != want {
+			t.Fatalf("entry %d present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestBTreeWalkSorted(t *testing.T) {
+	tr := NewAddrTree()
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(300)
+	for _, i := range perm {
+		tr.Insert(AddrOf(i), i, "")
+	}
+	walk := tr.Walk()
+	if len(walk) != 300 {
+		t.Fatalf("walk len = %d", len(walk))
+	}
+	for i := 1; i < len(walk); i++ {
+		if walk[i-1].base >= walk[i].base {
+			t.Fatal("walk not sorted")
+		}
+	}
+}
+
+// Property: for any insertion order of distinct slots, every inserted slot
+// resolves and the tree stays valid.
+func TestBTreeRandomisedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		tr := NewAddrTree()
+		perm := rng.Perm(NumInodes)[:n]
+		for _, i := range perm {
+			tr.Insert(AddrOf(i), i, "")
+		}
+		if tr.Check() != nil || tr.Len() != n {
+			return false
+		}
+		for _, i := range perm {
+			ino, _, _, ok := tr.LookupCovering(AddrOf(i) + SlotSize - 1)
+			if !ok || ino != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSBTreeStaysConsistent(t *testing.T) {
+	fs := newFS(t)
+	fs.Lookup = LookupBTree
+	for i := 0; i < 30; i++ {
+		fs.Create(fmt.Sprintf("/f%d", i), DefaultFileMode, 0)
+	}
+	for i := 0; i < 30; i += 2 {
+		fs.Unlink(fmt.Sprintf("/f%d", i), 0)
+	}
+	for i := 0; i < 30; i++ {
+		_, _, err := fs.AddrToPath(AddrOf(i + 1)) // +1: root dir is inode 0
+		_ = err
+	}
+	// Every remaining file resolves through the tree.
+	count := 0
+	fs.WalkFiles(func(p string, st Stat) error {
+		got, _, err := fs.AddrToPath(st.Addr)
+		if err != nil || got != p {
+			t.Fatalf("btree lookup of %s: %q, %v", p, got, err)
+		}
+		count++
+		return nil
+	})
+	if count != 15 {
+		t.Fatalf("files = %d", count)
+	}
+}

@@ -1,0 +1,503 @@
+package shmfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hemlock/internal/mem"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	fs, err := New(mem.NewPhysical(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestGeometry(t *testing.T) {
+	// The 1 GB region divides into exactly 1024 slots of 1 MB.
+	if (Limit-Base)/SlotSize != NumInodes {
+		t.Fatalf("region holds %d slots, want %d", (Limit-Base)/SlotSize, NumInodes)
+	}
+	if AddrOf(0) != Base {
+		t.Fatalf("inode 0 at 0x%08x, want 0x%08x", AddrOf(0), Base)
+	}
+	if AddrOf(NumInodes-1)+SlotSize != Limit {
+		t.Fatal("last slot does not end at region limit")
+	}
+}
+
+func TestCreateStatAddr(t *testing.T) {
+	fs := newFS(t)
+	st, err := fs.Create("/mod.o", DefaultFileMode, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Addr != AddrOf(st.Ino) {
+		t.Fatalf("addr 0x%08x != AddrOf(%d)", st.Addr, st.Ino)
+	}
+	got, err := fs.StatPath("/mod.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ino != st.Ino || got.Type != TypeFile || got.UID != 100 {
+		t.Fatalf("stat mismatch: %+v", got)
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("/x", DefaultFileMode, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/x", DefaultFileMode, 0); !errors.Is(err, ErrExist) {
+		t.Fatalf("want ErrExist, got %v", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("/data", DefaultFileMode, 0); err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("segment "), 1000) // spans pages
+	if _, err := fs.WriteAt("/data", 100, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	n, err := fs.ReadAt("/data", 100, buf, 0)
+	if err != nil || n != len(msg) {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("round trip mismatch")
+	}
+	st, _ := fs.StatPath("/data")
+	if st.Size != uint32(100+len(msg)) {
+		t.Fatalf("size = %d, want %d", st.Size, 100+len(msg))
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/f", DefaultFileMode, 0)
+	fs.WriteAt("/f", 0, []byte("abc"), 0)
+	buf := make([]byte, 10)
+	n, err := fs.ReadAt("/f", 0, buf, 0)
+	if err != nil || n != 3 {
+		t.Fatalf("short read got %d, %v", n, err)
+	}
+	n, err = fs.ReadAt("/f", 100, buf, 0)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF got %d, %v", n, err)
+	}
+}
+
+func TestFileSizeLimit(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/big", DefaultFileMode, 0)
+	// Exactly 1 MB is fine.
+	if err := fs.Truncate("/big", MaxFile, 0); err != nil {
+		t.Fatalf("1 MB truncate failed: %v", err)
+	}
+	// One byte over the limit is rejected.
+	if _, err := fs.WriteAt("/big", MaxFile, []byte{1}, 0); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("want ErrFileTooBig, got %v", err)
+	}
+	if err := fs.Truncate("/big", MaxFile+1, 0); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("want ErrFileTooBig, got %v", err)
+	}
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	fs := newFS(t)
+	// Root consumes inode 0; 1023 files fit.
+	for i := 0; i < NumInodes-1; i++ {
+		if _, err := fs.Create(fmt.Sprintf("/f%d", i), DefaultFileMode, 0); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if _, err := fs.Create("/overflow", DefaultFileMode, 0); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// Destroying one frees its slot for reuse.
+	if err := fs.Unlink("/f7", 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Create("/reborn", DefaultFileMode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ino == 0 {
+		t.Fatal("reused root inode")
+	}
+}
+
+func TestHardLinksProhibited(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/a", DefaultFileMode, 0)
+	if err := fs.Link("/a", "/b"); !errors.Is(err, ErrHardLink) {
+		t.Fatalf("want ErrHardLink, got %v", err)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.MkdirAll("/usr/local/lib", DefaultDirMode, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.Create("/usr/local/lib/mod.o", DefaultFileMode, 0)
+	fs.Create("/usr/local/lib/aaa", DefaultFileMode, 0)
+	ents, err := fs.ReadDir("/usr/local/lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 || ents[0].Name != "aaa" || ents[1].Name != "mod.o" {
+		t.Fatalf("bad listing: %+v", ents)
+	}
+	if err := fs.Rmdir("/usr/local/lib", 0); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("want ErrNotEmpty, got %v", err)
+	}
+	fs.Unlink("/usr/local/lib/mod.o", 0)
+	fs.Unlink("/usr/local/lib/aaa", 0)
+	if err := fs.Rmdir("/usr/local/lib", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.StatPath("/usr/local/lib"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("dir still present: %v", err)
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/tmp/app.123", DefaultDirMode, 0)
+	fs.Create("/templates/shared.o", DefaultFileMode, 0) // fails: no /templates yet
+	fs.MkdirAll("/templates", DefaultDirMode, 0)
+	fs.Create("/templates/shared.o", DefaultFileMode, 0)
+	// The Presto trick: symlink the template into a temp directory.
+	if err := fs.Symlink("/templates/shared.o", "/tmp/app.123/shared.o", 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.StatPath("/tmp/app.123/shared.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, _ := fs.StatPath("/templates/shared.o")
+	if st.Ino != real.Ino {
+		t.Fatal("symlink does not resolve to target inode")
+	}
+	lst, err := fs.LstatPath("/tmp/app.123/shared.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Type != TypeSymlink {
+		t.Fatalf("lstat type = %v, want symlink", lst.Type)
+	}
+	target, err := fs.Readlink("/tmp/app.123/shared.o")
+	if err != nil || target != "/templates/shared.o" {
+		t.Fatalf("readlink = %q, %v", target, err)
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	fs := newFS(t)
+	fs.Symlink("/b", "/a", 0)
+	fs.Symlink("/a", "/b", 0)
+	if _, err := fs.StatPath("/a"); !errors.Is(err, ErrLoop) {
+		t.Fatalf("want ErrLoop, got %v", err)
+	}
+}
+
+func TestRelativeSymlink(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/lib", DefaultDirMode, 0)
+	fs.Create("/lib/real.o", DefaultFileMode, 0)
+	fs.Symlink("real.o", "/lib/alias.o", 0)
+	st, err := fs.StatPath("/lib/alias.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, _ := fs.StatPath("/lib/real.o")
+	if st.Ino != real.Ino {
+		t.Fatal("relative symlink broken")
+	}
+}
+
+func TestPermissions(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/secret", ModeOwnerRead|ModeOwnerWrite, 100)
+	fs.WriteAt("/secret", 0, []byte("data"), 100)
+	// Another user cannot read or write.
+	if _, err := fs.ReadAt("/secret", 0, make([]byte, 4), 200); !errors.Is(err, ErrPerm) {
+		t.Fatalf("want ErrPerm on read, got %v", err)
+	}
+	if _, err := fs.WriteAt("/secret", 0, []byte("x"), 200); !errors.Is(err, ErrPerm) {
+		t.Fatalf("want ErrPerm on write, got %v", err)
+	}
+	// Root can.
+	if _, err := fs.ReadAt("/secret", 0, make([]byte, 4), 0); err != nil {
+		t.Fatalf("root read failed: %v", err)
+	}
+	// Owner opens up other-read.
+	if err := fs.Chmod("/secret", DefaultFileMode, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadAt("/secret", 0, make([]byte, 4), 200); err != nil {
+		t.Fatalf("read after chmod failed: %v", err)
+	}
+	// Non-owner cannot chmod.
+	if err := fs.Chmod("/secret", 0, 200); !errors.Is(err, ErrPerm) {
+		t.Fatalf("want ErrPerm on chmod, got %v", err)
+	}
+}
+
+func TestAddrToPathRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/lib", DefaultDirMode, 0)
+	st, _ := fs.Create("/lib/table.o", DefaultFileMode, 0)
+	addr, err := fs.PathToAddr("/lib/table.o")
+	if err != nil || addr != st.Addr {
+		t.Fatalf("PathToAddr = 0x%x, %v", addr, err)
+	}
+	// Interior address resolves to the same file with an offset.
+	p, off, err := fs.AddrToPath(addr + 12345)
+	if err != nil || p != "/lib/table.o" || off != 12345 {
+		t.Fatalf("AddrToPath = %q, %d, %v", p, off, err)
+	}
+	// Address in an empty slot fails.
+	if _, _, err := fs.AddrToPath(Limit - 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+	// Address outside the region fails.
+	if _, _, err := fs.AddrToPath(0x10000000); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("want ErrBadAddr, got %v", err)
+	}
+}
+
+func TestBootScanRebuildsTable(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/a/b", DefaultDirMode, 0)
+	fs.Create("/a/b/one", DefaultFileMode, 0)
+	fs.Create("/two", DefaultFileMode, 0)
+	addr, _ := fs.PathToAddr("/a/b/one")
+	fs.ClearTable() // crash
+	if _, _, err := fs.AddrToPath(addr); err == nil {
+		t.Fatal("lookup should fail before boot scan")
+	}
+	n := fs.BootScan()
+	if n != 2 {
+		t.Fatalf("boot scan found %d files, want 2", n)
+	}
+	p, _, err := fs.AddrToPath(addr)
+	if err != nil || p != "/a/b/one" {
+		t.Fatalf("AddrToPath after scan = %q, %v", p, err)
+	}
+}
+
+func TestUnlinkRemovesTableEntry(t *testing.T) {
+	fs := newFS(t)
+	st, _ := fs.Create("/gone", DefaultFileMode, 0)
+	fs.Unlink("/gone", 0)
+	if _, _, err := fs.AddrToPath(st.Addr); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("table entry survived unlink: %v", err)
+	}
+	if fs.TableLen() != 0 {
+		t.Fatalf("table len = %d, want 0", fs.TableLen())
+	}
+}
+
+func TestUnlinkReleasesFrames(t *testing.T) {
+	phys := mem.NewPhysical(0)
+	fs, _ := New(phys)
+	fs.Create("/f", DefaultFileMode, 0)
+	fs.Truncate("/f", 10*mem.PageSize, 0)
+	if st := phys.Stats(); st.Live != 10 {
+		t.Fatalf("live = %d, want 10", st.Live)
+	}
+	fs.Unlink("/f", 0)
+	if st := phys.Stats(); st.Live != 0 {
+		t.Fatalf("live after unlink = %d, want 0", st.Live)
+	}
+}
+
+func TestTruncateZeroesShrunkRange(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/f", DefaultFileMode, 0)
+	fs.WriteAt("/f", 0, []byte("secretdata"), 0)
+	fs.Truncate("/f", 3, 0)
+	fs.Truncate("/f", 10, 0)
+	buf := make([]byte, 10)
+	fs.ReadAt("/f", 0, buf, 0)
+	if !bytes.Equal(buf, []byte("sec\x00\x00\x00\x00\x00\x00\x00")) {
+		t.Fatalf("stale data after shrink+grow: %q", buf)
+	}
+}
+
+func TestFramesAliasFileContents(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/seg", DefaultFileMode, 0)
+	fs.WriteAt("/seg", 0, []byte("before"), 0)
+	frames, st, err := fs.Frames("/seg", mem.PageSize, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != mem.PageSize {
+		t.Fatalf("Frames grew size to %d, want %d", st.Size, mem.PageSize)
+	}
+	// A store through the frame is visible through the read interface.
+	copy(frames[0].Data[0:], "AFTER!")
+	buf := make([]byte, 6)
+	fs.ReadAt("/seg", 0, buf, 0)
+	if string(buf) != "AFTER!" {
+		t.Fatalf("file read saw %q, want AFTER!", buf)
+	}
+}
+
+func TestLocking(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/lockme", DefaultFileMode, 0)
+	ok, err := fs.TryLock("/lockme", 10)
+	if err != nil || !ok {
+		t.Fatalf("first lock: %v %v", ok, err)
+	}
+	// Reentrant for the same pid.
+	ok, _ = fs.TryLock("/lockme", 10)
+	if !ok {
+		t.Fatal("reentrant lock failed")
+	}
+	// Other pid blocked.
+	ok, _ = fs.TryLock("/lockme", 20)
+	if ok {
+		t.Fatal("lock not exclusive")
+	}
+	if err := fs.Unlock("/lockme", 20); !errors.Is(err, ErrLocked) {
+		t.Fatalf("non-owner unlock: %v", err)
+	}
+	fs.Unlock("/lockme", 10)
+	if owner, _ := fs.LockOwner("/lockme"); owner != 10 {
+		t.Fatalf("owner = %d after one unlock of two, want 10", owner)
+	}
+	fs.Unlock("/lockme", 10)
+	ok, _ = fs.TryLock("/lockme", 20)
+	if !ok {
+		t.Fatal("lock not released")
+	}
+}
+
+func TestWalkFiles(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/d1", DefaultDirMode, 0)
+	fs.Create("/d1/b", DefaultFileMode, 0)
+	fs.Create("/a", DefaultFileMode, 0)
+	var got []string
+	fs.WalkFiles(func(p string, st Stat) error {
+		got = append(got, p)
+		return nil
+	})
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/d1/b" {
+		t.Fatalf("walk = %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/lib/app", DefaultDirMode, 42)
+	fs.Create("/lib/app/mod.o", DefaultFileMode, 42)
+	payload := bytes.Repeat([]byte{0xAB, 0xCD}, 3000)
+	fs.WriteAt("/lib/app/mod.o", 0, payload, 42)
+	fs.Symlink("/lib/app/mod.o", "/alias", 0)
+
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Load(&buf, mem.NewPhysical(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs2.ReadFile("/lib/app/mod.o", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("payload mismatch after load")
+	}
+	st, err := fs2.StatPath("/alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := fs.StatPath("/lib/app/mod.o")
+	if st.Ino != orig.Ino || st.UID != 42 {
+		t.Fatalf("stat after load: %+v vs %+v", st, orig)
+	}
+	// The lookup table was rebuilt on load.
+	p, _, err := fs2.AddrToPath(orig.Addr)
+	if err != nil || p != "/lib/app/mod.o" {
+		t.Fatalf("AddrToPath after load = %q, %v", p, err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOTANIMAGE")), mem.NewPhysical(0)); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}
+
+func TestLinearVsIndexedLookupAgree(t *testing.T) {
+	fs := newFS(t)
+	for i := 0; i < 50; i++ {
+		fs.Create(fmt.Sprintf("/f%02d", i), DefaultFileMode, 0)
+	}
+	for i := 0; i < 50; i += 7 {
+		addr := AddrOf(i+1) + uint32(i*13)
+		fs.Lookup = LookupLinear
+		p1, o1, e1 := fs.AddrToPath(addr)
+		fs.Lookup = LookupIndexed
+		p2, o2, e2 := fs.AddrToPath(addr)
+		fs.Lookup = LookupBTree
+		p3, o3, e3 := fs.AddrToPath(addr)
+		if p1 != p2 || o1 != o2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("linear/indexed disagree at 0x%x: %q/%q", addr, p1, p2)
+		}
+		if p1 != p3 || o1 != o3 || (e1 == nil) != (e3 == nil) {
+			t.Fatalf("linear/btree disagree at 0x%x: %q/%q", addr, p1, p3)
+		}
+	}
+}
+
+// Property: Clean produces an absolute path and AddrOf/InodeAt are inverses
+// over the inode range.
+func TestAddrInodeInverseProperty(t *testing.T) {
+	f := func(n uint16, off uint32) bool {
+		ino := int(n) % NumInodes
+		addr := AddrOf(ino) + off%SlotSize
+		got, err := InodeAt(addr)
+		return err == nil && got == ino
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanPaths(t *testing.T) {
+	cases := map[string]string{
+		"":           "/",
+		"/":          "/",
+		"a/b":        "/a/b",
+		"/a//b/":     "/a/b",
+		"/a/../b":    "/b",
+		"/a/./b":     "/a/b",
+		"../../etc":  "/etc",
+		"/x/y/../..": "/",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

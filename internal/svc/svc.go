@@ -1,0 +1,439 @@
+// Package svc implements the paper's client/server vision (section 4,
+// "Utility Programs and Servers"): servers that communicate with clients
+// through shared data rather than messages.
+//
+// Three interaction styles over the same key/value service:
+//
+//   - Table: the Hemlock way — the service's data structure lives in a
+//     shared segment that clients simply read and write, synchronising
+//     with a user-space spin lock ("when synchronous interaction is not
+//     required, modification of data that will be examined by another
+//     process at another time can be expected to consume significantly
+//     less time than kernel-supported message passing");
+//   - PDClient: synchronous calls through the protection-domain-switch
+//     system call, with bulk data still in the shared segment ("even when
+//     synchronous communication across protection domains is required,
+//     sharing between the client and server can speed the call");
+//   - the message-passing baseline in package baseline (the E-msg bench).
+package svc
+
+import (
+	"errors"
+	"fmt"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/kern"
+	"hemlock/internal/shmfs"
+)
+
+// Errors.
+var (
+	ErrFull     = errors.New("svc: table full")
+	ErrNotFound = errors.New("svc: key not found")
+)
+
+// SpinLock is a user-space spin lock living in a shared segment word.
+type SpinLock struct {
+	P    *kern.Process
+	Addr uint32
+}
+
+// Lock spins (with a bound, since the simulation is cooperative) until the
+// lock is acquired.
+func (l *SpinLock) Lock() error {
+	for i := 0; i < 1_000_000; i++ {
+		old, err := l.P.TestAndSet(l.Addr)
+		if err != nil {
+			return err
+		}
+		if old == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("svc: spinlock 0x%08x stuck", l.Addr)
+}
+
+// TryLock attempts one acquisition.
+func (l *SpinLock) TryLock() (bool, error) {
+	old, err := l.P.TestAndSet(l.Addr)
+	if err != nil {
+		return false, err
+	}
+	return old == 0, nil
+}
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock() error { return l.P.AtomicStore(l.Addr, 0) }
+
+// Table layout in the segment:
+//
+//	base+0   lock word
+//	base+4   capacity (slots)
+//	base+8   live count
+//	base+12  slots: [key | value | state] x capacity   (state 0=free 1=used 2=tombstone)
+const (
+	offLock  = 0
+	offCap   = 4
+	offLive  = 8
+	offSlots = 12
+	slotSize = 12
+
+	stateFree = 0
+	stateUsed = 1
+	stateTomb = 2
+)
+
+// Table is a handle on the shared key/value table from one process's point
+// of view. Every process maps the same segment at the same address, so
+// handles in different protection domains operate on the same table.
+type Table struct {
+	P    *kern.Process
+	Base uint32
+	lock SpinLock
+}
+
+// SegmentBytes returns the segment size needed for capacity slots.
+func SegmentBytes(capacity int) uint32 { return offSlots + uint32(capacity)*slotSize }
+
+// CreateTable formats a table with the given capacity in the shared file
+// at path, mapping it into p.
+func CreateTable(k *kern.Kernel, p *kern.Process, path string, capacity int) (*Table, error) {
+	st, err := k.MapSharedFile(p, path, SegmentBytes(capacity), addrspace.ProtRW)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{P: p, Base: st.Addr, lock: SpinLock{P: p, Addr: st.Addr + offLock}}
+	if err := p.StoreWord(st.Addr+offCap, uint32(capacity)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// OpenTable maps an existing table at path into p.
+func OpenTable(k *kern.Kernel, p *kern.Process, path string) (*Table, error) {
+	fst, err := k.FS.StatPath(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := k.MapSharedFile(p, path, fst.Size, addrspace.ProtRW)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{P: p, Base: st.Addr, lock: SpinLock{P: p, Addr: st.Addr + offLock}}, nil
+}
+
+func (t *Table) capacity() (uint32, error) { return t.P.LoadWord(t.Base + offCap) }
+
+func (t *Table) slotAddr(i uint32) uint32 { return t.Base + offSlots + i*slotSize }
+
+// Put inserts or updates a key under the table lock: a direct shared-data
+// operation, no server involvement at all.
+func (t *Table) Put(key, val uint32) error {
+	if err := t.lock.Lock(); err != nil {
+		return err
+	}
+	defer t.lock.Unlock()
+	return t.putLocked(key, val)
+}
+
+func (t *Table) putLocked(key, val uint32) error {
+	capn, err := t.capacity()
+	if err != nil {
+		return err
+	}
+	idx := key % capn
+	firstTomb := uint32(0xFFFFFFFF)
+	for probe := uint32(0); probe < capn; probe++ {
+		i := (idx + probe) % capn
+		sa := t.slotAddr(i)
+		state, err := t.P.LoadWord(sa + 8)
+		if err != nil {
+			return err
+		}
+		switch state {
+		case stateUsed:
+			k, err := t.P.LoadWord(sa)
+			if err != nil {
+				return err
+			}
+			if k == key {
+				return t.P.StoreWord(sa+4, val)
+			}
+		case stateTomb:
+			if firstTomb == 0xFFFFFFFF {
+				firstTomb = i
+			}
+		case stateFree:
+			if firstTomb != 0xFFFFFFFF {
+				i = firstTomb
+				sa = t.slotAddr(i)
+			}
+			if err := t.P.StoreWord(sa, key); err != nil {
+				return err
+			}
+			if err := t.P.StoreWord(sa+4, val); err != nil {
+				return err
+			}
+			if err := t.P.StoreWord(sa+8, stateUsed); err != nil {
+				return err
+			}
+			live, err := t.P.LoadWord(t.Base + offLive)
+			if err != nil {
+				return err
+			}
+			return t.P.StoreWord(t.Base+offLive, live+1)
+		}
+	}
+	if firstTomb != 0xFFFFFFFF {
+		sa := t.slotAddr(firstTomb)
+		if err := t.P.StoreWord(sa, key); err != nil {
+			return err
+		}
+		if err := t.P.StoreWord(sa+4, val); err != nil {
+			return err
+		}
+		if err := t.P.StoreWord(sa+8, stateUsed); err != nil {
+			return err
+		}
+		live, err := t.P.LoadWord(t.Base + offLive)
+		if err != nil {
+			return err
+		}
+		return t.P.StoreWord(t.Base+offLive, live+1)
+	}
+	return ErrFull
+}
+
+// Get looks a key up under the lock.
+func (t *Table) Get(key uint32) (uint32, error) {
+	if err := t.lock.Lock(); err != nil {
+		return 0, err
+	}
+	defer t.lock.Unlock()
+	return t.getLocked(key)
+}
+
+func (t *Table) getLocked(key uint32) (uint32, error) {
+	capn, err := t.capacity()
+	if err != nil {
+		return 0, err
+	}
+	idx := key % capn
+	for probe := uint32(0); probe < capn; probe++ {
+		sa := t.slotAddr((idx + probe) % capn)
+		state, err := t.P.LoadWord(sa + 8)
+		if err != nil {
+			return 0, err
+		}
+		if state == stateFree {
+			break
+		}
+		if state != stateUsed {
+			continue
+		}
+		k, err := t.P.LoadWord(sa)
+		if err != nil {
+			return 0, err
+		}
+		if k == key {
+			return t.P.LoadWord(sa + 4)
+		}
+	}
+	return 0, fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// Delete removes a key under the lock.
+func (t *Table) Delete(key uint32) error {
+	if err := t.lock.Lock(); err != nil {
+		return err
+	}
+	defer t.lock.Unlock()
+	capn, err := t.capacity()
+	if err != nil {
+		return err
+	}
+	idx := key % capn
+	for probe := uint32(0); probe < capn; probe++ {
+		sa := t.slotAddr((idx + probe) % capn)
+		state, err := t.P.LoadWord(sa + 8)
+		if err != nil {
+			return err
+		}
+		if state == stateFree {
+			break
+		}
+		if state != stateUsed {
+			continue
+		}
+		k, err := t.P.LoadWord(sa)
+		if err != nil {
+			return err
+		}
+		if k == key {
+			if err := t.P.StoreWord(sa+8, stateTomb); err != nil {
+				return err
+			}
+			live, err := t.P.LoadWord(t.Base + offLive)
+			if err != nil {
+				return err
+			}
+			return t.P.StoreWord(t.Base+offLive, live-1)
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// Len returns the live entry count.
+func (t *Table) Len() (int, error) {
+	n, err := t.P.LoadWord(t.Base + offLive)
+	return int(n), err
+}
+
+// ---- synchronous service via protection-domain switch -----------------------
+
+// Request layout for the PD service: a record in the shared segment.
+const (
+	reqOp    = 0 // 1=get 2=put 3=delete
+	reqKey   = 4
+	reqVal   = 8
+	reqErr   = 12 // 0 ok, 1 not found, 2 full
+	ReqBytes = 16
+)
+
+// PD service operations.
+const (
+	OpGet    = 1
+	OpPut    = 2
+	OpDelete = 3
+)
+
+// StartPDServer registers a protection-domain service around the server's
+// table handle: clients place a request record in the shared request
+// segment (which the server maps up front) and pass its address; the
+// service manipulates the table in its own domain.
+func StartPDServer(k *kern.Kernel, tab *Table, reqSegPath string) (int, error) {
+	if _, err := k.MapSharedFile(tab.P, reqSegPath, 4096, addrspace.ProtRW); err != nil {
+		return 0, err
+	}
+	return k.RegisterPDService(tab.P, func(s *kern.Process, req uint32) (uint32, error) {
+		op, err := s.LoadWord(req + reqOp)
+		if err != nil {
+			return 0, err
+		}
+		key, err := s.LoadWord(req + reqKey)
+		if err != nil {
+			return 0, err
+		}
+		setErr := func(code uint32) error { return s.StoreWord(req+reqErr, code) }
+		switch op {
+		case OpGet:
+			v, err := tab.Get(key)
+			if errors.Is(err, ErrNotFound) {
+				return 1, setErr(1)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if err := s.StoreWord(req+reqVal, v); err != nil {
+				return 0, err
+			}
+			return 0, setErr(0)
+		case OpPut:
+			v, err := s.LoadWord(req + reqVal)
+			if err != nil {
+				return 0, err
+			}
+			if err := tab.Put(key, v); errors.Is(err, ErrFull) {
+				return 2, setErr(2)
+			} else if err != nil {
+				return 0, err
+			}
+			return 0, setErr(0)
+		case OpDelete:
+			if err := tab.Delete(key); errors.Is(err, ErrNotFound) {
+				return 1, setErr(1)
+			} else if err != nil {
+				return 0, err
+			}
+			return 0, setErr(0)
+		}
+		return 0, fmt.Errorf("svc: unknown op %d", op)
+	}), nil
+}
+
+// PDClient calls the PD service through a per-client request record in a
+// shared segment.
+type PDClient struct {
+	K   *kern.Kernel
+	P   *kern.Process
+	ID  int
+	Req uint32 // address of this client's request record
+}
+
+// NewPDClient maps the request segment into the client and carves out a
+// record at the given offset.
+func NewPDClient(k *kern.Kernel, p *kern.Process, id int, reqSegPath string, off uint32) (*PDClient, error) {
+	st, err := k.MapSharedFile(p, reqSegPath, off+ReqBytes, addrspace.ProtRW)
+	if err != nil {
+		return nil, err
+	}
+	return &PDClient{K: k, P: p, ID: id, Req: st.Addr + off}, nil
+}
+
+// Get fetches a key through the synchronous service.
+func (c *PDClient) Get(key uint32) (uint32, error) {
+	if err := c.P.StoreWord(c.Req+reqOp, OpGet); err != nil {
+		return 0, err
+	}
+	if err := c.P.StoreWord(c.Req+reqKey, key); err != nil {
+		return 0, err
+	}
+	code, err := c.K.PDCall(c.P, c.ID, c.Req)
+	if err != nil {
+		return 0, err
+	}
+	if code == 1 {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	return c.P.LoadWord(c.Req + reqVal)
+}
+
+// Put stores a key through the synchronous service.
+func (c *PDClient) Put(key, val uint32) error {
+	if err := c.P.StoreWord(c.Req+reqOp, OpPut); err != nil {
+		return err
+	}
+	if err := c.P.StoreWord(c.Req+reqKey, key); err != nil {
+		return err
+	}
+	if err := c.P.StoreWord(c.Req+reqVal, val); err != nil {
+		return err
+	}
+	code, err := c.K.PDCall(c.P, c.ID, c.Req)
+	if err != nil {
+		return err
+	}
+	if code == 2 {
+		return ErrFull
+	}
+	return nil
+}
+
+// EnsureSegment creates the shared file for a table or request region if
+// it does not exist yet.
+func EnsureSegment(fs *shmfs.FS, path string) error {
+	if _, err := fs.StatPath(path); err == nil {
+		return nil
+	}
+	dir := shmfs.Clean(path)
+	for i := len(dir) - 1; i > 0; i-- {
+		if dir[i] == '/' {
+			if err := fs.MkdirAll(dir[:i], shmfs.DefaultDirMode, 0); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	_, err := fs.Create(path, shmfs.DefaultFileMode, 0)
+	return err
+}

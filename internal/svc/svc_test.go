@@ -1,0 +1,211 @@
+package svc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hemlock/internal/kern"
+)
+
+func setupTable(t *testing.T, capacity int) (*kern.Kernel, *Table) {
+	t.Helper()
+	k := kern.New()
+	if err := EnsureSegment(k.FS, "/srv/kv"); err != nil {
+		t.Fatal(err)
+	}
+	server := k.Spawn(0)
+	tab, err := CreateTable(k, server, "/srv/kv", capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, tab
+}
+
+func TestTablePutGetDelete(t *testing.T) {
+	_, tab := setupTable(t, 64)
+	for i := uint32(0); i < 40; i++ {
+		if err := tab.Put(i*7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 40; i++ {
+		v, err := tab.Get(i * 7)
+		if err != nil || v != i {
+			t.Fatalf("get %d = %d, %v", i*7, v, err)
+		}
+	}
+	if n, _ := tab.Len(); n != 40 {
+		t.Fatalf("len = %d", n)
+	}
+	// Update in place.
+	tab.Put(7, 999)
+	if v, _ := tab.Get(7); v != 999 {
+		t.Fatalf("update: %d", v)
+	}
+	if n, _ := tab.Len(); n != 40 {
+		t.Fatalf("len after update = %d", n)
+	}
+	// Delete and tombstone reuse.
+	if err := tab.Delete(14); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Get(14); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if err := tab.Put(14+64*2, 5); err != nil { // same bucket, reuses tombstone
+		t.Fatal(err)
+	}
+	if v, _ := tab.Get(14 + 64*2); v != 5 {
+		t.Fatal("tombstone reuse broken")
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	_, tab := setupTable(t, 4)
+	for i := uint32(0); i < 4; i++ {
+		if err := tab.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Put(99, 1); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull: %v", err)
+	}
+	// Deleting frees a slot.
+	tab.Delete(2)
+	if err := tab.Put(99, 1); err != nil {
+		t.Fatalf("put after delete: %v", err)
+	}
+}
+
+func TestTableSharedBetweenProcesses(t *testing.T) {
+	k, serverTab := setupTable(t, 32)
+	client := k.Spawn(0)
+	clientTab, err := OpenTable(k, client, "/srv/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes from either domain are visible in the other: the service IS
+	// the data structure.
+	if err := serverTab.Put(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := clientTab.Get(1); err != nil || v != 100 {
+		t.Fatalf("client get: %d, %v", v, err)
+	}
+	if err := clientTab.Put(2, 200); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := serverTab.Get(2); err != nil || v != 200 {
+		t.Fatalf("server get: %d, %v", v, err)
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	k, tab := setupTable(t, 8)
+	other := k.Spawn(0)
+	otherTab, err := OpenTable(k, other, "/srv/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := SpinLock{P: tab.P, Addr: tab.Base}
+	l2 := SpinLock{P: otherTab.P, Addr: otherTab.Base}
+	if err := l1.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := l2.TryLock()
+	if err != nil || ok {
+		t.Fatalf("lock not exclusive across processes: %v %v", ok, err)
+	}
+	if err := l1.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = l2.TryLock()
+	if err != nil || !ok {
+		t.Fatalf("lock not released: %v %v", ok, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	k, _ := setupTable(t, 512)
+	const clients, each = 4, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := k.Spawn(0)
+			tab, err := OpenTable(k, p, "/srv/kv")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < each; i++ {
+				key := uint32(c*1000 + i)
+				if err := tab.Put(key, key*2); err != nil {
+					errs <- err
+					return
+				}
+				v, err := tab.Get(key)
+				if err != nil || v != key*2 {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	p := k.Spawn(0)
+	tab, _ := OpenTable(k, p, "/srv/kv")
+	if n, _ := tab.Len(); n != clients*each {
+		t.Fatalf("len = %d, want %d", n, clients*each)
+	}
+}
+
+func TestPDService(t *testing.T) {
+	k, tab := setupTable(t, 64)
+	if err := EnsureSegment(k.FS, "/srv/req"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := StartPDServer(k, tab, "/srv/req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := k.Spawn(0)
+	c, err := NewPDClient(k, client, id, "/srv/req", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(5, 55); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get(5)
+	if err != nil || v != 55 {
+		t.Fatalf("pd get: %d, %v", v, err)
+	}
+	if _, err := c.Get(6); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pd miss: %v", err)
+	}
+	// The synchronous path and the direct path see one table.
+	direct, _ := tab.Get(5)
+	if direct != 55 {
+		t.Fatalf("server-side value %d", direct)
+	}
+	// Two clients use distinct request records in one segment.
+	client2 := k.Spawn(0)
+	c2, err := NewPDClient(k, client2, id, "/srv/req", ReqBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Put(9, 90); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Get(9); v != 90 {
+		t.Fatalf("cross-client visibility: %d", v)
+	}
+}

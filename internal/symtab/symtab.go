@@ -1,0 +1,427 @@
+// Package symtab reproduces the paper's compiler-tables case study.
+//
+// The Lynx compiler was built around scanner and parser generators whose
+// numeric output a pair of utility programs translated into initialised
+// data structures — over 5400 lines of generated C taking 18 seconds to
+// compile on a Sparcstation 1, relying on a non-portable layout
+// correspondence between C and Pascal. "With Hemlock, the utility programs
+// ... would share a persistent module (the tables) with the Lynx compiler.
+// The utility programs would initialize the tables; the compiler would
+// link them in and use them", eliminating 20-25% of the utility code.
+//
+// This package builds both paths over the same synthetic scanner tables:
+//
+//   - the baseline: GenerateCSource emits initialised-array source text and
+//     CompileCSource parses it back (the translate-and-recompile step);
+//   - the Hemlock path: WriteSegment lays the pointer-rich tables out in a
+//     persistent shared segment via the per-segment allocator, and
+//     AttachSegment uses them in place, pointers and all.
+package symtab
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hemlock/internal/shalloc"
+)
+
+// Tables is a synthetic scanner automaton: a dense transition matrix, an
+// action per state, and a name per symbol (the pointer-rich part).
+type Tables struct {
+	NStates int
+	NSyms   int
+	Trans   []uint32 // NStates*NSyms, next-state matrix
+	Actions []uint32 // per-state action codes
+	Names   []string // per-symbol token names
+}
+
+// Generate builds deterministic tables of the given size from seed.
+func Generate(states, syms int, seed uint32) *Tables {
+	t := &Tables{
+		NStates: states,
+		NSyms:   syms,
+		Trans:   make([]uint32, states*syms),
+		Actions: make([]uint32, states),
+		Names:   make([]string, syms),
+	}
+	x := seed | 1
+	next := func() uint32 {
+		// xorshift32: deterministic, portable.
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return x
+	}
+	for i := range t.Trans {
+		t.Trans[i] = next() % uint32(states)
+	}
+	for i := range t.Actions {
+		t.Actions[i] = next() % 16
+	}
+	for i := range t.Names {
+		t.Names[i] = fmt.Sprintf("tok_%d_%x", i, next()&0xFFFF)
+	}
+	return t
+}
+
+// Step runs one automaton transition.
+func (t *Tables) Step(state int, sym int) (next int, action uint32) {
+	n := int(t.Trans[state*t.NSyms+sym])
+	return n, t.Actions[n]
+}
+
+// Run drives the automaton over a symbol stream from state 0, returning
+// the state trace (used to check that both representations behave
+// identically).
+func (t *Tables) Run(stream []int) []int {
+	trace := make([]int, 0, len(stream))
+	st := 0
+	for _, sym := range stream {
+		st, _ = t.Step(st, sym)
+		trace = append(trace, st)
+	}
+	return trace
+}
+
+// Stream produces a deterministic symbol stream of length n.
+func (t *Tables) Stream(n int, seed uint32) []int {
+	out := make([]int, n)
+	x := seed | 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		out[i] = int(x) & 0x7FFFFFFF % t.NSyms
+	}
+	return out
+}
+
+// ---- baseline: generate C, "compile" it back --------------------------------------
+
+// GenerateCSource linearises the tables into initialised-array source
+// text, the form the Wisconsin tools' utility programs produced.
+func GenerateCSource(t *Tables) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* generated scanner tables: do not edit */\n")
+	fmt.Fprintf(&b, "const int n_states = %d;\n", t.NStates)
+	fmt.Fprintf(&b, "const int n_syms = %d;\n", t.NSyms)
+	b.WriteString("const unsigned trans[] = {\n")
+	for r := 0; r < t.NStates; r++ {
+		b.WriteString("  ")
+		for c := 0; c < t.NSyms; c++ {
+			b.WriteString(strconv.FormatUint(uint64(t.Trans[r*t.NSyms+c]), 10))
+			b.WriteString(", ")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("};\n")
+	b.WriteString("const unsigned actions[] = {\n")
+	for _, a := range t.Actions {
+		fmt.Fprintf(&b, "  %d,\n", a)
+	}
+	b.WriteString("};\n")
+	b.WriteString("const char *names[] = {\n")
+	for _, n := range t.Names {
+		fmt.Fprintf(&b, "  %q,\n", n)
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+// ErrBadSource is returned when generated source cannot be parsed back.
+var ErrBadSource = errors.New("symtab: malformed generated source")
+
+// CompileCSource parses generated source text back into tables: the
+// recompile step every build of the compiler paid for.
+func CompileCSource(src string) (*Tables, error) {
+	t := &Tables{}
+	lines := strings.Split(src, "\n")
+	i := 0
+	expectInt := func(prefix string) (int, error) {
+		for ; i < len(lines); i++ {
+			l := strings.TrimSpace(lines[i])
+			if strings.HasPrefix(l, prefix) {
+				v := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(l, prefix)), ";")
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return 0, fmt.Errorf("%w: %q", ErrBadSource, l)
+				}
+				i++
+				return n, nil
+			}
+		}
+		return 0, fmt.Errorf("%w: missing %q", ErrBadSource, prefix)
+	}
+	var err error
+	if t.NStates, err = expectInt("const int n_states ="); err != nil {
+		return nil, err
+	}
+	if t.NSyms, err = expectInt("const int n_syms ="); err != nil {
+		return nil, err
+	}
+	parseUints := func(header string, want int) ([]uint32, error) {
+		for ; i < len(lines); i++ {
+			if strings.HasPrefix(strings.TrimSpace(lines[i]), header) {
+				i++
+				break
+			}
+		}
+		var out []uint32
+		for ; i < len(lines); i++ {
+			l := strings.TrimSpace(lines[i])
+			if l == "};" {
+				i++
+				break
+			}
+			for _, tok := range strings.Split(l, ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					continue
+				}
+				v, err := strconv.ParseUint(tok, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %q", ErrBadSource, tok)
+				}
+				out = append(out, uint32(v))
+			}
+		}
+		if len(out) != want {
+			return nil, fmt.Errorf("%w: %s has %d entries, want %d", ErrBadSource, header, len(out), want)
+		}
+		return out, nil
+	}
+	if t.Trans, err = parseUints("const unsigned trans[]", t.NStates*t.NSyms); err != nil {
+		return nil, err
+	}
+	if t.Actions, err = parseUints("const unsigned actions[]", t.NStates); err != nil {
+		return nil, err
+	}
+	for ; i < len(lines); i++ {
+		if strings.HasPrefix(strings.TrimSpace(lines[i]), "const char *names[]") {
+			i++
+			break
+		}
+	}
+	for ; i < len(lines); i++ {
+		l := strings.TrimSpace(lines[i])
+		if l == "};" {
+			break
+		}
+		l = strings.TrimSuffix(l, ",")
+		if l == "" {
+			continue
+		}
+		s, err := strconv.Unquote(l)
+		if err != nil {
+			return nil, fmt.Errorf("%w: name %q", ErrBadSource, l)
+		}
+		t.Names = append(t.Names, s)
+	}
+	if len(t.Names) != t.NSyms {
+		return nil, fmt.Errorf("%w: %d names, want %d", ErrBadSource, len(t.Names), t.NSyms)
+	}
+	return t, nil
+}
+
+// ---- Hemlock path: pointer-rich tables in a persistent segment --------------------
+
+const (
+	rootMagic   = 0x4C594E58 // "LYNX"
+	rootSize    = 8          // magic + descriptor pointer
+	descStates  = 0
+	descSyms    = 4
+	descTrans   = 8
+	descActions = 12
+	descNames   = 16
+	descSize    = 20
+)
+
+// SegTables is a handle on tables living inside a shared segment. All
+// internal references are absolute pointers, valid in any process because
+// the segment has a globally-agreed address.
+type SegTables struct {
+	m    shalloc.Mem
+	desc uint32
+}
+
+// WriteSegment lays the tables out in the segment at base (of segSize
+// bytes): the utility program's new, translation-free job. The segment
+// becomes self-describing: a root pointer at base leads to a descriptor
+// whose fields point at the transition matrix, action array, and an array
+// of string pointers.
+func WriteSegment(m shalloc.Mem, base, segSize uint32, t *Tables) (*SegTables, error) {
+	h, err := shalloc.Init(m, base+rootSize, segSize-rootSize)
+	if err != nil {
+		return nil, err
+	}
+	desc, err := h.Alloc(descSize)
+	if err != nil {
+		return nil, err
+	}
+	trans, err := h.Alloc(uint32(4 * len(t.Trans)))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range t.Trans {
+		if err := m.StoreWord(trans+uint32(4*i), v); err != nil {
+			return nil, err
+		}
+	}
+	actions, err := h.Alloc(uint32(4 * len(t.Actions)))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range t.Actions {
+		if err := m.StoreWord(actions+uint32(4*i), v); err != nil {
+			return nil, err
+		}
+	}
+	names, err := h.Alloc(uint32(4 * len(t.Names)))
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range t.Names {
+		sp, err := h.Alloc(uint32(4 + len(s)))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.StoreWord(sp, uint32(len(s))); err != nil {
+			return nil, err
+		}
+		for j := 0; j < len(s); j += 4 {
+			var w uint32
+			for k := 0; k < 4 && j+k < len(s); k++ {
+				w |= uint32(s[j+k]) << uint(24-8*k)
+			}
+			if err := m.StoreWord(sp+4+uint32(j), w); err != nil {
+				return nil, err
+			}
+		}
+		if err := m.StoreWord(names+uint32(4*i), sp); err != nil {
+			return nil, err
+		}
+	}
+	for off, v := range map[uint32]uint32{
+		desc + descStates:  uint32(t.NStates),
+		desc + descSyms:    uint32(t.NSyms),
+		desc + descTrans:   trans,
+		desc + descActions: actions,
+		desc + descNames:   names,
+		base:               rootMagic,
+		base + 4:           desc,
+	} {
+		if err := m.StoreWord(off, v); err != nil {
+			return nil, err
+		}
+	}
+	return &SegTables{m: m, desc: desc}, nil
+}
+
+// ErrNotTables is returned when a segment has no table root.
+var ErrNotTables = errors.New("symtab: segment does not contain tables")
+
+// AttachSegment opens tables previously written at base: the compiler's
+// side — no translation, just follow the pointers.
+func AttachSegment(m shalloc.Mem, base uint32) (*SegTables, error) {
+	w, err := m.LoadWord(base)
+	if err != nil {
+		return nil, err
+	}
+	if w != rootMagic {
+		return nil, ErrNotTables
+	}
+	desc, err := m.LoadWord(base + 4)
+	if err != nil {
+		return nil, err
+	}
+	return &SegTables{m: m, desc: desc}, nil
+}
+
+// Sizes returns (states, syms).
+func (st *SegTables) Sizes() (int, int, error) {
+	ns, err := st.m.LoadWord(st.desc + descStates)
+	if err != nil {
+		return 0, 0, err
+	}
+	sy, err := st.m.LoadWord(st.desc + descSyms)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(ns), int(sy), nil
+}
+
+// Step performs one transition directly against segment memory.
+func (st *SegTables) Step(state, sym int) (int, uint32, error) {
+	_, syms, err := st.Sizes()
+	if err != nil {
+		return 0, 0, err
+	}
+	trans, err := st.m.LoadWord(st.desc + descTrans)
+	if err != nil {
+		return 0, 0, err
+	}
+	next, err := st.m.LoadWord(trans + uint32(4*(state*syms+sym)))
+	if err != nil {
+		return 0, 0, err
+	}
+	actions, err := st.m.LoadWord(st.desc + descActions)
+	if err != nil {
+		return 0, 0, err
+	}
+	act, err := st.m.LoadWord(actions + 4*next)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(next), act, nil
+}
+
+// Run drives the automaton over a stream, like Tables.Run but in place.
+func (st *SegTables) Run(stream []int) ([]int, error) {
+	_, syms, err := st.Sizes()
+	if err != nil {
+		return nil, err
+	}
+	trans, err := st.m.LoadWord(st.desc + descTrans)
+	if err != nil {
+		return nil, err
+	}
+	trace := make([]int, 0, len(stream))
+	state := uint32(0)
+	for _, sym := range stream {
+		state, err = st.m.LoadWord(trans + 4*(state*uint32(syms)+uint32(sym)))
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, int(state))
+	}
+	return trace, nil
+}
+
+// Name follows the name-table pointer for symbol i and reads the string.
+func (st *SegTables) Name(i int) (string, error) {
+	names, err := st.m.LoadWord(st.desc + descNames)
+	if err != nil {
+		return "", err
+	}
+	sp, err := st.m.LoadWord(names + uint32(4*i))
+	if err != nil {
+		return "", err
+	}
+	n, err := st.m.LoadWord(sp)
+	if err != nil {
+		return "", err
+	}
+	out := make([]byte, 0, n)
+	for j := uint32(0); j < n; j += 4 {
+		w, err := st.m.LoadWord(sp + 4 + j)
+		if err != nil {
+			return "", err
+		}
+		for k := uint32(0); k < 4 && j+k < n; k++ {
+			out = append(out, byte(w>>uint(24-8*k)))
+		}
+	}
+	return string(out), nil
+}

@@ -1,0 +1,134 @@
+package symtab
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/mem"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(20, 10, 7)
+	b := Generate(20, 10, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generation not deterministic")
+	}
+	c := Generate(20, 10, 8)
+	if reflect.DeepEqual(a.Trans, c.Trans) {
+		t.Fatal("different seeds produce identical tables")
+	}
+}
+
+func TestCSourceRoundTrip(t *testing.T) {
+	tbl := Generate(30, 12, 99)
+	src := GenerateCSource(tbl)
+	if !strings.Contains(src, "n_states = 30") {
+		t.Fatal("source missing sizes")
+	}
+	got, err := CompileCSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, got) {
+		t.Fatal("compile(generate(t)) != t")
+	}
+}
+
+func TestCompileRejectsGarbage(t *testing.T) {
+	if _, err := CompileCSource("int main(){}"); !errors.Is(err, ErrBadSource) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+	// Truncated table.
+	tbl := Generate(5, 5, 1)
+	src := GenerateCSource(tbl)
+	cut := strings.Index(src, "actions")
+	if _, err := CompileCSource(src[:cut]); err == nil {
+		t.Fatal("truncated source accepted")
+	}
+}
+
+func segMem(t *testing.T) (*addrspace.Space, uint32, uint32) {
+	t.Helper()
+	as := addrspace.New(mem.NewPhysical(0))
+	base, size := uint32(0x30200000), uint32(256*1024)
+	if err := as.MapAnon(base, size, addrspace.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	return as, base, size
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	tbl := Generate(25, 8, 3)
+	as, base, size := segMem(t)
+	if _, err := WriteSegment(as, base, size, tbl); err != nil {
+		t.Fatal(err)
+	}
+	// A second "pass" attaches and uses the tables in place.
+	st, err := AttachSegment(as, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, sy, err := st.Sizes()
+	if err != nil || ns != 25 || sy != 8 {
+		t.Fatalf("sizes = %d,%d, %v", ns, sy, err)
+	}
+	stream := tbl.Stream(500, 11)
+	want := tbl.Run(stream)
+	got, err := st.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("segment automaton diverges from in-core automaton")
+	}
+	// Single steps agree too (exercising the action array).
+	n1, a1 := tbl.Step(3, 2)
+	n2, a2, err := st.Step(3, 2)
+	if err != nil || n1 != n2 || a1 != a2 {
+		t.Fatalf("step mismatch: (%d,%d) vs (%d,%d), %v", n1, a1, n2, a2, err)
+	}
+	// Pointer-rich part: names read back through two indirections.
+	for i := 0; i < 8; i++ {
+		name, err := st.Name(i)
+		if err != nil || name != tbl.Names[i] {
+			t.Fatalf("name %d = %q, want %q (%v)", i, name, tbl.Names[i], err)
+		}
+	}
+}
+
+func TestAttachRejectsRawSegment(t *testing.T) {
+	as, base, _ := segMem(t)
+	if _, err := AttachSegment(as, base); !errors.Is(err, ErrNotTables) {
+		t.Fatalf("raw segment accepted: %v", err)
+	}
+}
+
+func TestSegmentTooSmall(t *testing.T) {
+	as := addrspace.New(mem.NewPhysical(0))
+	base := uint32(0x30200000)
+	as.MapAnon(base, 4096, addrspace.ProtRW)
+	big := Generate(100, 100, 1) // needs ~40 KB
+	if _, err := WriteSegment(as, base, 4096, big); err == nil {
+		t.Fatal("oversized tables accepted")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	tbl := Generate(10, 10, 1)
+	if !reflect.DeepEqual(tbl.Stream(100, 5), tbl.Stream(100, 5)) {
+		t.Fatal("stream not deterministic")
+	}
+}
+
+func TestCSourceLineCountScales(t *testing.T) {
+	// The paper's tables were "over 5400 lines"; our generator's output
+	// must scale with table size so the experiment can sweep it.
+	small := strings.Count(GenerateCSource(Generate(10, 5, 1)), "\n")
+	large := strings.Count(GenerateCSource(Generate(100, 5, 1)), "\n")
+	if large <= small {
+		t.Fatalf("line count does not scale: %d vs %d", small, large)
+	}
+}

@@ -1,0 +1,265 @@
+// Package vm implements the interpreting CPU for R3K-lite.
+//
+// The CPU executes instructions against a simulated address space. A memory
+// access that faults leaves the architectural state (PC and registers)
+// exactly as it was before the instruction, so the kernel can run Hemlock's
+// user-level fault handler and then simply resume: the faulting instruction
+// restarts, which is precisely the behaviour the paper's SIGSEGV-driven
+// lazy linking and map-on-pointer-dereference depend on ("It then restarts
+// the faulting instruction").
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/isa"
+)
+
+// Event reports why Step returned without error.
+type Event uint8
+
+// Step outcomes.
+const (
+	EventStep    Event = iota // one ordinary instruction retired
+	EventHalt                 // HALT executed
+	EventSyscall              // SYSCALL executed; PC already advanced
+	EventBreak                // BREAK executed; PC already advanced
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventStep:
+		return "step"
+	case EventHalt:
+		return "halt"
+	case EventSyscall:
+		return "syscall"
+	case EventBreak:
+		return "break"
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Trap is a CPU exception: an illegal instruction, arithmetic trap, or a
+// memory fault (in which case Unwrap yields the *addrspace.Fault). PC is
+// the address of the instruction that trapped; it has not been retired.
+type Trap struct {
+	PC  uint32
+	Err error
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("vm: trap at pc 0x%08x: %v", t.PC, t.Err) }
+func (t *Trap) Unwrap() error { return t.Err }
+
+// FaultOf extracts the memory fault from err, if err is a Trap wrapping one.
+func FaultOf(err error) (*addrspace.Fault, bool) {
+	var f *addrspace.Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// ErrIllegal is wrapped by traps on undecodable instructions.
+var ErrIllegal = errors.New("illegal instruction")
+
+// ErrDivZero is wrapped by traps on division by zero.
+var ErrDivZero = errors.New("integer divide by zero")
+
+// CPU is one simulated processor context.
+type CPU struct {
+	Regs  [32]uint32
+	PC    uint32
+	AS    *addrspace.Space
+	Steps uint64 // retired instruction count
+}
+
+// New returns a CPU bound to the given address space.
+func New(as *addrspace.Space) *CPU {
+	return &CPU{AS: as}
+}
+
+func (c *CPU) set(r int, v uint32) {
+	if r != 0 {
+		c.Regs[r] = v
+	}
+}
+
+// Step fetches, decodes and executes one instruction. On a memory fault it
+// returns a *Trap and leaves PC/registers untouched so the instruction can
+// be restarted after the fault is serviced.
+func (c *CPU) Step() (Event, error) {
+	w, err := c.AS.FetchWord(c.PC)
+	if err != nil {
+		return EventStep, &Trap{PC: c.PC, Err: err}
+	}
+	in := isa.Decode(w)
+	next := c.PC + 4
+	switch in.Op {
+	case isa.OpSpecial:
+		switch in.Fn {
+		case isa.FnSLL:
+			c.set(in.RD, c.Regs[in.RT]<<uint(in.Shamt))
+		case isa.FnSRL:
+			c.set(in.RD, c.Regs[in.RT]>>uint(in.Shamt))
+		case isa.FnSRA:
+			c.set(in.RD, uint32(int32(c.Regs[in.RT])>>uint(in.Shamt)))
+		case isa.FnSLLV:
+			c.set(in.RD, c.Regs[in.RT]<<(c.Regs[in.RS]&31))
+		case isa.FnSRLV:
+			c.set(in.RD, c.Regs[in.RT]>>(c.Regs[in.RS]&31))
+		case isa.FnSRAV:
+			c.set(in.RD, uint32(int32(c.Regs[in.RT])>>(c.Regs[in.RS]&31)))
+		case isa.FnJR:
+			next = c.Regs[in.RS]
+		case isa.FnJALR:
+			ret := c.PC + 4
+			next = c.Regs[in.RS]
+			c.set(in.RD, ret)
+		case isa.FnSYSCALL:
+			c.PC = next
+			c.Steps++
+			return EventSyscall, nil
+		case isa.FnBREAK:
+			c.PC = next
+			c.Steps++
+			return EventBreak, nil
+		case isa.FnMUL:
+			c.set(in.RD, c.Regs[in.RS]*c.Regs[in.RT])
+		case isa.FnDIV:
+			if c.Regs[in.RT] == 0 {
+				return EventStep, &Trap{PC: c.PC, Err: ErrDivZero}
+			}
+			c.set(in.RD, uint32(int32(c.Regs[in.RS])/int32(c.Regs[in.RT])))
+		case isa.FnADD, isa.FnADDU:
+			c.set(in.RD, c.Regs[in.RS]+c.Regs[in.RT])
+		case isa.FnSUB, isa.FnSUBU:
+			c.set(in.RD, c.Regs[in.RS]-c.Regs[in.RT])
+		case isa.FnAND:
+			c.set(in.RD, c.Regs[in.RS]&c.Regs[in.RT])
+		case isa.FnOR:
+			c.set(in.RD, c.Regs[in.RS]|c.Regs[in.RT])
+		case isa.FnXOR:
+			c.set(in.RD, c.Regs[in.RS]^c.Regs[in.RT])
+		case isa.FnNOR:
+			c.set(in.RD, ^(c.Regs[in.RS] | c.Regs[in.RT]))
+		case isa.FnSLT:
+			if int32(c.Regs[in.RS]) < int32(c.Regs[in.RT]) {
+				c.set(in.RD, 1)
+			} else {
+				c.set(in.RD, 0)
+			}
+		case isa.FnSLTU:
+			if c.Regs[in.RS] < c.Regs[in.RT] {
+				c.set(in.RD, 1)
+			} else {
+				c.set(in.RD, 0)
+			}
+		default:
+			return EventStep, &Trap{PC: c.PC, Err: fmt.Errorf("%w: special funct %d", ErrIllegal, in.Fn)}
+		}
+	case isa.OpJ:
+		next = isa.Jump26Target(w, c.PC)
+	case isa.OpJAL:
+		c.set(isa.RegRA, c.PC+4)
+		next = isa.Jump26Target(w, c.PC)
+	case isa.OpBEQ:
+		if c.Regs[in.RS] == c.Regs[in.RT] {
+			next = isa.BranchTarget(c.PC, in.Imm)
+		}
+	case isa.OpBNE:
+		if c.Regs[in.RS] != c.Regs[in.RT] {
+			next = isa.BranchTarget(c.PC, in.Imm)
+		}
+	case isa.OpBLEZ:
+		if int32(c.Regs[in.RS]) <= 0 {
+			next = isa.BranchTarget(c.PC, in.Imm)
+		}
+	case isa.OpBGTZ:
+		if int32(c.Regs[in.RS]) > 0 {
+			next = isa.BranchTarget(c.PC, in.Imm)
+		}
+	case isa.OpADDI, isa.OpADDIU:
+		c.set(in.RT, c.Regs[in.RS]+isa.SignExt(in.Imm))
+	case isa.OpSLTI:
+		if int32(c.Regs[in.RS]) < int32(isa.SignExt(in.Imm)) {
+			c.set(in.RT, 1)
+		} else {
+			c.set(in.RT, 0)
+		}
+	case isa.OpSLTIU:
+		if c.Regs[in.RS] < isa.SignExt(in.Imm) {
+			c.set(in.RT, 1)
+		} else {
+			c.set(in.RT, 0)
+		}
+	case isa.OpANDI:
+		c.set(in.RT, c.Regs[in.RS]&uint32(in.Imm))
+	case isa.OpORI:
+		c.set(in.RT, c.Regs[in.RS]|uint32(in.Imm))
+	case isa.OpXORI:
+		c.set(in.RT, c.Regs[in.RS]^uint32(in.Imm))
+	case isa.OpLUI:
+		c.set(in.RT, uint32(in.Imm)<<16)
+	case isa.OpLW:
+		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
+		v, err := c.AS.LoadWord(addr)
+		if err != nil {
+			return EventStep, &Trap{PC: c.PC, Err: err}
+		}
+		c.set(in.RT, v)
+	case isa.OpLB:
+		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
+		b, err := c.AS.LoadByte(addr)
+		if err != nil {
+			return EventStep, &Trap{PC: c.PC, Err: err}
+		}
+		c.set(in.RT, uint32(int32(int8(b))))
+	case isa.OpLBU:
+		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
+		b, err := c.AS.LoadByte(addr)
+		if err != nil {
+			return EventStep, &Trap{PC: c.PC, Err: err}
+		}
+		c.set(in.RT, uint32(b))
+	case isa.OpSW:
+		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
+		if err := c.AS.StoreWord(addr, c.Regs[in.RT]); err != nil {
+			return EventStep, &Trap{PC: c.PC, Err: err}
+		}
+	case isa.OpSB:
+		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
+		if err := c.AS.StoreByte(addr, byte(c.Regs[in.RT])); err != nil {
+			return EventStep, &Trap{PC: c.PC, Err: err}
+		}
+	case isa.OpHALT:
+		c.Steps++
+		return EventHalt, nil
+	default:
+		return EventStep, &Trap{PC: c.PC, Err: fmt.Errorf("%w: opcode %d", ErrIllegal, in.Op)}
+	}
+	c.PC = next
+	c.Steps++
+	return EventStep, nil
+}
+
+// Run executes until a non-step event, a trap, or maxSteps instructions.
+// It is a convenience for tests that do not need a kernel; real programs
+// run under kern, which services faults and syscalls.
+func (c *CPU) Run(maxSteps uint64) (Event, error) {
+	for i := uint64(0); i < maxSteps; i++ {
+		ev, err := c.Step()
+		if err != nil {
+			return ev, err
+		}
+		if ev != EventStep {
+			return ev, nil
+		}
+	}
+	return EventStep, fmt.Errorf("vm: exceeded %d steps at pc 0x%08x", maxSteps, c.PC)
+}
+
+// Snapshot returns a copy of the CPU state (for fork).
+func (c *CPU) Snapshot() CPU { return *c }

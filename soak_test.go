@@ -1,0 +1,216 @@
+package hemlock_test
+
+// A day-in-the-life integration test: many programs, several sharing
+// patterns, a fork, a reboot — with resource accounting checked at the
+// end. This is the whole system exercised through the public API only.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hemlock"
+	"hemlock/internal/shmfs"
+)
+
+func TestSoakManyProgramsOneMachine(t *testing.T) {
+	sys := hemlock.New()
+
+	// A public scoreboard module and a private scratch module.
+	mustAsm(t, sys, "/lib/score.o", `
+        .data
+        .globl  scores
+scores: .space  256
+        .globl  score_n
+score_n: .word  0
+`)
+	mustAsm(t, sys, "/lib/scratch.o", `
+        .data
+        .globl  scratch
+scratch: .space 64
+`)
+	// The player program bumps score_n and records its pid.
+	mustAsm(t, sys, "/bin/player.o", `
+        .text
+        .globl  main
+        .extern scores
+        .extern score_n
+main:
+        li      $v0, 3          # getpid
+        syscall
+        move    $t3, $v0
+        la      $t0, score_n
+        lw      $t1, 0($t0)
+        la      $t2, scores
+        sll     $t4, $t1, 2
+        addu    $t2, $t2, $t4
+        sw      $t3, 0($t2)     # scores[n] = pid
+        addiu   $t1, $t1, 1
+        sw      $t1, 0($t0)
+        move    $v0, $t1        # exit(n+1)
+        jr      $ra
+`)
+	res, err := sys.Link(&hemlock.LinkOptions{
+		Output: "player",
+		Modules: []hemlock.Module{
+			{Name: "player.o", Class: hemlock.StaticPrivate},
+			{Name: "score.o", Class: hemlock.DynamicPublic},
+			{Name: "scratch.o", Class: hemlock.DynamicPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sixteen sequential runs: the public counter accumulates, the
+	// private scratch never does.
+	var pids []int
+	for i := 1; i <= 16; i++ {
+		pg, err := sys.Launch(res.Image, 0, nil)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		pids = append(pids, pg.P.PID)
+		if err := pg.Run(1_000_000); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if pg.P.ExitCode != i {
+			t.Fatalf("run %d exited %d", i, pg.P.ExitCode)
+		}
+	}
+
+	// A watcher process reads the scoreboard and verifies every pid.
+	watcher, err := sys.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := watcher.Var("scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pid := range pids {
+		got, err := scores.LoadAt(uint32(4 * i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint32(pid) {
+			t.Fatalf("scores[%d] = %d, want %d", i, got, pid)
+		}
+	}
+
+	// Fork the watcher; the child sees the same board at the same address
+	// and its private writes stay private.
+	child, err := watcher.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cScores, err := child.Var("scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cScores.Addr != scores.Addr {
+		t.Fatal("fork moved the public segment")
+	}
+	wScratch, _ := watcher.Var("scratch")
+	cScratch, _ := child.Var("scratch")
+	wScratch.Store(1)
+	cScratch.Store(2)
+	if v, _ := wScratch.Load(); v != 1 {
+		t.Fatal("private scratch aliased across fork")
+	}
+
+	// Reboot the machine: the scoreboard survives, the count is intact.
+	if err := sys.SaveExecutable("/bin/player", res.Image); err != nil {
+		t.Fatal(err)
+	}
+	var disk bytes.Buffer
+	if err := sys.Save(&disk); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := hemlock.Load(&disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := sys2.LoadExecutable("/bin/player")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := sys2.Launch(im2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if pg.P.ExitCode != 17 {
+		t.Fatalf("after reboot count = %d, want 17", pg.P.ExitCode)
+	}
+
+	// Resource accounting on the original machine: exit everyone, then
+	// live frames must be exactly the file-backed ones.
+	watcher.P.Exit(0)
+	child.P.Exit(0)
+	for _, p := range sys.K.Processes() {
+		p.Exit(0)
+	}
+	var fileFrames int
+	sys.FS.WalkFiles(func(p string, st shmfs.Stat) error {
+		fileFrames += int((st.Size + 4095) / 4096)
+		return nil
+	})
+	live := sys.K.Phys.Stats().Live
+	if live != fileFrames {
+		t.Fatalf("live frames = %d after all exits, want %d (files only)", live, fileFrames)
+	}
+}
+
+func TestSoakManyModules(t *testing.T) {
+	// 60 public modules in one process: stresses inode allocation, the
+	// lookup table, mapping, and symbol resolution together.
+	sys := hemlock.New()
+	var mods []hemlock.Module
+	mods = append(mods, hemlock.Module{Name: "main.o", Class: hemlock.StaticPrivate})
+	for i := 0; i < 60; i++ {
+		mustAsm(t, sys, fmt.Sprintf("/lib/m%02d.o", i),
+			fmt.Sprintf(".data\n.globl mval%02d\nmval%02d: .word %d\n", i, i, 10000+i))
+		mods = append(mods, hemlock.Module{Name: fmt.Sprintf("m%02d.o", i), Class: hemlock.DynamicPublic})
+	}
+	mustAsm(t, sys, "/bin/main.o", trivialMainSrc)
+	res, err := sys.Link(&hemlock.LinkOptions{
+		Output:      "many",
+		Modules:     mods,
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := sys.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		v, err := pg.Var(fmt.Sprintf("mval%02d", i))
+		if err != nil {
+			t.Fatalf("mval%02d: %v", i, err)
+		}
+		got, err := v.Load()
+		if err != nil || got != uint32(10000+i) {
+			t.Fatalf("mval%02d = %d, %v", i, got, err)
+		}
+	}
+	// Every module occupies its own slot, all resolvable by address.
+	count := 0
+	sys.FS.WalkFiles(func(p string, st shmfs.Stat) error {
+		if got, _, err := sys.FS.AddrToPath(st.Addr); err != nil || got != p {
+			t.Fatalf("%s: %q %v", p, got, err)
+		}
+		count++
+		return nil
+	})
+	if count < 120 { // 60 templates + 60 instances + main.o + ...
+		t.Fatalf("only %d files", count)
+	}
+}
