@@ -10,12 +10,17 @@
 //	hemlock as <src.s> <out.o>                    assemble a template
 //	hemlock lds -o <out> [-L dir] class:module... static link
 //	hemlock run <image> [-e K=V] [-steps N]       launch and run a program
+//	hemlock stats <image> [-json]                 run a program and print metrics
 //	hemlock ls <dir> | stat <path> | rm <path>    file system operations
 //	hemlock nm <obj> | dis <obj>                  inspect modules
 //	hemlock layout <image>                        print the address map (Figure 3)
 //	hemlock fsck                                  check & peruse all segments
 //
-// Every subcommand accepts -img <file> (default hemlock.img).
+// Every subcommand accepts -img <file> (default hemlock.img) and
+// -trace <file>, which captures every kernel/VM/linker event: JSON Lines
+// by default, or the Chrome trace_event format when the file ends in
+// .json (load it in chrome://tracing or ui.perfetto.dev). See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -29,13 +34,14 @@ import (
 	"hemlock/internal/layout"
 	"hemlock/internal/lds"
 	"hemlock/internal/objfile"
+	"hemlock/internal/obsv"
 	"hemlock/internal/shmfs"
 
 	"hemlock/internal/isa"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] <mkfs|cp|cat|as|lds|run|ls|stat|rm|nm|dis|layout|fsck> ...")
+	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck> ...")
 	os.Exit(2)
 }
 
@@ -46,13 +52,23 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	img := "hemlock.img"
-	// Allow a leading -img flag before the subcommand.
-	for len(args) >= 2 && args[0] == "-img" {
-		img = args[1]
+	tracePath := ""
+	// Allow leading -img and -trace flags, in any order, before the
+	// subcommand.
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-img":
+			img = args[1]
+		case "-trace":
+			tracePath = args[1]
+		default:
+			goto parsed
+		}
 		args = args[2:]
 	}
+parsed:
 	if len(args) == 0 {
 		usage()
 	}
@@ -66,6 +82,22 @@ func run(args []string, out io.Writer) error {
 	s, err := loadImage(img)
 	if err != nil {
 		return err
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(tracePath, ".json") {
+			s.Obs().T.Attach(obsv.NewChromeTrace(f))
+		} else {
+			s.Obs().T.Attach(obsv.NewJSONL(f))
+		}
+		defer func() {
+			if cerr := s.Obs().T.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("writing trace %s: %w", tracePath, cerr)
+			}
+		}()
 	}
 	dirty := false
 	switch cmd {
@@ -118,6 +150,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		dirty = true // programs may create segments
+	case "stats":
+		if err := cmdStats(s, rest, out); err != nil {
+			return err
+		}
+		dirty = true
 	case "ls":
 		dir := "/"
 		if len(rest) == 1 {
@@ -353,9 +390,10 @@ func cmdRun(s *hemlock.System, args []string, out io.Writer) error {
 		env[k] = v
 	}
 	if *verbose {
-		s.W.Trace = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+		// The old W.Trace closure is superseded by a text sink on the
+		// kernel tracer, which carries the same linker events (typed)
+		// plus every other subsystem's.
+		s.Obs().T.Attach(obsv.NewText(os.Stderr))
 	}
 	pg, err := s.Launch(im, *uid, env)
 	if err != nil {
@@ -367,6 +405,57 @@ func cmdRun(s *hemlock.System, args []string, out io.Writer) error {
 		return runErr
 	}
 	fmt.Fprintf(out, "[exit %d]\n", pg.P.ExitCode)
+	return nil
+}
+
+// cmdStats runs a program like cmdRun and then prints the machine's
+// metrics snapshot: every counter, gauge and histogram the kernel, VM and
+// linkers maintain.
+func cmdStats(s *hemlock.System, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	steps := fs.Uint64("steps", 10_000_000, "instruction budget")
+	uid := fs.Int("uid", 0, "user id")
+	jsonOut := fs.Bool("json", false, "print the snapshot as JSON")
+	var envs multiFlag
+	fs.Var(&envs, "e", "environment variable K=V (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats needs <image path>")
+	}
+	im, err := s.LoadExecutable(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	env := map[string]string{}
+	for _, e := range envs {
+		k, v, ok := strings.Cut(e, "=")
+		if !ok {
+			return fmt.Errorf("bad -e %q", e)
+		}
+		env[k] = v
+	}
+	pg, err := s.Launch(im, *uid, env)
+	if err != nil {
+		return err
+	}
+	runErr := pg.Run(*steps)
+	os.Stderr.WriteString(pg.Output())
+	if runErr != nil {
+		return runErr
+	}
+	snap := s.Obs().R.Snapshot()
+	if *jsonOut {
+		b, err := snap.JSON()
+		if err != nil {
+			return err
+		}
+		out.Write(b)
+		io.WriteString(out, "\n")
+		return nil
+	}
+	io.WriteString(out, snap.Text())
 	return nil
 }
 

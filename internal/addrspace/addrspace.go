@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"hemlock/internal/mem"
+	"hemlock/internal/obsv"
 )
 
 // Prot is a page protection bit mask.
@@ -119,11 +120,26 @@ type Space struct {
 	mu    sync.RWMutex
 	pages map[uint32]pte // VPN -> entry
 	phys  *mem.Physical
+
+	// Observability wiring (Observe). All fields are nil-safe: a bare
+	// Space constructed by a test is simply unobserved.
+	tracer            *obsv.Tracer
+	ctrMaps, ctrUnmap *obsv.Counter // pages mapped / unmapped
+	pid               int
 }
 
 // New returns an empty address space drawing frames from phys.
 func New(phys *mem.Physical) *Space {
 	return &Space{pages: make(map[uint32]pte), phys: phys}
+}
+
+// Observe wires the space into the observability layer: map/unmap events
+// flow to tracer tagged with pid, and page counts into the two counters
+// (shared kernel-wide, so they aggregate across processes).
+func (s *Space) Observe(tracer *obsv.Tracer, maps, unmaps *obsv.Counter, pid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer, s.ctrMaps, s.ctrUnmap, s.pid = tracer, maps, unmaps, pid
 }
 
 // Physical returns the frame pool backing the space.
@@ -166,6 +182,10 @@ func (s *Space) MapAnon(addr, size uint32, prot Prot) error {
 	for i := uint32(0); i < n; i++ {
 		s.pages[base+i] = pte{frame: frames[i], prot: prot}
 	}
+	s.ctrMaps.Add(uint64(n))
+	if s.tracer.Enabled() {
+		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "map_anon", PID: s.pid, Addr: addr, Val: uint64(n)})
+	}
 	return nil
 }
 
@@ -189,6 +209,10 @@ func (s *Space) MapFrames(addr uint32, frames []*mem.Frame, prot Prot) error {
 		f.Retain()
 		s.pages[base+uint32(i)] = pte{frame: f, prot: prot}
 	}
+	s.ctrMaps.Add(uint64(len(frames)))
+	if s.tracer.Enabled() {
+		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "map_frames", PID: s.pid, Addr: addr, Val: uint64(len(frames))})
+	}
 	return nil
 }
 
@@ -198,11 +222,17 @@ func (s *Space) Unmap(addr, size uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	base := vpn(addr)
+	released := uint64(0)
 	for i := uint32(0); i < PageCount(size); i++ {
 		if e, ok := s.pages[base+i]; ok {
 			e.frame.Release()
 			delete(s.pages, base+i)
+			released++
 		}
+	}
+	s.ctrUnmap.Add(released)
+	if released > 0 && s.tracer.Enabled() {
+		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "unmap", PID: s.pid, Addr: addr, Val: released})
 	}
 }
 
@@ -431,9 +461,14 @@ func (s *Space) ShareRange(dst *Space, start, end uint32) {
 func (s *Space) Release() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	released := uint64(len(s.pages))
 	for p, e := range s.pages {
 		e.frame.Release()
 		delete(s.pages, p)
+	}
+	s.ctrUnmap.Add(released)
+	if released > 0 && s.tracer.Enabled() {
+		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "release", PID: s.pid, Val: released})
 	}
 }
 

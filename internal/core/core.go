@@ -16,6 +16,7 @@ import (
 	"hemlock/internal/lds"
 	"hemlock/internal/mem"
 	"hemlock/internal/objfile"
+	"hemlock/internal/obsv"
 	"hemlock/internal/shmfs"
 )
 
@@ -46,6 +47,12 @@ func Load(r io.Reader) (*System, error) {
 
 // Save writes the machine's shared file system to a disk image.
 func (s *System) Save(w io.Writer) error { return s.FS.Save(w) }
+
+// Obs is the machine's observability hub: the kernel-wide tracer that
+// every subsystem emits typed events into, and the registry of counters,
+// gauges and histograms. Attach sinks to Obs().T to capture a trace;
+// snapshot Obs().R for the metrics.
+func (s *System) Obs() *obsv.Obs { return s.K.Obs }
 
 // ResetWorld discards the kernel-resident dynamic-linker state, as a
 // reboot would: public modules stay on disk, but their link status is

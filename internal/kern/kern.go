@@ -17,6 +17,7 @@ import (
 	"hemlock/internal/layout"
 	"hemlock/internal/mem"
 	"hemlock/internal/objfile"
+	"hemlock/internal/obsv"
 	"hemlock/internal/shmfs"
 	"hemlock/internal/vm"
 )
@@ -48,6 +49,22 @@ type Kernel struct {
 	// E-lazy and E-ptr experiments read it).
 	FaultCount uint64
 
+	// Obs is the machine-wide observability bundle every subsystem shares:
+	// the tracer has no sinks (disabled) until something attaches one, the
+	// registry is always live.
+	Obs *obsv.Obs
+
+	// Pre-fetched instrument handles so the hot paths are bare atomics.
+	ctrSyscalls *obsv.Counter
+	ctrFaults   *obsv.Counter
+	ctrSteps    *obsv.Counter
+	ctrForks    *obsv.Counter
+	ctrExits    *obsv.Counter
+	ctrVMTraps  *obsv.Counter
+	ctrASMaps   *obsv.Counter
+	ctrASUnmaps *obsv.Counter
+	hRunSteps   *obsv.Histogram
+
 	pdServices []*pdService
 }
 
@@ -58,13 +75,36 @@ func New() *Kernel {
 	if err != nil {
 		panic(err) // cannot happen: New only fails on allocation
 	}
-	return &Kernel{Phys: phys, FS: fs, procs: map[int]*Process{}, nextPID: 1}
+	return newKernel(fs, phys)
 }
 
 // NewWithFS boots a kernel around an existing file system (a loaded disk
 // image). phys must be the pool backing fs.
 func NewWithFS(fs *shmfs.FS, phys *mem.Physical) *Kernel {
-	return &Kernel{Phys: phys, FS: fs, procs: map[int]*Process{}, nextPID: 1}
+	return newKernel(fs, phys)
+}
+
+// newKernel wires the observability layer through every subsystem the
+// kernel owns: registry-backed counters for the kernel itself, the frame
+// pool's gauges, and the shared file system's tracer hookup.
+func newKernel(fs *shmfs.FS, phys *mem.Physical) *Kernel {
+	o := obsv.New()
+	k := &Kernel{
+		Phys: phys, FS: fs, procs: map[int]*Process{}, nextPID: 1,
+		Obs:         o,
+		ctrSyscalls: o.R.Counter("kern.syscalls"),
+		ctrFaults:   o.R.Counter("kern.faults"),
+		ctrSteps:    o.R.Counter("kern.steps"),
+		ctrForks:    o.R.Counter("kern.forks"),
+		ctrExits:    o.R.Counter("kern.exits"),
+		ctrVMTraps:  o.R.Counter("vm.traps"),
+		ctrASMaps:   o.R.Counter("addrspace.pages_mapped"),
+		ctrASUnmaps: o.R.Counter("addrspace.pages_unmapped"),
+		hRunSteps:   o.R.Histogram("kern.run_steps"),
+	}
+	phys.RegisterObsv(o.R)
+	fs.Observe(o.T, o.R.Counter("shmfs.creates"), o.R.Counter("shmfs.opens"))
+	return k
 }
 
 // openFile is one open file description.
@@ -139,8 +179,13 @@ func (k *Kernel) Spawn(uid int) *Process {
 		mappedSlots: map[int]bool{},
 	}
 	p.CPU = vm.New(p.AS)
+	p.CPU.CtrTraps = k.ctrVMTraps
+	p.AS.Observe(k.Obs.Tracer(), k.ctrASMaps, k.ctrASUnmaps, p.PID)
 	k.nextPID++
 	k.procs[p.PID] = p
+	if t := k.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: "spawn", PID: p.PID, Val: uint64(uid)})
+	}
 	return p
 }
 
@@ -305,6 +350,10 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	if parent.CloneRuntime != nil {
 		parent.CloneRuntime(parent, child)
 	}
+	k.ctrForks.Inc()
+	if t := k.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: "fork", PID: parent.PID, Val: uint64(child.PID)})
+	}
 	return child, nil
 }
 
@@ -322,6 +371,10 @@ func (p *Process) Exit(code int) {
 	p.K.mu.Lock()
 	delete(p.K.procs, p.PID)
 	p.K.mu.Unlock()
+	p.K.ctrExits.Inc()
+	if t := p.K.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: "exit", PID: p.PID, Val: uint64(uint32(code))})
+	}
 }
 
 // ---- fault delivery ---------------------------------------------------------
@@ -334,6 +387,10 @@ func (k *Kernel) HandleFault(p *Process, f *addrspace.Fault) error {
 	k.mu.Lock()
 	k.FaultCount++
 	k.mu.Unlock()
+	k.ctrFaults.Inc()
+	if t := k.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: "fault", PID: p.PID, Addr: f.Addr, Val: uint64(f.Access)})
+	}
 	if p.Handler != nil {
 		err := p.Handler(p, f)
 		if err == nil {
@@ -381,6 +438,9 @@ func (k *Kernel) MapSharedFile(p *Process, path string, size uint32, prot addrsp
 		return shmfs.Stat{}, err
 	}
 	p.mappedSlots[st.Ino] = true
+	if t := k.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: "map_shared", PID: p.PID, Mod: path, Addr: st.Addr, Val: uint64(need)})
+	}
 	return st, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"hemlock/internal/addrspace"
 	"hemlock/internal/isa"
+	"hemlock/internal/obsv"
 	"hemlock/internal/shmfs"
 	"hemlock/internal/vm"
 )
@@ -30,6 +31,37 @@ const (
 	SysSymAddr    = 16 // sym_addr(name) -> address (dlsym, against the full root scope)
 	SysFork       = 17 // fork() -> child pid (0 in the child)
 )
+
+// sysNames maps syscall numbers to event names for the tracer. Indexing is
+// an array lookup so the trace path allocates nothing.
+var sysNames = [...]string{
+	SysExit:       "exit",
+	SysWrite:      "write",
+	SysGetPID:     "getpid",
+	SysOpen:       "open",
+	SysClose:      "close",
+	SysRead:       "read",
+	SysSbrk:       "sbrk",
+	SysAddrToPath: "shm_addr_to_path",
+	SysOpenAddr:   "open_by_addr",
+	SysPathToAddr: "shm_path_to_addr",
+	SysStatSize:   "stat_size",
+	SysUnlink:     "unlink",
+	SysMapShared:  "map_shared",
+	SysLinkModule: "link_module",
+	SysSymAddr:    "sym_addr",
+	SysFork:       "fork",
+	SysPDServe:    "pd_serve",
+	SysPDCall:     "pd_call",
+	SysPDReturn:   "pd_return",
+}
+
+func sysName(num uint32) string {
+	if num < uint32(len(sysNames)) && sysNames[num] != "" {
+		return sysNames[num]
+	}
+	return "syscall"
+}
 
 // ModuleLinker is the hook the dynamic linker installs (via
 // Process.Runtime) so the link_module and sym_addr system calls can reach
@@ -76,6 +108,10 @@ func (k *Kernel) Syscall(p *Process) error {
 	c := p.CPU
 	num := c.Regs[isa.RegV0]
 	a0, a1, a2 := c.Regs[isa.RegA0], c.Regs[isa.RegA1], c.Regs[isa.RegA2]
+	k.ctrSyscalls.Inc()
+	if t := k.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: sysName(num), PID: p.PID, Addr: a0, Val: uint64(num)})
+	}
 	var ret uint32
 	var err error
 	switch num {
@@ -266,6 +302,15 @@ func (p *Process) OpenHostFile(path string, writable bool) (int, error) {
 // handler and the faulting instruction restarted, exactly like hardware
 // resuming after SIGSEGV. It returns the retired instruction count.
 func (k *Kernel) Run(p *Process, maxSteps uint64) (uint64, error) {
+	span := k.Obs.Tracer().Begin("kern", "run", p.PID, "")
+	n, err := k.runLoop(p, maxSteps)
+	k.ctrSteps.Add(n)
+	k.hRunSteps.Observe(n)
+	span.End(n)
+	return n, err
+}
+
+func (k *Kernel) runLoop(p *Process, maxSteps uint64) (uint64, error) {
 	start := p.CPU.Steps
 	for p.CPU.Steps-start < maxSteps {
 		if p.Exited {

@@ -21,6 +21,8 @@ func (pr *Proc) CloneFor(child *kern.Process) *Proc {
 		userHandler: pr.userHandler,
 		plt:         pr.plt, // stub names are immutable
 	}
+	// The child starts with its own copy of the pending image relocations.
+	pr.W.addImageRelocs(len(cl.imagePend))
 	remap := map[*Instance]*Instance{nil: nil}
 	cl.root = &Instance{Name: pr.root.Name, searchPath: pr.root.searchPath}
 	remap[pr.root] = cl.root

@@ -46,6 +46,7 @@ import (
 	"hemlock/internal/lds"
 	"hemlock/internal/linker"
 	"hemlock/internal/objfile"
+	"hemlock/internal/obsv"
 	"hemlock/internal/shmfs"
 )
 
@@ -57,14 +58,25 @@ var (
 )
 
 // Stats counts linker activity; the lazy-vs-eager experiment reads it.
+// Every field is mirrored by a counter or gauge in the kernel's obsv
+// registry (ldl.modules_mapped, ldl.lazy_links, ...), and the two always
+// agree: both are updated at the same site under the world lock.
 type Stats struct {
-	ModulesMapped   int // instances mapped into some address space
-	ModulesCreated  int // public instances created from templates
-	LazyLinks       int // modules linked on first touch
-	RelocsApplied   int
-	PointerMaps     int // segments mapped by pointer-following faults
+	ModulesMapped  int // instances mapped into some address space
+	ModulesCreated int // public instances created from templates
+	LazyLinks      int // modules linked on first touch
+	RelocsApplied  int
+	PointerMaps    int // segments mapped by pointer-following faults
+
+	// ImageRelocsLeft is the total number of retained load-image
+	// relocations still pending across every process the world has
+	// started: process start-up and fork add their pending counts,
+	// resolution subtracts. (It used to be overwritten with the latest
+	// process's count, which was meaningless with more than one program
+	// running.)
 	ImageRelocsLeft int
-	PLTResolves     int // jump-table stubs patched on first call
+
+	PLTResolves int // jump-table stubs patched on first call
 }
 
 // shared is the kernel-wide state of one public module instance.
@@ -88,9 +100,22 @@ type World struct {
 
 	// Trace, when set, receives a line for each linker event (module
 	// mapped, segment created, lazy link, pointer-map fault, stub
-	// resolution): the LD_DEBUG of the simulation. The CLI's `run -v`
-	// wires it to stderr.
+	// resolution): the LD_DEBUG of the simulation.
+	//
+	// Deprecated: Trace is a compatibility shim kept for existing callers.
+	// New code should attach a sink (obsv.NewText for the old line format)
+	// to the kernel tracer, W.K.Obs.T, which carries the same events typed
+	// and timestamped alongside every other subsystem's.
 	Trace func(format string, args ...interface{})
+
+	// Registry-backed mirrors of Stats (see Stats doc).
+	ctrMapped  *obsv.Counter
+	ctrCreated *obsv.Counter
+	ctrLazy    *obsv.Counter
+	ctrRelocs  *obsv.Counter
+	ctrPtrMaps *obsv.Counter
+	ctrPLT     *obsv.Counter
+	gImageLeft *obsv.Gauge
 }
 
 func (w *World) tracef(format string, args ...interface{}) {
@@ -99,9 +124,42 @@ func (w *World) tracef(format string, args ...interface{}) {
 	}
 }
 
+// tracer returns the kernel-wide event tracer (nil-safe).
+func (w *World) tracer() *obsv.Tracer { return w.K.Obs.Tracer() }
+
+// emit sends a typed linker event to the kernel tracer when enabled.
+func (w *World) emit(e obsv.Event) {
+	if t := w.tracer(); t.Enabled() {
+		e.Subsys = "ldl"
+		t.Emit(e)
+	}
+}
+
+// addImageRelocs delta-adjusts the pending retained-reloc aggregate in
+// both the Stats struct and the registry gauge.
+func (w *World) addImageRelocs(delta int) {
+	if delta == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.Stats.ImageRelocsLeft += delta
+	w.mu.Unlock()
+	w.gImageLeft.Add(int64(delta))
+}
+
 // NewWorld creates the dynamic-linker state for a kernel.
 func NewWorld(k *kern.Kernel) *World {
-	return &World{K: k, LD: lds.New(k.FS), public: map[string]*shared{}}
+	r := k.Obs.Registry()
+	return &World{
+		K: k, LD: lds.New(k.FS), public: map[string]*shared{},
+		ctrMapped:  r.Counter("ldl.modules_mapped"),
+		ctrCreated: r.Counter("ldl.modules_created"),
+		ctrLazy:    r.Counter("ldl.lazy_links"),
+		ctrRelocs:  r.Counter("ldl.relocs_applied"),
+		ctrPtrMaps: r.Counter("ldl.pointer_maps"),
+		ctrPLT:     r.Counter("ldl.plt_resolves"),
+		gImageLeft: r.Gauge("ldl.image_relocs_left"),
+	}
 }
 
 // Instance is a per-process view of one linked-in module.
@@ -162,6 +220,7 @@ func (w *World) Start(p *kern.Process, im *objfile.Image) (*Proc, error) {
 		}
 	}
 	pr.imagePend = append([]objfile.ImageReloc(nil), im.Relocs...)
+	w.addImageRelocs(len(pr.imagePend))
 	pr.root = &Instance{
 		Name:       "(program)",
 		searchPath: pr.runtimeDirs(),
@@ -310,8 +369,12 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 		w.public[instPath] = sh
 		if created {
 			w.Stats.ModulesCreated++
+			w.ctrCreated.Inc()
 		}
 		w.mu.Unlock()
+		if created {
+			w.emit(obsv.Event{Name: "create_public", PID: pr.P.PID, Mod: instPath, Addr: placed.Base})
+		}
 	}
 
 	// Already brought into this process?
@@ -335,6 +398,11 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 		return nil, err
 	}
 	w.tracef("ldl: mapped public %s at 0x%08x (%s, lazy=%v)", instPath, st.Addr, class, lazy)
+	lazyVal := uint64(0)
+	if lazy {
+		lazyVal = 1
+	}
+	w.emit(obsv.Event{Name: "map_public", PID: pr.P.PID, Mod: instPath, Addr: st.Addr, Val: lazyVal})
 	inst := &Instance{
 		Name:       name,
 		Class:      class,
@@ -353,6 +421,7 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 	parent.depsLoaded = append(parent.depsLoaded, inst)
 	w.mu.Lock()
 	w.Stats.ModulesMapped++
+	w.ctrMapped.Inc()
 	w.mu.Unlock()
 	return inst, nil
 }
@@ -395,6 +464,11 @@ func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string
 		}
 	}
 	pr.W.tracef("ldl: created private instance of %s at 0x%08x (lazy=%v)", name, base, lazy)
+	lazyVal := uint64(0)
+	if lazy {
+		lazyVal = 1
+	}
+	pr.W.emit(obsv.Event{Name: "map_private", PID: pr.P.PID, Mod: name, Addr: base, Val: lazyVal})
 	inst := &Instance{
 		Name:       name,
 		Class:      class,
@@ -413,6 +487,7 @@ func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string
 	parent.depsLoaded = append(parent.depsLoaded, inst)
 	pr.W.mu.Lock()
 	pr.W.Stats.ModulesMapped++
+	pr.W.ctrMapped.Inc()
 	pr.W.mu.Unlock()
 	return inst, nil
 }
@@ -508,8 +583,11 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		pr.W.mu.Lock()
 		pr.W.Stats.RelocsApplied += applied
 		pr.W.Stats.LazyLinks++
+		pr.W.ctrRelocs.Add(uint64(applied))
+		pr.W.ctrLazy.Inc()
 		pr.W.mu.Unlock()
 		pr.W.tracef("ldl: linked public %s: %d reloc(s), %d pending", in.Path, applied, len(left))
+		pr.W.emit(obsv.Event{Name: "lazy_link", PID: pr.P.PID, Mod: in.Path, Addr: in.Base, Val: uint64(applied)})
 	} else {
 		// Private: patch through this process's address space. Make the
 		// pages writable for patching first.
@@ -526,8 +604,11 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		pr.W.mu.Lock()
 		pr.W.Stats.RelocsApplied += applied
 		pr.W.Stats.LazyLinks++
+		pr.W.ctrRelocs.Add(uint64(applied))
+		pr.W.ctrLazy.Inc()
 		pr.W.mu.Unlock()
 		pr.W.tracef("ldl: linked private %s: %d reloc(s), %d pending", in.Name, applied, len(left))
+		pr.W.emit(obsv.Event{Name: "lazy_link", PID: pr.P.PID, Mod: in.Name, Addr: in.Base, Val: uint64(applied)})
 	}
 	// New modules may now satisfy references retained in the main image.
 	if err := pr.resolveImageRelocs(); err != nil {
@@ -584,12 +665,14 @@ func (pr *Proc) resolveImageRelocs() error {
 		}
 		pr.W.mu.Lock()
 		pr.W.Stats.RelocsApplied++
+		pr.W.ctrRelocs.Inc()
 		pr.W.mu.Unlock()
 	}
+	// Shrink the pending aggregate by the number of relocations this pass
+	// applied. (ImageRelocsLeft used to be overwritten with len(left),
+	// clobbering other processes' pending counts.)
+	pr.W.addImageRelocs(len(left) - len(pr.imagePend))
 	pr.imagePend = left
-	pr.W.mu.Lock()
-	pr.W.Stats.ImageRelocsLeft = len(left)
-	pr.W.mu.Unlock()
 	return nil
 }
 
@@ -677,8 +760,10 @@ func (pr *Proc) HandleFault(p *kern.Process, f *addrspace.Fault) error {
 		}
 		pr.W.mu.Lock()
 		pr.W.Stats.PointerMaps++
+		pr.W.ctrPtrMaps.Inc()
 		pr.W.mu.Unlock()
 		pr.W.tracef("ldl: fault at 0x%08x mapped segment %s", f.Addr, path)
+		pr.W.emit(obsv.Event{Name: "pointer_map", PID: p.PID, Mod: path, Addr: f.Addr})
 		return nil
 	}
 	return pr.chain(p, f)

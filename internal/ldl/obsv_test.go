@@ -1,0 +1,171 @@
+package ldl_test
+
+import (
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+	"hemlock/internal/obsv"
+)
+
+// TestRegistryMirrorsStats drives the full lazy-linking machinery — module
+// creation, lazy mapping, first-touch linking, pointer-following — and
+// asserts the registry counters and the Stats struct agree field by field,
+// as the Stats doc promises.
+func TestRegistryMirrorsStats(t *testing.T) {
+	s := core.NewSystem()
+	ring := obsv.NewRing(1024)
+	s.Obs().T.Attach(ring)
+	s.Asm("/lib/inner.o", `
+        .data
+        .globl  inner_val
+inner_val: .word 31337
+`)
+	s.Asm("/lib/outer.o", `
+        .dep    inner.o, dynamic-public
+        .searchpath /lib
+        .data
+        .globl  outer_ptr
+outer_ptr: .word inner_val
+`)
+	res := linkWith(t, s, trivialMain, lds.Input{Name: "outer.o", Class: objfile.DynamicPublic})
+	pg, err := s.Launch(res.Image, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch outer_ptr: lazy-links outer.o, bringing in inner.o; then follow
+	// the pointer it holds.
+	v, err := pg.Var("outer_ptr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := v.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := inner.Load(); got != 31337 {
+		t.Fatalf("inner_val via pointer = %d", got)
+	}
+
+	st := s.W.Stats
+	snap := s.Obs().R.Snapshot()
+	for _, c := range []struct {
+		name string
+		stat int
+	}{
+		{"ldl.modules_mapped", st.ModulesMapped},
+		{"ldl.modules_created", st.ModulesCreated},
+		{"ldl.lazy_links", st.LazyLinks},
+		{"ldl.relocs_applied", st.RelocsApplied},
+		{"ldl.pointer_maps", st.PointerMaps},
+		{"ldl.plt_resolves", st.PLTResolves},
+	} {
+		if got := snap.Counters[c.name]; got != uint64(c.stat) {
+			t.Errorf("%s = %d, Stats says %d", c.name, got, c.stat)
+		}
+	}
+	if got := snap.Gauges["ldl.image_relocs_left"]; got != int64(st.ImageRelocsLeft) {
+		t.Errorf("ldl.image_relocs_left = %d, Stats says %d", got, st.ImageRelocsLeft)
+	}
+	if st.ModulesMapped == 0 || st.LazyLinks == 0 {
+		t.Fatalf("workload did not exercise the linker: %+v", st)
+	}
+
+	// The trace carries the same story as typed ldl events.
+	names := map[string]bool{}
+	for _, e := range ring.Events() {
+		if e.Subsys == "ldl" {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"map_public", "lazy_link"} {
+		if !names[want] {
+			t.Errorf("no %q event; ldl events seen: %v", want, names)
+		}
+	}
+}
+
+// TestImageRelocsLeftAggregatesAcrossProcesses pins the repaired semantics:
+// the counter is the total of pending retained relocations across every
+// process started, not whatever the most recent process happened to have.
+func TestImageRelocsLeftAggregatesAcrossProcesses(t *testing.T) {
+	s := core.NewSystem()
+	// main references a symbol nothing defines: lds retains the relocs and
+	// ldl leaves them pending forever.
+	res := linkWith(t, s, `
+        .text
+        .globl  main
+        .extern ghost
+main:   la      $t0, ghost
+        li      $v0, 0
+        jr      $ra
+`)
+	p1, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := len(p1.LDL.PendingImageRefs())
+	if per == 0 {
+		t.Fatal("test image has no pending refs")
+	}
+	one := s.W.Stats.ImageRelocsLeft
+	if one == 0 {
+		t.Fatal("ImageRelocsLeft = 0 after launching a program with pending refs")
+	}
+	if _, err := s.Launch(res.Image, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.W.Stats.ImageRelocsLeft; got != 2*one {
+		t.Fatalf("ImageRelocsLeft = %d after two launches, want %d (the old code overwrote the aggregate)", got, 2*one)
+	}
+	// A forked child carries its own copies of the pending relocations.
+	if _, err := p1.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.W.Stats.ImageRelocsLeft; got != 3*one {
+		t.Fatalf("ImageRelocsLeft = %d after fork, want %d", got, 3*one)
+	}
+	if g := s.Obs().R.Snapshot().Gauges["ldl.image_relocs_left"]; g != int64(3*one) {
+		t.Fatalf("gauge = %d, want %d", g, 3*one)
+	}
+}
+
+// TestImageRelocsLeftDropsWhenResolved checks the other direction: when a
+// later module brings the missing symbol, resolution shrinks the aggregate
+// instead of clobbering it.
+func TestImageRelocsLeftDropsWhenResolved(t *testing.T) {
+	s := core.NewSystem()
+	s.Asm("/lib/late.o", `
+        .data
+        .globl  late_val
+late_val: .word 9
+`)
+	res := linkWith(t, s, `
+        .text
+        .globl  main
+        .extern late_val
+main:   la      $t0, late_val
+        lw      $v0, 0($t0)
+        jr      $ra
+`)
+	pg, err := s.Launch(res.Image, 0, map[string]string{"LD_LIBRARY_PATH": "/lib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.W.Stats.ImageRelocsLeft
+	if before == 0 {
+		t.Fatal("no pending refs before the module is brought in")
+	}
+	// Bring in the module that defines late_val; BringIn re-resolves the
+	// image's retained relocations.
+	if _, err := pg.LDL.BringIn(objfile.ModuleRef{Name: "late.o", Class: objfile.DynamicPublic}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.W.Stats.ImageRelocsLeft; got != 0 {
+		t.Fatalf("ImageRelocsLeft = %d after resolution, want 0", got)
+	}
+	if g := s.Obs().R.Snapshot().Gauges["ldl.image_relocs_left"]; g != 0 {
+		t.Fatalf("gauge = %d after resolution, want 0", g)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"hemlock/internal/isa"
 	"hemlock/internal/kern"
+	"hemlock/internal/obsv"
 )
 
 // ErrUndefinedCall is returned when a PLT stub fires for a symbol nothing
@@ -66,7 +67,9 @@ func (pr *Proc) handleBreak(p *kern.Process) error {
 	p.CPU.PC = stub
 	pr.W.mu.Lock()
 	pr.W.Stats.PLTResolves++
+	pr.W.ctrPLT.Inc()
 	pr.W.mu.Unlock()
 	pr.W.tracef("ldl: jump-table stub 0x%08x resolved %s -> 0x%08x", stub, name, target)
+	pr.W.emit(obsv.Event{Name: "plt_resolve", PID: p.PID, Mod: name, Addr: stub, Val: uint64(target)})
 	return nil
 }

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"hemlock/internal/obsv"
 )
 
 // PageSize is the size in bytes of a physical frame and of a virtual page.
@@ -131,6 +133,16 @@ func (p *Physical) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{Live: p.live, Limit: p.limit, Allocs: p.allocCnt, Frees: p.freeCnt}
+}
+
+// RegisterObsv publishes the pool's usage as gauges in the registry,
+// sampled live at snapshot time so the snapshot and Stats() always agree:
+// mem.frames_live, mem.frames_limit, mem.frame_allocs, mem.frame_frees.
+func (p *Physical) RegisterObsv(r *obsv.Registry) {
+	r.GaugeFunc("mem.frames_live", func() int64 { return int64(p.Stats().Live) })
+	r.GaugeFunc("mem.frames_limit", func() int64 { return int64(p.Stats().Limit) })
+	r.GaugeFunc("mem.frame_allocs", func() int64 { return int64(p.Stats().Allocs) })
+	r.GaugeFunc("mem.frame_frees", func() int64 { return int64(p.Stats().Frees) })
 }
 
 // Copy returns a new frame whose contents are a copy of f (reference count

@@ -1,0 +1,53 @@
+// Package obsv is Hemlock's unified observability layer: a structured
+// event tracer and a metrics registry shared by every subsystem (kern, vm,
+// addrspace, ldl, shmfs, shalloc, mem).
+//
+// The paper's whole value proposition is fault-driven lazy linking, and a
+// lazy link is invisible unless something records it. obsv makes every
+// interesting transition — a syscall, a fault, a map/unmap, a lazy link, a
+// PLT patch, a segment creation — a typed Event flowing through a Tracer
+// to pluggable sinks (an in-memory ring buffer, a JSONL stream, a Chrome
+// trace_event file for visual timelines), and every interesting quantity a
+// named Counter/Gauge/Histogram in a Registry with a snapshot API.
+//
+// Design constraints, in order:
+//
+//  1. Disabled tracing must cost (almost) nothing: one atomic load and no
+//     allocations on the syscall hot path. Callers gate event construction
+//     on Tracer.Enabled(); Events are passed by value; sinks preallocate.
+//  2. Everything is safe for concurrent use: counters are atomics, the
+//     tracer fans out under a short mutex, and all hot accessors are
+//     nil-receiver-safe so partially-wired subsystems (a bare
+//     addrspace.Space in a test) need no guards.
+//  3. Time is injectable: a Tracer takes a clock so golden-file tests and
+//     deterministic replays can stamp events reproducibly.
+package obsv
+
+// Obs bundles the tracer and registry one kernel instance shares with all
+// of its subsystems.
+type Obs struct {
+	T *Tracer
+	R *Registry
+}
+
+// New returns an Obs with a real-time tracer (no sinks attached, so
+// tracing is disabled until one is) and an empty registry.
+func New() *Obs {
+	return &Obs{T: NewTracer(nil), R: NewRegistry()}
+}
+
+// Tracer returns the bundle's tracer; safe on a nil Obs.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.T
+}
+
+// Registry returns the bundle's registry; safe on a nil Obs.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.R
+}

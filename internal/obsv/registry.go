@@ -1,0 +1,296 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ---- instruments -------------------------------------------------------------
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-receiver-safe so unwired subsystems pay one branch and nothing else.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated signed level.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations in power-of-two buckets: bucket k
+// counts values v with bit length k, i.e. 2^(k-1) <= v < 2^k (bucket 0
+// counts zeros). Cheap, allocation-free, and plenty for step counts and
+// byte sizes.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is the exported state of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty power-of-two bucket: Count observations
+// with Le as their inclusive upper bound.
+type HistogramBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for k := range h.buckets {
+		n := h.buckets[k].Load()
+		if n == 0 {
+			continue
+		}
+		le := uint64(0)
+		if k > 0 {
+			if k >= 64 {
+				le = ^uint64(0)
+			} else {
+				le = uint64(1)<<uint(k) - 1
+			}
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// ---- registry ----------------------------------------------------------------
+
+// Registry is a namespace of metrics. Instrument lookup is idempotent:
+// asking for the same name returns the same instrument, so subsystems
+// fetch handles once at wiring time and the hot path is a bare atomic.
+// Names are dotted, "subsys.metric" ("kern.syscalls", "ldl.lazy_links").
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() int64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil registry
+// returns a nil (valid, no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback sampled at snapshot time: the way an
+// externally owned level (the physical frame pool) is surfaced without
+// double bookkeeping. Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry. Gauge callbacks are sampled now. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Gauges: map[string]int64{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, fn := range fns {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		hs := h.snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSnapshot{}
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// Text renders the snapshot as sorted "name value" lines grouped by kind.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	writeSorted := func(title string, lines []string) {
+		if len(lines) == 0 {
+			return
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(&b, "%s:\n", title)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	var cl []string
+	for k, v := range s.Counters {
+		cl = append(cl, fmt.Sprintf("  %-28s %d", k, v))
+	}
+	writeSorted("counters", cl)
+	var gl []string
+	for k, v := range s.Gauges {
+		gl = append(gl, fmt.Sprintf("  %-28s %d", k, v))
+	}
+	writeSorted("gauges", gl)
+	var hl []string
+	for k, h := range s.Histograms {
+		hl = append(hl, fmt.Sprintf("  %-28s count=%d sum=%d", k, h.Count, h.Sum))
+	}
+	writeSorted("histograms", hl)
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,165 @@
+package obsv
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("kern.syscalls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("kern.syscalls") != c {
+		t.Fatal("Counter lookup is not idempotent")
+	}
+
+	g := r.Gauge("mem.level")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	if r.Gauge("mem.level") != g {
+		t.Fatal("Gauge lookup is not idempotent")
+	}
+
+	h := r.Histogram("kern.run_steps")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 || s.Sum != 1010 {
+		t.Fatalf("histogram count=%d sum=%d, want 6/1010", s.Count, s.Sum)
+	}
+	// Buckets: 0 -> le 0; 1 -> le 1; 2,3 -> le 3; 4 -> le 7; 1000 -> le 1023.
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 1023: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %v", s.Buckets, want)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	r.GaugeFunc("z", func() int64 { return 9 })
+	var h *Histogram
+	h.Observe(3)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.Emit(Event{Name: "x"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp := tr.Begin("kern", "run", 1, "")
+	sp.End(0)
+
+	var o *Obs
+	if o.Tracer() != nil || o.Registry() != nil {
+		t.Fatal("nil Obs accessors not nil")
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Inc()
+	r.Gauge("g.level").Set(-4)
+	r.GaugeFunc("g.fn", func() int64 { return 12 })
+	r.Histogram("h.steps").Observe(5)
+	// An empty histogram must not appear in the snapshot.
+	r.Histogram("h.empty")
+
+	s := r.Snapshot()
+	if s.Gauges["g.fn"] != 12 {
+		t.Fatalf("gauge func not sampled: %+v", s.Gauges)
+	}
+	if _, ok := s.Histograms["h.empty"]; ok {
+		t.Fatal("empty histogram in snapshot")
+	}
+
+	text := s.Text()
+	ia, ib := strings.Index(text, "a.one"), strings.Index(text, "b.two")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("counters missing or unsorted:\n%s", text)
+	}
+	for _, want := range []string{"counters:", "gauges:", "histograms:", "g.level", "-4", "count=1 sum=5"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, text)
+		}
+	}
+
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["b.two"] != 2 || back.Gauges["g.fn"] != 12 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.count")
+			g := r.Gauge("shared.level")
+			h := r.Histogram("shared.hist")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared.count"] != workers*per {
+		t.Fatalf("count = %d, want %d", s.Counters["shared.count"], workers*per)
+	}
+	if s.Gauges["shared.level"] != workers*per {
+		t.Fatalf("level = %d, want %d", s.Gauges["shared.level"], workers*per)
+	}
+	if s.Histograms["shared.hist"].Count != workers*per {
+		t.Fatalf("hist count = %d, want %d", s.Histograms["shared.hist"].Count, workers*per)
+	}
+}

@@ -1,0 +1,306 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// ---- ring buffer ------------------------------------------------------------
+
+// Ring is a fixed-capacity in-memory sink: the flight recorder. When full
+// it overwrites the oldest events and counts the overwritten ones.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // index of the slot the next event lands in
+	full    bool
+	dropped uint64
+}
+
+// NewRing returns a ring holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len reports how many events are currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped reports how many events were overwritten by wraparound.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ---- JSON encoding helpers ---------------------------------------------------
+
+// appendEventJSON hand-rolls the event object so field order is stable for
+// golden files and zero-valued optional fields are omitted.
+func appendEventJSON(b []byte, e Event) []byte {
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, e.TS, 10)
+	b = append(b, `,"subsys":`...)
+	b = strconv.AppendQuote(b, e.Subsys)
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, e.Name)
+	b = append(b, `,"ph":"`...)
+	b = append(b, byte(e.Phase))
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(e.PID), 10)
+	if e.Mod != "" {
+		b = append(b, `,"mod":`...)
+		b = strconv.AppendQuote(b, e.Mod)
+	}
+	if e.Addr != 0 {
+		b = append(b, `,"addr":"`...)
+		b = appendHex32(b, e.Addr)
+		b = append(b, '"')
+	}
+	if e.Val != 0 {
+		b = append(b, `,"val":`...)
+		b = strconv.AppendUint(b, e.Val, 10)
+	}
+	b = append(b, '}')
+	return b
+}
+
+func appendHex32(b []byte, v uint32) []byte {
+	const digits = "0123456789abcdef"
+	b = append(b, '0', 'x')
+	for shift := 28; shift >= 0; shift -= 4 {
+		b = append(b, digits[(v>>uint(shift))&0xF])
+	}
+	return b
+}
+
+// ---- JSONL sink --------------------------------------------------------------
+
+// JSONL writes one JSON object per line: the format `hemlock -trace
+// out.jsonl` produces, trivially greppable and jq-able.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w. If w implements io.Closer it
+// is closed by Close.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	var buf [192]byte
+	line := appendEventJSON(buf[:0], e)
+	line = append(line, '\n')
+	_, j.err = j.w.Write(line)
+}
+
+// Close flushes buffered lines and closes the underlying writer if it is
+// closable.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.w.Flush(); j.err == nil {
+		j.err = ferr
+	}
+	if j.c != nil {
+		if cerr := j.c.Close(); j.err == nil {
+			j.err = cerr
+		}
+	}
+	return j.err
+}
+
+// ---- Chrome trace_event sink -------------------------------------------------
+
+// ChromeTrace writes the Chrome/Perfetto trace_event JSON array format:
+// load the file in chrome://tracing or ui.perfetto.dev for a visual
+// timeline of syscalls, faults and lazy links. Timestamps are microseconds
+// as the format requires; each Hemlock PID becomes a track.
+type ChromeTrace struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	first bool
+	done  bool
+	err   error
+}
+
+// NewChromeTrace returns a sink writing the trace_event array to w. Close
+// MUST be called to terminate the JSON array.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	t := &ChromeTrace{w: bufio.NewWriter(w), first: true}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit implements Sink.
+func (t *ChromeTrace) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.done {
+		return
+	}
+	var buf [256]byte
+	b := buf[:0]
+	if t.first {
+		b = append(b, "[\n"...)
+		t.first = false
+	} else {
+		b = append(b, ",\n"...)
+	}
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, e.Name)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, e.Subsys)
+	b = append(b, `,"ph":"`...)
+	b = append(b, byte(e.Phase))
+	if e.Phase == PhaseInstant {
+		b = append(b, `","s":"t`...) // instant scope: thread
+	}
+	b = append(b, `","ts":`...)
+	b = strconv.AppendInt(b, e.TS/1000, 10) // microseconds
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(e.PID), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(e.PID), 10)
+	b = append(b, `,"args":{`...)
+	comma := false
+	if e.Mod != "" {
+		b = append(b, `"mod":`...)
+		b = strconv.AppendQuote(b, e.Mod)
+		comma = true
+	}
+	if e.Addr != 0 {
+		if comma {
+			b = append(b, ',')
+		}
+		b = append(b, `"addr":"`...)
+		b = appendHex32(b, e.Addr)
+		b = append(b, '"')
+		comma = true
+	}
+	if e.Val != 0 {
+		if comma {
+			b = append(b, ',')
+		}
+		b = append(b, `"val":`...)
+		b = strconv.AppendUint(b, e.Val, 10)
+	}
+	b = append(b, "}}"...)
+	_, t.err = t.w.Write(b)
+}
+
+// Close terminates the JSON array and flushes.
+func (t *ChromeTrace) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.err
+	}
+	t.done = true
+	if t.first {
+		t.w.WriteString("[")
+	}
+	t.w.WriteString("\n]\n")
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+	}
+	return t.err
+}
+
+// ---- text sink ---------------------------------------------------------------
+
+// Text renders events as human-readable lines: the successor of the old
+// `run -v` LD_DEBUG-style output, now fed by every subsystem.
+type Text struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewText returns a text sink writing to w.
+func NewText(w io.Writer) *Text { return &Text{w: w} }
+
+// Emit implements Sink.
+func (t *Text) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ph := ""
+	switch e.Phase {
+	case PhaseBegin:
+		ph = " begin"
+	case PhaseEnd:
+		ph = " end"
+	}
+	fmt.Fprintf(t.w, "%10dns %s: %s%s pid=%d", e.TS, e.Subsys, e.Name, ph, e.PID)
+	if e.Mod != "" {
+		fmt.Fprintf(t.w, " mod=%s", e.Mod)
+	}
+	if e.Addr != 0 {
+		fmt.Fprintf(t.w, " addr=0x%08x", e.Addr)
+	}
+	if e.Val != 0 {
+		fmt.Fprintf(t.w, " val=%d", e.Val)
+	}
+	fmt.Fprintln(t.w)
+}

@@ -27,6 +27,8 @@ package shalloc
 import (
 	"errors"
 	"fmt"
+
+	"hemlock/internal/obsv"
 )
 
 // Mem is the memory the heap lives in. kern.Process and addrspace.Space
@@ -69,6 +71,19 @@ const (
 type Heap struct {
 	m    Mem
 	base uint32
+
+	// Observability wiring (Observe); nil-safe when unwired.
+	tracer            *obsv.Tracer
+	ctrAlloc, ctrFree *obsv.Counter
+	pid               int
+}
+
+// Observe wires the heap handle into the observability layer: allocations
+// and frees flow to the counters, with trace events tagged pid when the
+// tracer is enabled. Returns h for chaining.
+func (h *Heap) Observe(tracer *obsv.Tracer, allocs, frees *obsv.Counter, pid int) *Heap {
+	h.tracer, h.ctrAlloc, h.ctrFree, h.pid = tracer, allocs, frees, pid
+	return h
 }
 
 // Init formats a heap across [base, base+size) and returns a handle. It
@@ -198,6 +213,10 @@ func (h *Heap) Alloc(n uint32) (uint32, error) {
 			if err := h.m.StoreWord(h.base+hdrUsed, used+sz); err != nil {
 				return 0, err
 			}
+			h.ctrAlloc.Inc()
+			if h.tracer.Enabled() {
+				h.tracer.Emit(obsv.Event{Subsys: "shalloc", Name: "alloc", PID: h.pid, Addr: cur + blockHdr, Val: uint64(sz)})
+			}
 			return cur + blockHdr, nil
 		}
 		prev, cur = cur+blockHdr, next
@@ -238,6 +257,10 @@ func (h *Heap) Free(addr uint32) error {
 	used, _ := h.m.LoadWord(h.base + hdrUsed)
 	if err := h.m.StoreWord(h.base+hdrUsed, used-size); err != nil {
 		return err
+	}
+	h.ctrFree.Inc()
+	if h.tracer.Enabled() {
+		h.tracer.Emit(obsv.Event{Subsys: "shalloc", Name: "free", PID: h.pid, Addr: addr, Val: uint64(size)})
 	}
 	// Insert address-ordered.
 	var prevBlk, prevLink uint32

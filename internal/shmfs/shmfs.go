@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"hemlock/internal/mem"
+	"hemlock/internal/obsv"
 )
 
 // Geometry of the shared file system (section 3 of the paper).
@@ -159,6 +160,19 @@ type FS struct {
 	// Lookup selects the AddrToPath strategy; the paper's 32-bit
 	// prototype uses LookupLinear.
 	Lookup LookupMode
+
+	// Observability wiring (Observe); nil-safe when unwired.
+	tracer              *obsv.Tracer
+	ctrCreate, ctrOpens *obsv.Counter
+}
+
+// Observe wires the file system into the observability layer: segment
+// creations and frame-map opens flow to the counters, with trace events
+// on tracer when enabled. kern.New/NewWithFS call this.
+func (fs *FS) Observe(tracer *obsv.Tracer, creates, opens *obsv.Counter) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.tracer, fs.ctrCreate, fs.ctrOpens = tracer, creates, opens
 }
 
 // LookupMode selects how addresses translate to files.
@@ -346,6 +360,10 @@ func (fs *FS) Create(p string, mode Mode, uid int) (Stat, error) {
 	parent.entries[leaf] = nd.ino
 	parent.mtime = fs.tick()
 	fs.tableInsert(nd.ino, Clean(p))
+	fs.ctrCreate.Inc()
+	if fs.tracer.Enabled() {
+		fs.tracer.Emit(obsv.Event{Subsys: "shmfs", Name: "create", Mod: Clean(p), Addr: AddrOf(nd.ino)})
+	}
 	return fs.statOf(nd), nil
 }
 
@@ -776,6 +794,10 @@ func (fs *FS) Frames(p string, size uint32, uid int, write bool) ([]*mem.Frame, 
 	}
 	if size > nd.size {
 		nd.size = size
+	}
+	fs.ctrOpens.Inc()
+	if fs.tracer.Enabled() {
+		fs.tracer.Emit(obsv.Event{Subsys: "shmfs", Name: "open", Mod: Clean(p), Addr: AddrOf(nd.ino), Val: uint64(nd.size)})
 	}
 	return append([]*mem.Frame(nil), nd.frames...), fs.statOf(nd), nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"hemlock/internal/addrspace"
 	"hemlock/internal/isa"
+	"hemlock/internal/obsv"
 )
 
 // Event reports why Step returned without error.
@@ -74,6 +75,11 @@ type CPU struct {
 	PC    uint32
 	AS    *addrspace.Space
 	Steps uint64 // retired instruction count
+	Traps uint64 // traps raised (memory faults, illegal instructions, div0)
+
+	// CtrTraps, when wired (kern.Spawn does), mirrors Traps into the
+	// kernel-wide vm.traps counter. Nil-safe; fork shares the pointer.
+	CtrTraps *obsv.Counter
 }
 
 // New returns a CPU bound to the given address space.
@@ -87,13 +93,20 @@ func (c *CPU) set(r int, v uint32) {
 	}
 }
 
+// trap records and returns a CPU exception at pc.
+func (c *CPU) trap(pc uint32, err error) (Event, error) {
+	c.Traps++
+	c.CtrTraps.Inc()
+	return EventStep, &Trap{PC: pc, Err: err}
+}
+
 // Step fetches, decodes and executes one instruction. On a memory fault it
 // returns a *Trap and leaves PC/registers untouched so the instruction can
 // be restarted after the fault is serviced.
 func (c *CPU) Step() (Event, error) {
 	w, err := c.AS.FetchWord(c.PC)
 	if err != nil {
-		return EventStep, &Trap{PC: c.PC, Err: err}
+		return c.trap(c.PC, err)
 	}
 	in := isa.Decode(w)
 	next := c.PC + 4
@@ -130,7 +143,7 @@ func (c *CPU) Step() (Event, error) {
 			c.set(in.RD, c.Regs[in.RS]*c.Regs[in.RT])
 		case isa.FnDIV:
 			if c.Regs[in.RT] == 0 {
-				return EventStep, &Trap{PC: c.PC, Err: ErrDivZero}
+				return c.trap(c.PC, ErrDivZero)
 			}
 			c.set(in.RD, uint32(int32(c.Regs[in.RS])/int32(c.Regs[in.RT])))
 		case isa.FnADD, isa.FnADDU:
@@ -158,7 +171,7 @@ func (c *CPU) Step() (Event, error) {
 				c.set(in.RD, 0)
 			}
 		default:
-			return EventStep, &Trap{PC: c.PC, Err: fmt.Errorf("%w: special funct %d", ErrIllegal, in.Fn)}
+			return c.trap(c.PC, fmt.Errorf("%w: special funct %d", ErrIllegal, in.Fn))
 		}
 	case isa.OpJ:
 		next = isa.Jump26Target(w, c.PC)
@@ -207,38 +220,38 @@ func (c *CPU) Step() (Event, error) {
 		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
 		v, err := c.AS.LoadWord(addr)
 		if err != nil {
-			return EventStep, &Trap{PC: c.PC, Err: err}
+			return c.trap(c.PC, err)
 		}
 		c.set(in.RT, v)
 	case isa.OpLB:
 		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
 		b, err := c.AS.LoadByte(addr)
 		if err != nil {
-			return EventStep, &Trap{PC: c.PC, Err: err}
+			return c.trap(c.PC, err)
 		}
 		c.set(in.RT, uint32(int32(int8(b))))
 	case isa.OpLBU:
 		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
 		b, err := c.AS.LoadByte(addr)
 		if err != nil {
-			return EventStep, &Trap{PC: c.PC, Err: err}
+			return c.trap(c.PC, err)
 		}
 		c.set(in.RT, uint32(b))
 	case isa.OpSW:
 		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
 		if err := c.AS.StoreWord(addr, c.Regs[in.RT]); err != nil {
-			return EventStep, &Trap{PC: c.PC, Err: err}
+			return c.trap(c.PC, err)
 		}
 	case isa.OpSB:
 		addr := c.Regs[in.RS] + isa.SignExt(in.Imm)
 		if err := c.AS.StoreByte(addr, byte(c.Regs[in.RT])); err != nil {
-			return EventStep, &Trap{PC: c.PC, Err: err}
+			return c.trap(c.PC, err)
 		}
 	case isa.OpHALT:
 		c.Steps++
 		return EventHalt, nil
 	default:
-		return EventStep, &Trap{PC: c.PC, Err: fmt.Errorf("%w: opcode %d", ErrIllegal, in.Op)}
+		return c.trap(c.PC, fmt.Errorf("%w: opcode %d", ErrIllegal, in.Op))
 	}
 	c.PC = next
 	c.Steps++
