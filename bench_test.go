@@ -29,6 +29,8 @@ import (
 	"hemlock/internal/fig"
 	"hemlock/internal/kern"
 	"hemlock/internal/mem"
+	"hemlock/internal/netshm"
+	"hemlock/internal/netsim"
 	"hemlock/internal/presto"
 	"hemlock/internal/rwho"
 	"hemlock/internal/shalloc"
@@ -267,6 +269,130 @@ func BenchmarkRwhoUpdateFiles(b *testing.B) {
 		if err := db.Update(rwho.SyntheticStatus(i%rwhoHosts, uint32(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- E-fleet: one rwhod round across a fleet of machines ----------------------------
+//
+// The three ways the status database crosses machine boundaries, each
+// measured as one full propagation round on an 8-machine LAN: per-host
+// spool files rewritten per packet (the original rwhod), raw broadcast
+// into per-machine shared tables (PR-seed Machine fleet), and one
+// netshm-replicated shared segment (the whod table as a genuinely
+// distributed public module).
+
+const fleetHosts = 8
+
+// BenchmarkRwhoFiles: every machine broadcasts, every machine drains each
+// packet into its spool directory — 8x8 file rewrites per round.
+func BenchmarkRwhoFiles(b *testing.B) {
+	net := netsim.New()
+	ms := make([]*rwho.FileMachine, fleetHosts)
+	for i := range ms {
+		m, err := rwho.NewFileMachine(net, fmt.Sprintf("machine%02d", i), i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms[i] = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range ms {
+			if err := m.Tick(uint32(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, m := range ms {
+			if _, err := m.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRwhoBroadcast: every machine broadcasts, every machine folds
+// packets into its own mapped table — in-place stores, but N private
+// copies of the database.
+func BenchmarkRwhoBroadcast(b *testing.B) {
+	net := netsim.New()
+	ms := make([]*rwho.Machine, fleetHosts)
+	for i := range ms {
+		m, err := rwho.NewMachine(net, fmt.Sprintf("machine%02d", i), i, fleetHosts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms[i] = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range ms {
+			if err := m.Tick(uint32(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, m := range ms {
+			if _, err := m.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRwhoNetShm: statuses flow to the segment's home, which stores
+// them once; netshm pushes the dirtied pages to every replica.
+func BenchmarkRwhoNetShm(b *testing.B) {
+	f, err := rwho.NewNetFleet(netsim.New(), fleetHosts, fleetHosts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalTicks := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ticks, err := f.Round(uint32(i+1), 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalTicks += ticks
+	}
+	b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/round")
+}
+
+// BenchmarkNetShmPropagation: one page write converging across 8
+// machines at increasing loss rates — the cost of the retry and
+// anti-entropy machinery is the growth in virtual-clock ticks.
+func BenchmarkNetShmPropagation(b *testing.B) {
+	for _, lossPct := range []int{0, 10, 20, 30} {
+		b.Run(fmt.Sprintf("loss=%d", lossPct), func(b *testing.B) {
+			net := netsim.New()
+			mod := uint64(lossPct)
+			net.Drop = func(from, to string, seq uint64) bool {
+				return mod > 0 && seq%10 < mod/10
+			}
+			f := netshm.NewFleet(net, netshm.Config{})
+			for i := 0; i < fleetHosts; i++ {
+				f.Add(fmt.Sprintf("m%d", i), hemlock.New())
+			}
+			home := f.Node("m0")
+			if err := home.Publish("/lib/seg", make([]byte, 3*mem.PageSize)); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := f.WaitConverged("/lib/seg", 400); !ok {
+				b.Fatal("publish did not converge")
+			}
+			totalTicks := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := home.Write("/lib/seg", uint32(i%3)*mem.PageSize, []byte{byte(i)}); err != nil {
+					b.Fatal(err)
+				}
+				ticks, ok := f.WaitConverged("/lib/seg", 400)
+				if !ok {
+					b.Fatal("write did not converge")
+				}
+				totalTicks += ticks
+			}
+			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/write")
+		})
 	}
 }
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"hemlock/internal/netsim"
+	"hemlock/internal/rwho"
+)
+
+// cmdFleet boots a fleet of machines whose rwhod status table is ONE
+// netshm-replicated shared segment, runs the rwhod workload over a lossy
+// LAN, and reports convergence plus the protocol's metrics snapshot. It
+// needs no disk image: every machine boots fresh, which is the point —
+// identically-installed machines agree on the segment's address without
+// ever sharing state except through the wire.
+func cmdFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of machines")
+	rounds := fs.Int("rounds", 3, "rwhod broadcast rounds to run")
+	lossPct := fs.Int("loss", 20, "percentage of datagrams the LAN drops (0-90)")
+	maxTicks := fs.Int("ticks", 400, "virtual-clock budget per round before giving up")
+	jsonOut := fs.Bool("json", false, "print the metrics snapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("fleet: need at least 2 machines")
+	}
+	if *lossPct < 0 || *lossPct > 90 {
+		return fmt.Errorf("fleet: -loss %d out of range 0-90", *lossPct)
+	}
+
+	net := netsim.New()
+	if *lossPct > 0 {
+		pct := uint64(*lossPct)
+		// Multiplying by a prime spreads the dropped sequence numbers
+		// evenly instead of dropping the first pct of every hundred —
+		// still a pure, reproducible function of the datagram.
+		net.Drop = func(from, to string, seq uint64) bool { return seq * 7919 % 100 < pct }
+	}
+	f, err := rwho.NewNetFleet(net, *n, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet: %d machines, %d%% loss, whod segment %s homed on %s\n",
+		*n, *lossPct, f.Seg(), f.Machines[0].Host)
+
+	for r := 1; r <= *rounds; r++ {
+		ticks, err := f.Round(uint32(r), *maxTicks)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+		gen, _, _ := f.Machines[0].NS.Gen(f.Seg())
+		fmt.Fprintf(out, "round %d: converged in %d ticks (generation %d)\n", r, ticks, gen)
+	}
+
+	last := f.Machines[len(f.Machines)-1]
+	outStr, hosts, err := last.Ruptime()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nruptime on %s (a replica) sees %d hosts:\n%s", last.Host, hosts, outStr)
+
+	snap := f.Fleet.Reg.Snapshot()
+	if *jsonOut {
+		b, err := snap.JSON()
+		if err != nil {
+			return err
+		}
+		out.Write(b)
+		io.WriteString(out, "\n")
+		return nil
+	}
+	fmt.Fprintf(out, "\nmetrics:\n")
+	io.WriteString(out, snap.Text())
+	return nil
+}

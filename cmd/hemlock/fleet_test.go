@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCLIFleet runs the netshm fleet demo end to end: no disk image, a
+// lossy LAN, convergence every round, ruptime on a replica seeing every
+// host, and the protocol counters in the printed snapshot.
+func TestCLIFleet(t *testing.T) {
+	var out bytes.Buffer
+	// Four rounds: status forwarding is fire-and-forget (rwhod UDP), so a
+	// single round can lose a host's packet — repetition makes every host
+	// land, deterministically.
+	if err := run([]string{"fleet", "-n", "4", "-rounds", "4", "-loss", "20"}, &out); err != nil {
+		t.Fatalf("hemlock fleet: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"4 machines, 20% loss",
+		"round 1: converged",
+		"round 4: converged",
+		"sees 4 hosts",
+		"machine03",
+		"netshm.updates_applied",
+		"netsim.delivered",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIFleetJSON checks the -json snapshot form and flag validation.
+func TestCLIFleetJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"fleet", "-n", "2", "-rounds", "1", "-loss", "0", "-json"}, &out); err != nil {
+		t.Fatalf("hemlock fleet -json: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `"netshm.updates_applied"`) {
+		t.Fatalf("json snapshot missing protocol counters:\n%s", out.String())
+	}
+	if err := run([]string{"fleet", "-n", "1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("fleet -n 1 unexpectedly succeeded")
+	}
+	if err := run([]string{"fleet", "-loss", "95"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("fleet -loss 95 unexpectedly succeeded")
+	}
+}

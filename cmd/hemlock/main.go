@@ -15,6 +15,7 @@
 //	hemlock nm <obj> | dis <obj>                  inspect modules
 //	hemlock layout <image>                        print the address map (Figure 3)
 //	hemlock fsck                                  check & peruse all segments
+//	hemlock fleet [-n 8] [-loss 20] [-rounds 3]   run an rwho fleet over netshm
 //
 // Every subcommand accepts -img <file> (default hemlock.img) and
 // -trace <file>, which captures every kernel/VM/linker event: JSON Lines
@@ -41,7 +42,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck> ...")
+	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck|fleet> ...")
 	os.Exit(2)
 }
 
@@ -77,6 +78,11 @@ parsed:
 	if cmd == "mkfs" {
 		s := hemlock.New()
 		return saveImage(s, img)
+	}
+	if cmd == "fleet" {
+		// A fleet is its own set of freshly-booted machines; it neither
+		// reads nor writes the disk image.
+		return cmdFleet(rest, out)
 	}
 
 	s, err := loadImage(img)

@@ -161,7 +161,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	delivered, _ := net.Stats()
-	fmt.Printf("\ndistributed fleet: %d machines, %d datagrams exchanged\n", fleet, delivered)
+	fmt.Printf("\ndistributed fleet: %d machines, %d datagrams exchanged\n", fleet, net.Stats().Delivered)
 	fmt.Printf("node02's assembly ruptime sees %d hosts:\n%s", count, out)
 }

@@ -1,0 +1,131 @@
+package netshm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hemlock/internal/core"
+	"hemlock/internal/netsim"
+	"hemlock/internal/obsv"
+)
+
+// Fleet is a set of simulated machines sharing one LAN, one virtual
+// clock, and one obsv registry. It is the deterministic test and bench
+// driver: Tick advances the clock by one and steps every machine in a
+// fixed order, so a fleet run is a pure function of the workload and the
+// network's Drop model.
+type Fleet struct {
+	Net *netsim.Network
+	Reg *obsv.Registry
+	Cfg Config
+
+	clk   atomic.Uint64
+	order []string
+	nodes map[string]*Node
+}
+
+// NewFleet wires a fleet onto a network. Protocol and network counters
+// land in the fleet's registry.
+func NewFleet(net *netsim.Network, cfg Config) *Fleet {
+	f := &Fleet{
+		Net:   net,
+		Reg:   obsv.NewRegistry(),
+		Cfg:   cfg.withDefaults(),
+		nodes: map[string]*Node{},
+	}
+	net.Observe(f.Reg)
+	return f
+}
+
+// Add boots one machine into the fleet: attaches it to the LAN and gives
+// it a netshm endpoint over the supplied Hemlock system.
+func (f *Fleet) Add(name string, sys *core.System) *Node {
+	if _, ok := f.nodes[name]; ok {
+		panic(fmt.Sprintf("netshm: fleet already has machine %q", name))
+	}
+	n := &Node{
+		name:  name,
+		sys:   sys,
+		net:   f.Net,
+		nd:    f.Net.Attach(name),
+		fleet: f,
+		cfg:   f.Cfg,
+		segs:  map[string]*seg{},
+	}
+	n.wire(f.Reg)
+	f.nodes[name] = n
+	f.order = append(f.order, name)
+	return n
+}
+
+// Node returns a machine by name, or nil.
+func (f *Fleet) Node(name string) *Node { return f.nodes[name] }
+
+// Nodes returns the machines in their deterministic step order.
+func (f *Fleet) Nodes() []*Node {
+	out := make([]*Node, 0, len(f.order))
+	for _, name := range f.order {
+		out = append(out, f.nodes[name])
+	}
+	return out
+}
+
+// Now reads the virtual clock.
+func (f *Fleet) Now() uint64 { return f.clk.Load() }
+
+// Tick advances the virtual clock and runs one protocol step on every
+// machine, in Add order.
+func (f *Fleet) Tick() {
+	f.clk.Add(1)
+	for _, name := range f.order {
+		f.nodes[name].Step()
+	}
+}
+
+// Run executes n ticks.
+func (f *Fleet) Run(n int) {
+	for i := 0; i < n; i++ {
+		f.Tick()
+	}
+}
+
+// Converged reports whether every machine that knows the segment has
+// applied the home's current generation — and that all of them know it.
+func (f *Fleet) Converged(path string) bool {
+	var want uint64
+	found := false
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		s, ok := n.segs[path]
+		if ok && s.isHome {
+			want = s.gen
+			found = true
+		}
+		n.mu.Unlock()
+	}
+	if !found {
+		return false
+	}
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		s, ok := n.segs[path]
+		stale := !ok || s.gen != want
+		n.mu.Unlock()
+		if stale {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitConverged ticks until the segment converges everywhere or maxTicks
+// elapse, returning the ticks spent and whether convergence was reached.
+func (f *Fleet) WaitConverged(path string, maxTicks int) (int, bool) {
+	for i := 0; i < maxTicks; i++ {
+		if f.Converged(path) {
+			return i, true
+		}
+		f.Tick()
+	}
+	return maxTicks, f.Converged(path)
+}

@@ -1,0 +1,153 @@
+package netshm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format: a fixed three-byte header (magic, version, type) followed by
+// the same field layout for every message type — path, base, size, gen, a
+// page list, and an opaque payload. Types simply leave unused fields empty.
+// Everything is big-endian, like the simulated machines themselves.
+const (
+	wireMagic   = 'S'
+	wireVersion = 1
+)
+
+// Message types of the coherence protocol.
+const (
+	msgUpdate   = byte(iota + 1) // home -> replica: in-order page update for one generation
+	msgSync                      // home -> replica: catch-up pages (retry or pull response)
+	msgAck                       // replica -> home: highest applied generation
+	msgPull                      // replica -> home: anti-entropy request from a generation
+	msgAnnounce                  // home -> all: segment existence + current generation
+	msgApp                       // application payload multiplexed over the same NIC
+)
+
+// page is one page-granularity piece of segment content.
+type page struct {
+	idx  uint32
+	data []byte
+}
+
+// msg is the decoded form of every protocol message.
+type msg struct {
+	typ     byte
+	path    string // segment path
+	base    uint32 // globally-agreed virtual address of the segment
+	size    uint32 // segment size in bytes at gen
+	gen     uint64 // update/sync/announce: content generation; ack: applied; pull: have
+	pages   []page
+	payload []byte // msgApp only
+}
+
+func (m *msg) encode() []byte {
+	n := 3 + 2 + len(m.path) + 4 + 4 + 8 + 4 + 4 + len(m.payload)
+	for _, p := range m.pages {
+		n += 4 + 4 + len(p.data)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, wireMagic, wireVersion, m.typ)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.path)))
+	b = append(b, m.path...)
+	b = binary.BigEndian.AppendUint32(b, m.base)
+	b = binary.BigEndian.AppendUint32(b, m.size)
+	b = binary.BigEndian.AppendUint64(b, m.gen)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.pages)))
+	for _, p := range m.pages {
+		b = binary.BigEndian.AppendUint32(b, p.idx)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(p.data)))
+		b = append(b, p.data...)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.payload)))
+	b = append(b, m.payload...)
+	return b
+}
+
+// decodeMsg parses a datagram, rejecting anything that is not a
+// well-formed protocol message (a runt, a foreign payload, a truncation).
+func decodeMsg(b []byte) (*msg, error) {
+	if len(b) < 3 || b[0] != wireMagic || b[1] != wireVersion {
+		return nil, fmt.Errorf("netshm: not a protocol datagram (%d bytes)", len(b))
+	}
+	m := &msg{typ: b[2]}
+	if m.typ == 0 || m.typ > msgApp {
+		return nil, fmt.Errorf("netshm: unknown message type %d", m.typ)
+	}
+	d := decoder{b: b, off: 3}
+	m.path = d.str()
+	m.base = d.u32()
+	m.size = d.u32()
+	m.gen = d.u64()
+	npages := d.u32()
+	if npages > uint32(len(b)/8+1) { // each page costs >= 8 header bytes
+		return nil, fmt.Errorf("netshm: implausible page count %d", npages)
+	}
+	for i := uint32(0); i < npages && d.err == nil; i++ {
+		idx := d.u32()
+		m.pages = append(m.pages, page{idx: idx, data: d.bytes()})
+	}
+	m.payload = d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("netshm: %d trailing bytes", len(b)-d.off)
+	}
+	return m, nil
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("netshm: truncated message (want %d bytes at %d of %d)", n, d.off, len(d.b))
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	lb := d.take(2)
+	if lb == nil {
+		return ""
+	}
+	return string(d.take(int(binary.BigEndian.Uint16(lb))))
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,72 @@
+package netshm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMsgRoundTrip(t *testing.T) {
+	cases := []*msg{
+		{typ: msgUpdate, path: "/lib/whod", base: 0x30007000, size: 9000, gen: 42,
+			pages: []page{{idx: 0, data: bytes.Repeat([]byte{0xAB}, PageSize)}, {idx: 2, data: []byte{1, 2, 3}}}},
+		{typ: msgSync, path: "/x", base: 4, size: 0, gen: 1},
+		{typ: msgAck, path: "/lib/whod", base: 0x30007000, gen: 7},
+		{typ: msgPull, path: "/lib/whod", gen: 0},
+		{typ: msgAnnounce, path: "/lib/whod", base: 0x30007000, size: 512, gen: 3},
+		{typ: msgApp, payload: []byte("status packet")},
+		{typ: msgApp}, // empty everything
+	}
+	for _, m := range cases {
+		got, err := decodeMsg(m.encode())
+		if err != nil {
+			t.Fatalf("type %d: decode: %v", m.typ, err)
+		}
+		if got.typ != m.typ || got.path != m.path || got.base != m.base ||
+			got.size != m.size || got.gen != m.gen {
+			t.Fatalf("type %d: header mismatch: %+v != %+v", m.typ, got, m)
+		}
+		if len(got.pages) != len(m.pages) {
+			t.Fatalf("type %d: %d pages, want %d", m.typ, len(got.pages), len(m.pages))
+		}
+		for i := range m.pages {
+			if got.pages[i].idx != m.pages[i].idx || !bytes.Equal(got.pages[i].data, m.pages[i].data) {
+				t.Fatalf("type %d: page %d mismatch", m.typ, i)
+			}
+		}
+		if !bytes.Equal(got.payload, m.payload) {
+			t.Fatalf("type %d: payload mismatch", m.typ)
+		}
+	}
+}
+
+func TestMsgDecodeRejectsGarbage(t *testing.T) {
+	good := (&msg{typ: msgUpdate, path: "/p", base: 8, size: 16, gen: 1,
+		pages: []page{{idx: 0, data: []byte{9, 9}}}}).encode()
+
+	bad := map[string][]byte{
+		"empty":        nil,
+		"runt":         {wireMagic, wireVersion},
+		"wrong magic":  append([]byte{'X'}, good[1:]...),
+		"wrong vers":   append([]byte{wireMagic, 99}, good[2:]...),
+		"zero type":    {wireMagic, wireVersion, 0},
+		"unknown type": {wireMagic, wireVersion, msgApp + 1},
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte{}, good...), 0),
+	}
+	// An implausible page count must be rejected before allocating.
+	huge := append([]byte{}, good...)
+	huge[3+2+2+4+4+8+3] = 0xFF // stamp the page-count field enormous
+	bad["huge page count"] = huge
+
+	for name, b := range bad {
+		if _, err := decodeMsg(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Every truncation point must error, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, err := decodeMsg(good[:i]); err == nil {
+			t.Errorf("truncation at %d decoded without error", i)
+		}
+	}
+}

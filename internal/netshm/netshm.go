@@ -1,0 +1,614 @@
+// Package netshm extends Hemlock's shared segments across a network of
+// simulated machines. Each machine is a full kernel + shmfs + address
+// space; netshm replicates public segments between them over netsim,
+// preserving the Hemlock invariant that a public module occupies the same
+// virtual address on every machine — the home machine dictates the inode
+// slot, and replicas materialise the segment at that exact slot
+// (shmfs.CreateAt), so a pointer stored into the segment on one machine
+// dereferences correctly on all of them.
+//
+// Coherence is page-granularity and single-home:
+//
+//   - every segment has one home machine; all writes happen there;
+//   - the home pushes sequence-numbered page updates (one generation per
+//     write batch, carrying exactly the pages that changed);
+//   - replicas apply updates idempotently and strictly in order,
+//     acknowledging their applied generation;
+//   - the home retries lagging replicas with catch-up syncs — bounded
+//     attempts, exponential backoff, all driven by the fleet's virtual
+//     clock so tests are deterministic;
+//   - a pull-based anti-entropy round — triggered by a read of a stale
+//     generation or by a node joining the fleet — heals whatever the lossy
+//     LAN and the bounded retries left behind;
+//   - the home periodically announces (path, base, generation), which is
+//     how latecomers discover segments and how replicas learn they are
+//     stale without receiving any update.
+//
+// Every protocol action is counted in the fleet's obsv registry
+// ("netshm.*"), next to the network's own delivery/loss counters.
+package netshm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hemlock/internal/core"
+	"hemlock/internal/mem"
+	"hemlock/internal/netsim"
+	"hemlock/internal/obsv"
+	"hemlock/internal/shmfs"
+)
+
+// Errors.
+var (
+	ErrNotHome    = errors.New("netshm: segment is homed on another machine")
+	ErrUnknownSeg = errors.New("netshm: unknown segment")
+	ErrAddrClash  = errors.New("netshm: segment address differs between machines")
+)
+
+// PageSize is the replication granularity: the machine page.
+const PageSize = mem.PageSize
+
+// Config tunes the protocol's virtual-clock behaviour. The zero value
+// selects the defaults.
+type Config struct {
+	RetryTicks    uint64 // ticks before the first catch-up retry (default 2)
+	RetryMax      int    // bounded retry: attempts per lag episode (default 8)
+	BackoffCap    uint64 // ceiling on the backoff interval (default 16)
+	AnnounceTicks uint64 // announce period for home segments (default 4)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetryTicks == 0 {
+		c.RetryTicks = 2
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 8
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 16
+	}
+	if c.AnnounceTicks == 0 {
+		c.AnnounceTicks = 4
+	}
+	return c
+}
+
+// seg is one replicated segment as seen by one machine.
+type seg struct {
+	path   string
+	base   uint32
+	size   uint32
+	home   string
+	isHome bool
+
+	gen     uint64 // applied generation (home: current generation)
+	highest uint64 // highest generation heard of (replicas)
+
+	// Home-side replication state.
+	pageGen []uint64              // generation at which each page last changed
+	peers   map[string]*peerState // keyed by replica name, discovered via acks
+
+	// Replica-side anti-entropy state.
+	pullArmed bool   // a pull round is in flight or due
+	pullAt    uint64 // virtual tick to (re)send the pull
+}
+
+// peerState is the home's view of one replica.
+type peerState struct {
+	acked    uint64 // highest generation the replica acknowledged
+	attempts int    // catch-up retries since last progress
+	nextTry  uint64 // virtual tick of the next retry
+}
+
+func (s *seg) pages() int { return int((s.size + PageSize - 1) / PageSize) }
+
+func (s *seg) growPageGen() {
+	for len(s.pageGen) < s.pages() {
+		s.pageGen = append(s.pageGen, 0)
+	}
+}
+
+// Node is one machine's netshm endpoint: its Hemlock system plus the
+// protocol state for every segment it homes or replicates.
+type Node struct {
+	name  string
+	sys   *core.System
+	net   *netsim.Network
+	nd    *netsim.Node
+	fleet *Fleet
+	cfg   Config
+
+	mu    sync.Mutex
+	segs  map[string]*seg
+	onApp func(from string, payload []byte)
+
+	ctrUpdatesSent    *obsv.Counter
+	ctrUpdatesApplied *obsv.Counter
+	ctrUpdatesDup     *obsv.Counter
+	ctrAcksRecv       *obsv.Counter
+	ctrRetries        *obsv.Counter
+	ctrAntiEntropy    *obsv.Counter
+	ctrPullsServed    *obsv.Counter
+	ctrStaleReads     *obsv.Counter
+	ctrAddrClash      *obsv.Counter
+}
+
+// Name returns the machine name.
+func (n *Node) Name() string { return n.name }
+
+// Sys returns the machine's Hemlock system.
+func (n *Node) Sys() *core.System { return n.sys }
+
+func (n *Node) wire(r *obsv.Registry) {
+	n.ctrUpdatesSent = r.Counter("netshm.updates_sent")
+	n.ctrUpdatesApplied = r.Counter("netshm.updates_applied")
+	n.ctrUpdatesDup = r.Counter("netshm.updates_dup")
+	n.ctrAcksRecv = r.Counter("netshm.acks_recv")
+	n.ctrRetries = r.Counter("netshm.retries")
+	n.ctrAntiEntropy = r.Counter("netshm.anti_entropy_rounds")
+	n.ctrPullsServed = r.Counter("netshm.pulls_served")
+	n.ctrStaleReads = r.Counter("netshm.stale_reads")
+	n.ctrAddrClash = r.Counter("netshm.addr_mismatch")
+}
+
+// ---- home-side API -----------------------------------------------------------
+
+// Serve registers an existing shmfs file as a segment homed here. Its
+// current content is generation 0 — the state identically-booted replicas
+// already hold (the rwho whod table, for instance).
+func (n *Node) Serve(path string) error {
+	st, err := n.sys.FS.StatPath(path)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.segs[path]; ok {
+		return fmt.Errorf("netshm: %s already registered on %s", path, n.name)
+	}
+	s := &seg{path: path, base: st.Addr, size: st.Size, home: n.name, isHome: true,
+		peers: map[string]*peerState{}}
+	s.growPageGen()
+	n.segs[path] = s
+	return nil
+}
+
+// Publish creates a new segment homed here with the given content and
+// pushes it to every machine on the network as generation 1.
+func (n *Node) Publish(path string, data []byte) error {
+	if err := n.sys.FS.MkdirAll(parentDir(path), shmfs.DefaultDirMode, 0); err != nil {
+		return err
+	}
+	if _, err := n.sys.FS.Create(path, shmfs.DefaultFileMode|shmfs.ModeOtherWrite, 0); err != nil {
+		return err
+	}
+	if _, err := n.sys.FS.WriteAt(path, 0, data, 0); err != nil {
+		return err
+	}
+	if err := n.Serve(path); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dirtyLocked(n.segs[path], 0, uint32(len(data)))
+	return nil
+}
+
+// Write stores data into a segment homed here (through the file interface
+// — the very frames every local mapping sees) and replicates the dirtied
+// pages.
+func (n *Node) Write(path string, off uint32, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	if !s.isHome {
+		return fmt.Errorf("%w: %s is homed on %s", ErrNotHome, path, s.home)
+	}
+	if _, err := n.sys.FS.WriteAt(path, off, data, 0); err != nil {
+		return err
+	}
+	n.dirtyLocked(s, off, uint32(len(data)))
+	return nil
+}
+
+// MarkDirty replicates a range that was already written through a local
+// mapping of the segment (a hosted daemon storing through Var, a compiled
+// program storing through the MMU): same frames, so the content is already
+// there — only the protocol needs telling.
+func (n *Node) MarkDirty(path string, off, length uint32) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	if !s.isHome {
+		return fmt.Errorf("%w: %s is homed on %s", ErrNotHome, path, s.home)
+	}
+	n.dirtyLocked(s, off, length)
+	return nil
+}
+
+// dirtyLocked advances the segment one generation, stamps the covered
+// pages, and pushes the update to every other machine.
+func (n *Node) dirtyLocked(s *seg, off, length uint32) {
+	if st, err := n.sys.FS.StatPath(s.path); err == nil && st.Size > s.size {
+		s.size = st.Size
+	}
+	s.gen++
+	s.growPageGen()
+	if length == 0 {
+		return
+	}
+	first := int(off / PageSize)
+	last := int((off + length - 1) / PageSize)
+	var pages []page
+	for p := first; p <= last && p < s.pages(); p++ {
+		s.pageGen[p] = s.gen
+		pages = append(pages, n.readPage(s, p))
+	}
+	m := &msg{typ: msgUpdate, path: s.path, base: s.base, size: s.size, gen: s.gen, pages: pages}
+	b := m.encode()
+	for _, peer := range n.net.Nodes() {
+		if peer == n.name {
+			continue
+		}
+		n.nd.Send(peer, b)
+		n.ctrUpdatesSent.Inc()
+		// A push obligates the peer: retry until acked or out of attempts.
+		ps, ok := s.peers[peer]
+		if !ok {
+			ps = &peerState{}
+			s.peers[peer] = ps
+		}
+		ps.attempts = 0
+		ps.nextTry = n.fleet.Now() + n.cfg.RetryTicks
+	}
+}
+
+// readPage copies one page of segment content out of the file.
+func (n *Node) readPage(s *seg, idx int) page {
+	off := uint32(idx) * PageSize
+	length := s.size - off
+	if length > PageSize {
+		length = PageSize
+	}
+	buf := make([]byte, length)
+	n.sys.FS.ReadAt(s.path, off, buf, 0)
+	return page{idx: uint32(idx), data: buf}
+}
+
+// ---- replica-side API --------------------------------------------------------
+
+// Attach registers a segment homed on another machine. The local file must
+// already exist (an identically-booted machine) at the same address, or
+// not exist at all — in which case it is created at the home's slot on
+// first contact.
+func (n *Node) Attach(path, home string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.segs[path]; ok {
+		return fmt.Errorf("netshm: %s already registered on %s", path, n.name)
+	}
+	s := &seg{path: path, home: home}
+	if st, err := n.sys.FS.StatPath(path); err == nil {
+		s.base, s.size = st.Addr, st.Size
+	}
+	n.segs[path] = s
+	return nil
+}
+
+// Read returns length bytes of the local replica at off. The second result
+// reports freshness: false means the replica knows a higher generation
+// exists, in which case the read still returns the stale local content but
+// triggers an anti-entropy pull.
+func (n *Node) Read(path string, off, length uint32) ([]byte, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	buf := make([]byte, length)
+	if _, err := n.sys.FS.ReadAt(path, off, buf, 0); err != nil {
+		return nil, false, err
+	}
+	fresh := s.isHome || s.highest <= s.gen
+	if !fresh {
+		n.ctrStaleReads.Inc()
+		n.pullLocked(s)
+	}
+	return buf, fresh, nil
+}
+
+// Gen reports the segment's applied and highest-heard generations.
+func (n *Node) Gen(path string) (applied, highest uint64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	return s.gen, s.highest, nil
+}
+
+// Base returns the segment's globally-agreed virtual address.
+func (n *Node) Base(path string) (uint32, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	return s.base, nil
+}
+
+// Segments lists the registered segment paths.
+func (n *Node) Segments() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.segs))
+	for p := range n.segs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// pullLocked starts (or re-arms) an anti-entropy round for a stale
+// replica segment.
+func (n *Node) pullLocked(s *seg) {
+	now := n.fleet.Now()
+	if s.pullArmed && now < s.pullAt {
+		return // a round is already in flight
+	}
+	s.pullArmed = true
+	s.pullAt = now + n.cfg.RetryTicks
+	n.ctrAntiEntropy.Inc()
+	m := &msg{typ: msgPull, path: s.path, base: s.base, gen: s.gen}
+	n.nd.Send(s.home, m.encode())
+}
+
+// ---- application payloads ----------------------------------------------------
+
+// OnApp installs the handler for application datagrams multiplexed over
+// the protocol NIC (rwho status packets travelling to the segment's home).
+func (n *Node) OnApp(fn func(from string, payload []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onApp = fn
+}
+
+// SendApp unicasts an application payload to another machine.
+func (n *Node) SendApp(to string, payload []byte) error {
+	m := &msg{typ: msgApp, payload: payload}
+	return n.nd.Send(to, m.encode())
+}
+
+// ---- the per-tick protocol engine --------------------------------------------
+
+// Step runs one virtual-clock tick of the protocol: drain the inbox, run
+// the home-side retry and announce timers, and re-send overdue pulls.
+// Fleet.Tick calls it for every machine in a deterministic order.
+func (n *Node) Step() {
+	for {
+		d, ok := n.nd.Recv()
+		if !ok {
+			break
+		}
+		m, err := decodeMsg(d.Payload)
+		if err != nil {
+			continue // runt or foreign datagram; drop like rwhod does
+		}
+		n.handle(d.From, m)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.fleet.Now()
+	for _, s := range n.segs {
+		if s.isHome {
+			n.retryLocked(s, now)
+			if n.cfg.AnnounceTicks > 0 && now%n.cfg.AnnounceTicks == 0 {
+				a := &msg{typ: msgAnnounce, path: s.path, base: s.base, size: s.size, gen: s.gen}
+				n.nd.Broadcast(a.encode())
+			}
+		} else if s.pullArmed && now >= s.pullAt && s.highest > s.gen {
+			s.pullArmed = false
+			n.pullLocked(s) // the previous round was lost; go again
+		}
+	}
+}
+
+// retryLocked sends catch-up syncs to replicas whose acked generation
+// lags, with exponential backoff and a bounded attempt count.
+func (n *Node) retryLocked(s *seg, now uint64) {
+	for peer, ps := range s.peers {
+		if ps.acked >= s.gen || now < ps.nextTry || ps.attempts >= n.cfg.RetryMax {
+			continue
+		}
+		n.sendSyncLocked(s, peer, ps.acked)
+		n.ctrRetries.Inc()
+		ps.attempts++
+		backoff := n.cfg.RetryTicks << uint(ps.attempts)
+		if backoff > n.cfg.BackoffCap {
+			backoff = n.cfg.BackoffCap
+		}
+		ps.nextTry = now + backoff
+	}
+}
+
+// sendSyncLocked ships every page newer than sinceGen to one replica.
+func (n *Node) sendSyncLocked(s *seg, to string, sinceGen uint64) {
+	var pages []page
+	for p := 0; p < s.pages(); p++ {
+		if s.pageGen[p] > sinceGen {
+			pages = append(pages, n.readPage(s, p))
+		}
+	}
+	m := &msg{typ: msgSync, path: s.path, base: s.base, size: s.size, gen: s.gen, pages: pages}
+	n.nd.Send(to, m.encode())
+}
+
+// handle dispatches one decoded protocol message.
+func (n *Node) handle(from string, m *msg) {
+	if m.typ == msgApp {
+		n.mu.Lock()
+		fn := n.onApp
+		n.mu.Unlock()
+		if fn != nil {
+			fn(from, m.payload)
+		}
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch m.typ {
+	case msgUpdate:
+		s := n.adoptLocked(from, m)
+		if s == nil {
+			return
+		}
+		switch {
+		case m.gen <= s.gen: // duplicate: already applied; re-ack idempotently
+			n.ctrUpdatesDup.Inc()
+		case m.gen == s.gen+1: // in order: apply
+			n.applyLocked(s, m)
+			n.ctrUpdatesApplied.Inc()
+		default: // gap: stay put, remember we're stale; the ack tells the home
+			if m.gen > s.highest {
+				s.highest = m.gen
+			}
+		}
+		n.ackLocked(s)
+	case msgSync:
+		s := n.adoptLocked(from, m)
+		if s == nil {
+			return
+		}
+		if m.gen > s.gen {
+			n.applyLocked(s, m)
+			n.ctrUpdatesApplied.Inc()
+			s.pullArmed = false
+		} else {
+			n.ctrUpdatesDup.Inc()
+		}
+		n.ackLocked(s)
+	case msgAck:
+		s, ok := n.segs[m.path]
+		if !ok || !s.isHome {
+			return
+		}
+		n.ctrAcksRecv.Inc()
+		ps, okp := s.peers[from]
+		if !okp {
+			ps = &peerState{}
+			s.peers[from] = ps
+		}
+		if m.gen > ps.acked {
+			ps.acked = m.gen
+			ps.attempts = 0
+			ps.nextTry = n.fleet.Now() + n.cfg.RetryTicks
+		}
+	case msgPull:
+		s, ok := n.segs[m.path]
+		if !ok || !s.isHome {
+			return
+		}
+		n.ctrPullsServed.Inc()
+		n.sendSyncLocked(s, from, m.gen)
+	case msgAnnounce:
+		s, ok := n.segs[m.path]
+		if !ok {
+			// A machine joining an established fleet: materialise the
+			// segment and pull its content — the join-triggered
+			// anti-entropy round.
+			s = n.adoptLocked(from, m)
+			if s == nil {
+				return
+			}
+		}
+		if s.isHome {
+			return
+		}
+		if m.gen > s.highest {
+			s.highest = m.gen
+		}
+		if s.highest > s.gen && !s.pullArmed {
+			n.pullLocked(s)
+		}
+	}
+}
+
+// adoptLocked resolves the local seg for a home-originated message,
+// creating both the protocol state and — for a genuinely new machine —
+// the backing file at the home's exact inode slot. A segment whose local
+// address disagrees with the home's is refused and counted.
+func (n *Node) adoptLocked(from string, m *msg) *seg {
+	if s, ok := n.segs[m.path]; ok {
+		if s.base == 0 {
+			s.base = m.base
+		}
+		if s.base != m.base {
+			n.ctrAddrClash.Inc()
+			return nil
+		}
+		return s
+	}
+	st, err := n.sys.FS.StatPath(m.path)
+	switch {
+	case err == nil:
+		if st.Addr != m.base {
+			n.ctrAddrClash.Inc()
+			return nil
+		}
+	default:
+		ino, err := shmfs.InodeAt(m.base)
+		if err != nil {
+			n.ctrAddrClash.Inc()
+			return nil
+		}
+		if err := n.sys.FS.MkdirAll(parentDir(m.path), shmfs.DefaultDirMode, 0); err != nil {
+			return nil
+		}
+		if _, err := n.sys.FS.CreateAt(m.path, ino, shmfs.DefaultFileMode|shmfs.ModeOtherWrite, 0); err != nil {
+			n.ctrAddrClash.Inc() // slot taken by something else locally
+			return nil
+		}
+	}
+	s := &seg{path: m.path, base: m.base, home: from}
+	n.segs[m.path] = s
+	return s
+}
+
+// applyLocked writes a message's pages into the local replica and adopts
+// its generation and size. Page writes go through the file interface, so
+// every local mapping of the segment sees them instantly.
+func (n *Node) applyLocked(s *seg, m *msg) {
+	for _, p := range m.pages {
+		n.sys.FS.WriteAt(s.path, p.idx*PageSize, p.data, 0)
+	}
+	s.gen = m.gen
+	s.size = m.size
+	if m.gen > s.highest {
+		s.highest = m.gen
+	}
+}
+
+// ackLocked reports the replica's applied generation to the home.
+func (n *Node) ackLocked(s *seg) {
+	m := &msg{typ: msgAck, path: s.path, base: s.base, gen: s.gen}
+	n.nd.Send(s.home, m.encode())
+}
+
+func parentDir(p string) string {
+	p = shmfs.Clean(p)
+	if i := strings.LastIndexByte(p, '/'); i > 0 {
+		return p[:i]
+	}
+	return "/"
+}

@@ -1,18 +1,23 @@
-// Package netsim is a broadcast datagram network connecting simulated
-// machines, the substrate under the rwhod scenario: "Running on each
-// machine, rwhod periodically broadcasts local status information (load
-// average, current users, etc.) to other machines, and receives analogous
-// information from its peers."
+// Package netsim is a datagram network connecting simulated machines, the
+// substrate under the rwhod scenario: "Running on each machine, rwhod
+// periodically broadcasts local status information (load average, current
+// users, etc.) to other machines, and receives analogous information from
+// its peers." Besides the broadcast bus it provides unicast Send, which
+// carries the netshm replication protocol.
 //
 // Datagrams are copied per receiver (UDP semantics), queues are bounded,
 // and an optional deterministic drop function models a lossy LAN, so the
-// experiments stay reproducible.
+// experiments stay reproducible. Losses from the Drop function and losses
+// from inbox overflow are accounted separately, network-wide and per node.
 package netsim
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
+
+	"hemlock/internal/obsv"
 )
 
 // ErrDetached is returned after a node leaves the network.
@@ -28,7 +33,30 @@ type Datagram struct {
 	Payload []byte
 }
 
-// Network is the broadcast bus.
+// Stats is the network-wide datagram accounting. Dropped counts losses
+// injected by the Drop function (the lossy LAN); Overflow counts datagrams
+// discarded because the receiver's inbox was full. The two are separate
+// failure modes: one is the wire, the other is a slow receiver.
+type Stats struct {
+	Delivered uint64
+	Dropped   uint64
+	Overflow  uint64
+}
+
+// Lost is the total of both loss modes.
+func (s Stats) Lost() uint64 { return s.Dropped + s.Overflow }
+
+// NodeStats is one node's datagram accounting. Sent counts per-receiver
+// copies originated by the node; Delivered/Dropped/Overflow count copies
+// addressed to the node.
+type NodeStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Overflow  uint64
+}
+
+// Network is the simulated LAN.
 type Network struct {
 	mu    sync.Mutex
 	nodes map[string]*Node
@@ -37,14 +65,52 @@ type Network struct {
 	// lost. It must be deterministic for reproducible experiments.
 	Drop func(from, to string, seq uint64) bool
 
-	seq       uint64
-	delivered uint64
-	dropped   uint64
+	seq   uint64
+	stats Stats
+
+	// Observability wiring (Observe); nil-safe when unwired.
+	reg          *obsv.Registry
+	ctrDelivered *obsv.Counter
+	ctrDropped   *obsv.Counter
+	ctrOverflow  *obsv.Counter
 }
 
 // New creates an empty network.
 func New() *Network {
 	return &Network{nodes: map[string]*Node{}}
+}
+
+// Observe wires the network into an observability registry: delivered,
+// dropped (lossy-LAN) and overflow (full-inbox) counters, plus one
+// inbox-depth gauge per attached node ("netsim.inbox.<name>"), sampled at
+// snapshot time. Nodes attached before or after Observe are both covered.
+func (n *Network) Observe(r *obsv.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = r
+	n.ctrDelivered = r.Counter("netsim.delivered")
+	n.ctrDropped = r.Counter("netsim.dropped")
+	n.ctrOverflow = r.Counter("netsim.overflow")
+	for name, nd := range n.nodes {
+		n.registerInboxGauge(name, nd)
+	}
+}
+
+// registerInboxGauge publishes nd's inbox depth; caller holds n.mu. The
+// callback re-reads the network's node table so a replaced node's gauge
+// tracks the live holder of the name.
+func (n *Network) registerInboxGauge(name string, nd *Node) {
+	if n.reg == nil {
+		return
+	}
+	n.reg.GaugeFunc("netsim.inbox."+name, func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if cur, ok := n.nodes[name]; ok {
+			return int64(len(cur.inbox))
+		}
+		return 0
+	})
 }
 
 // Node is one machine's network interface.
@@ -53,10 +119,12 @@ type Node struct {
 	net      *Network
 	inbox    []Datagram
 	detached bool
+	stats    NodeStats
 }
 
 // Attach joins the network under the given name, replacing any previous
-// node with that name.
+// node with that name. The replaced node is detached: its queued inbox
+// stays readable, but it receives nothing further and its sends fail.
 func (n *Network) Attach(name string) *Node {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -65,6 +133,7 @@ func (n *Network) Attach(name string) *Node {
 	}
 	nd := &Node{name: name, net: n}
 	n.nodes[name] = nd
+	n.registerInboxGauge(name, nd)
 	return nd
 }
 
@@ -80,15 +149,58 @@ func (n *Network) Nodes() []string {
 	return out
 }
 
-// Stats reports delivered and dropped datagram counts.
-func (n *Network) Stats() (delivered, dropped uint64) {
+// Stats reports the network-wide datagram accounting.
+func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.delivered, n.dropped
+	return n.stats
+}
+
+// NodeStats reports the accounting of the node currently attached under
+// name (zero stats if no such node).
+func (n *Network) NodeStats(name string) NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd, ok := n.nodes[name]; ok {
+		return nd.stats
+	}
+	return NodeStats{}
 }
 
 // Name returns the node's name.
 func (nd *Node) Name() string { return nd.name }
+
+// Stats returns this node handle's accounting (valid even after the node
+// was detached or replaced).
+func (nd *Node) Stats() NodeStats {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return nd.stats
+}
+
+// deliver moves one datagram copy from nd to peer, applying the loss model
+// and the inbox bound; caller holds n.mu.
+func (n *Network) deliver(nd, peer *Node, payload []byte) {
+	nd.stats.Sent++
+	if n.Drop != nil && n.Drop(nd.name, peer.name, n.seq) {
+		n.stats.Dropped++
+		peer.stats.Dropped++
+		n.ctrDropped.Inc()
+		return
+	}
+	if len(peer.inbox) >= DefaultQueueDepth {
+		n.stats.Overflow++
+		peer.stats.Overflow++
+		n.ctrOverflow.Inc()
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	peer.inbox = append(peer.inbox, Datagram{From: nd.name, Payload: cp})
+	n.stats.Delivered++
+	peer.stats.Delivered++
+	n.ctrDelivered.Inc()
+}
 
 // Broadcast sends payload to every other attached node (not to itself),
 // copying per receiver.
@@ -100,27 +212,42 @@ func (nd *Node) Broadcast(payload []byte) error {
 		return ErrDetached
 	}
 	n.seq++
-	for name, peer := range n.nodes {
+	for _, peer := range n.nodes {
 		if peer == nd || peer.detached {
 			continue
 		}
-		if n.Drop != nil && n.Drop(nd.name, name, n.seq) {
-			n.dropped++
-			continue
-		}
-		if len(peer.inbox) >= DefaultQueueDepth {
-			n.dropped++
-			continue
-		}
-		cp := make([]byte, len(payload))
-		copy(cp, payload)
-		peer.inbox = append(peer.inbox, Datagram{From: nd.name, Payload: cp})
-		n.delivered++
+		n.deliver(nd, peer, payload)
 	}
 	return nil
 }
 
+// Send unicasts payload to the named node. Like UDP it is fire-and-forget:
+// a missing or detached destination silently loses the datagram (counted
+// as a drop), and only a detached sender gets an error.
+func (nd *Node) Send(to string, payload []byte) error {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd.detached {
+		return ErrDetached
+	}
+	if to == nd.name {
+		return fmt.Errorf("netsim: %s sending to itself", nd.name)
+	}
+	n.seq++
+	peer, ok := n.nodes[to]
+	if !ok || peer.detached {
+		nd.stats.Sent++
+		n.stats.Dropped++
+		n.ctrDropped.Inc()
+		return nil
+	}
+	n.deliver(nd, peer, payload)
+	return nil
+}
+
 // Recv pops the next datagram, reporting false when the inbox is empty.
+// A detached node may still drain datagrams queued before it left.
 func (nd *Node) Recv() (Datagram, bool) {
 	n := nd.net
 	n.mu.Lock()

@@ -61,8 +61,8 @@ func TestDropFunction(t *testing.T) {
 	if _, ok := c.Recv(); !ok {
 		t.Fatal("undropped datagram lost")
 	}
-	if del, drop := n.Stats(); del != 1 || drop != 1 {
-		t.Fatalf("stats = %d/%d", del, drop)
+	if st := n.Stats(); st.Delivered != 1 || st.Dropped != 1 || st.Overflow != 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -76,9 +76,12 @@ func TestQueueBound(t *testing.T) {
 	if b.Pending() != DefaultQueueDepth {
 		t.Fatalf("pending = %d", b.Pending())
 	}
-	_, dropped := n.Stats()
-	if dropped != 10 {
-		t.Fatalf("dropped = %d", dropped)
+	// Overflow is its own failure mode, never conflated with Drop losses.
+	if st := n.Stats(); st.Overflow != 10 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 10 overflow and no drops", st)
+	}
+	if bs := n.NodeStats("b"); bs.Overflow != 10 || bs.Delivered != uint64(DefaultQueueDepth) {
+		t.Fatalf("node b stats = %+v", bs)
 	}
 }
 
@@ -108,5 +111,99 @@ func TestReattachReplaces(t *testing.T) {
 	}
 	if err := a2.Broadcast([]byte("new")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAttachReplacingLiveNodeKeepsQueuedInbox(t *testing.T) {
+	n := New()
+	b := n.Attach("b")
+	a := n.Attach("a")
+	b.Broadcast([]byte("queued"))
+
+	a2 := n.Attach("a") // replace a while it has a queued datagram
+
+	// The replaced handle can no longer send or unicast...
+	if err := a.Broadcast([]byte("x")); !errors.Is(err, ErrDetached) {
+		t.Fatalf("replaced node Broadcast: %v", err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrDetached) {
+		t.Fatalf("replaced node Send: %v", err)
+	}
+	// ...but may still drain what was queued before replacement.
+	if d, ok := a.Recv(); !ok || string(d.Payload) != "queued" {
+		t.Fatalf("replaced node lost its queued inbox: %+v %v", d, ok)
+	}
+	// The replacement starts with an empty inbox and receives new traffic.
+	if _, ok := a2.Recv(); ok {
+		t.Fatal("replacement inherited the old inbox")
+	}
+	b.Broadcast([]byte("fresh"))
+	if d, ok := a2.Recv(); !ok || string(d.Payload) != "fresh" {
+		t.Fatalf("replacement missed new traffic: %+v %v", d, ok)
+	}
+	if _, ok := a.Recv(); ok {
+		t.Fatal("replaced node received post-replacement traffic")
+	}
+}
+
+func TestRecvAfterDetachDrainsQueue(t *testing.T) {
+	n := New()
+	a, b := n.Attach("a"), n.Attach("b")
+	a.Broadcast([]byte("one"))
+	a.Broadcast([]byte("two"))
+	b.Detach()
+	for _, want := range []string{"one", "two"} {
+		if d, ok := b.Recv(); !ok || string(d.Payload) != want {
+			t.Fatalf("detached drain: got %+v %v, want %q", d, ok, want)
+		}
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("detached node received beyond its queue")
+	}
+}
+
+func TestSendUnicast(t *testing.T) {
+	n := New()
+	a, b, c := n.Attach("a"), n.Attach("b"), n.Attach("c")
+	if err := a.Send("b", []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := b.Recv(); !ok || string(d.Payload) != "direct" || d.From != "a" {
+		t.Fatalf("unicast: %+v %v", d, ok)
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("unicast leaked to a third node")
+	}
+	// Fire-and-forget: a missing destination is a silent loss, not an error.
+	if err := a.Send("nonesuch", []byte("x")); err != nil {
+		t.Fatalf("send to absent node: %v", err)
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Fatalf("absent-destination loss not counted: %+v", st)
+	}
+	if err := a.Send("a", nil); err == nil {
+		t.Fatal("self-send not rejected")
+	}
+}
+
+func TestSendHonoursDropAndNodeStats(t *testing.T) {
+	n := New()
+	n.Drop = func(from, to string, seq uint64) bool { return seq%2 == 0 }
+	a := n.Attach("a")
+	b := n.Attach("b")
+	for i := 0; i < 4; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.Sent != 4 {
+		t.Fatalf("a sent = %d", as.Sent)
+	}
+	if bs.Delivered != 2 || bs.Dropped != 2 {
+		t.Fatalf("b stats = %+v, want 2 delivered / 2 dropped", bs)
+	}
+	if got := n.NodeStats("b"); got != bs {
+		t.Fatalf("NodeStats(b) = %+v, handle says %+v", got, bs)
 	}
 }

@@ -56,15 +56,21 @@ func NewMachine(net *netsim.Network, host string, index, maxHosts int) (*Machine
 	}, nil
 }
 
+// hostStatus is the deterministic per-host workload every fleet flavour
+// shares.
+func hostStatus(host string, index int, boot, t uint32) Status {
+	return Status{
+		Host:     host,
+		RecvTime: t,
+		BootTime: boot,
+		Load:     [3]uint32{uint32(index*7+int(t))%400 + 1, uint32(index*13)%300 + 1, uint32(index*3)%200 + 1},
+		NUsers:   uint32(index) % 12,
+	}
+}
+
 // Status reports the machine's own record at tick t.
 func (m *Machine) Status(t uint32) Status {
-	return Status{
-		Host:     m.Host,
-		RecvTime: t,
-		BootTime: m.boot,
-		Load:     [3]uint32{uint32(m.index*7+int(t))%400 + 1, uint32(m.index*13)%300 + 1, uint32(m.index*3)%200 + 1},
-		NUsers:   uint32(m.index) % 12,
-	}
+	return hostStatus(m.Host, m.index, m.boot, t)
 }
 
 // Tick is one rwhod broadcast round: record the local status and send it
@@ -102,12 +108,14 @@ func (m *Machine) Drain() (int, error) {
 
 // Ruptime runs the assembly ruptime utility on this machine and returns
 // its console output and host count.
-func (m *Machine) Ruptime() (string, int, error) {
-	im, err := InstallUptime(m.Sys)
+func (m *Machine) Ruptime() (string, int, error) { return runRuptime(m.Sys) }
+
+func runRuptime(s *core.System) (string, int, error) {
+	im, err := InstallUptime(s)
 	if err != nil {
 		return "", 0, err
 	}
-	pg, err := m.Sys.Launch(im, 0, nil)
+	pg, err := s.Launch(im, 0, nil)
 	if err != nil {
 		return "", 0, err
 	}
@@ -115,4 +123,72 @@ func (m *Machine) Ruptime() (string, int, error) {
 		return "", 0, err
 	}
 	return pg.Output(), pg.P.ExitCode, nil
+}
+
+// ---- file-based baseline machine -----------------------------------------------
+
+// FileMachine is the pre-Hemlock host: same network, but rwhod keeps one
+// spool file per remote machine instead of a shared segment.
+type FileMachine struct {
+	Host string
+	Sys  *core.System
+	DB   *FileDB
+	Node *netsim.Node
+
+	boot  uint32
+	index int
+}
+
+// NewFileMachine boots a host whose rwhod uses the file database.
+func NewFileMachine(net *netsim.Network, host string, index int) (*FileMachine, error) {
+	sys := core.NewSystem()
+	db, err := NewFileDB(sys.FS, "/var/rwho", 0)
+	if err != nil {
+		return nil, err
+	}
+	return &FileMachine{
+		Host:  host,
+		Sys:   sys,
+		DB:    db,
+		Node:  net.Attach(host),
+		boot:  1000 + uint32(index),
+		index: index,
+	}, nil
+}
+
+// Status reports the machine's own record at tick t.
+func (m *FileMachine) Status(t uint32) Status {
+	return hostStatus(m.Host, m.index, m.boot, t)
+}
+
+// Tick is one rwhod round: rewrite the local file, broadcast the packet.
+func (m *FileMachine) Tick(t uint32) error {
+	st := m.Status(t)
+	if err := m.DB.Update(st); err != nil {
+		return fmt.Errorf("rwho: %s: local update: %w", m.Host, err)
+	}
+	return m.Node.Broadcast(encodeSlot(st))
+}
+
+// Drain folds every queued packet into the spool directory, one file
+// rewrite per packet — the cost the paper's rwhod rewrite eliminated.
+func (m *FileMachine) Drain() (int, error) {
+	n := 0
+	for {
+		d, ok := m.Node.Recv()
+		if !ok {
+			return n, nil
+		}
+		if len(d.Payload) != SlotSize {
+			continue
+		}
+		st := decodeSlot(d.Payload)
+		if binary.BigEndian.Uint32(d.Payload[offInUse:]) == 0 || st.Host == "" {
+			continue
+		}
+		if err := m.DB.Update(st); err != nil {
+			return n, fmt.Errorf("rwho: %s: applying packet from %s: %w", m.Host, d.From, err)
+		}
+		n++
+	}
 }

@@ -1,0 +1,159 @@
+package rwho
+
+// The netshm half of the rwhod scenario: instead of every machine
+// broadcasting raw packets and folding them into a private copy of the
+// database, the whod table becomes ONE distributed shared segment. The
+// fleet elects machine 0 the segment's home; every other machine forwards
+// its status there as an application datagram, the home's rwhod stores it
+// into the table through its mapping, and netshm replicates the dirtied
+// pages back out. A replica's ruptime then scans its local mapping — same
+// virtual address, same compiled code — and sees the whole network.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hemlock/internal/core"
+	"hemlock/internal/netshm"
+	"hemlock/internal/netsim"
+)
+
+// NetMachine is one host of a netshm-backed rwho fleet.
+type NetMachine struct {
+	Host string
+	Sys  *core.System
+	DB   *SharedDB
+	NS   *netshm.Node
+
+	seg      string // shmfs path of the whod segment (same on every machine)
+	tableOff uint32 // byte offset of whod_table within the segment
+	home     string // name of the segment's home machine
+	isHome   bool
+	boot     uint32
+	index    int
+}
+
+// NetFleet is a set of hosts whose whod tables are one replicated segment.
+type NetFleet struct {
+	Fleet    *netshm.Fleet
+	Machines []*NetMachine
+
+	seg string
+}
+
+// NewNetFleet boots n identically-installed machines, registers machine 0
+// as the whod segment's home, and attaches the rest as replicas.
+func NewNetFleet(net *netsim.Network, n, maxHosts int) (*NetFleet, error) {
+	f := &NetFleet{Fleet: netshm.NewFleet(net, netshm.Config{})}
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("machine%02d", i)
+		sys := core.NewSystem()
+		im, err := Install(sys, maxHosts)
+		if err != nil {
+			return nil, fmt.Errorf("rwho: installing on %s: %w", host, err)
+		}
+		daemon, err := sys.Launch(im, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		db, err := Open(daemon)
+		if err != nil {
+			return nil, err
+		}
+		// The table symbol's address leads back to the segment file (the
+		// /lib/whod public instance) and the table's offset inside it.
+		seg, off, err := sys.FS.AddrToPath(db.TableAddr())
+		if err != nil {
+			return nil, fmt.Errorf("rwho: %s: locating whod segment: %w", host, err)
+		}
+		m := &NetMachine{
+			Host: host, Sys: sys, DB: db,
+			seg: seg, tableOff: off,
+			home: "machine00", isHome: i == 0,
+			boot: 1000 + uint32(i), index: i,
+		}
+		m.NS = f.Fleet.Add(host, sys)
+		if m.isHome {
+			f.seg = seg
+			if err := m.NS.Serve(seg); err != nil {
+				return nil, err
+			}
+			m.NS.OnApp(m.applyPacket)
+		} else {
+			if seg != f.seg {
+				return nil, fmt.Errorf("rwho: %s: whod segment at %s, home has %s", host, seg, f.seg)
+			}
+			if err := m.NS.Attach(seg, m.home); err != nil {
+				return nil, err
+			}
+		}
+		f.Machines = append(f.Machines, m)
+	}
+	return f, nil
+}
+
+// Status reports the machine's own record at tick t.
+func (m *NetMachine) Status(t uint32) Status {
+	return hostStatus(m.Host, m.index, m.boot, t)
+}
+
+// Tick is one rwhod round: the home stores its record straight into the
+// shared table; everyone else forwards it to the home.
+func (m *NetMachine) Tick(t uint32) error {
+	st := m.Status(t)
+	if m.isHome {
+		return m.store(st)
+	}
+	return m.NS.SendApp(m.home, encodeSlot(st))
+}
+
+// store writes one record into the shared table through the daemon's
+// mapping, then tells netshm which bytes changed.
+func (m *NetMachine) store(st Status) error {
+	slot, err := m.DB.UpdateSlot(st)
+	if err != nil {
+		return fmt.Errorf("rwho: %s: shared update: %w", m.Host, err)
+	}
+	return m.NS.MarkDirty(m.seg, m.tableOff+uint32(slot)*SlotSize, SlotSize)
+}
+
+// applyPacket is the home's handler for forwarded status datagrams.
+func (m *NetMachine) applyPacket(from string, payload []byte) {
+	if len(payload) != SlotSize {
+		return // runt packet; rwhod ignores it
+	}
+	st := decodeSlot(payload)
+	if binary.BigEndian.Uint32(payload[offInUse:]) == 0 || st.Host == "" {
+		return
+	}
+	m.store(st)
+}
+
+// Ruptime runs the assembly ruptime utility against the local replica.
+func (m *NetMachine) Ruptime() (string, int, error) { return runRuptime(m.Sys) }
+
+// Seg returns the shmfs path of the replicated whod segment.
+func (f *NetFleet) Seg() string { return f.seg }
+
+// Run advances the fleet's virtual clock n ticks.
+func (f *NetFleet) Run(n int) { f.Fleet.Run(n) }
+
+// Round is one full rwhod cycle: every machine contributes its status,
+// then the fleet ticks until every replica has the home's generation (or
+// maxTicks pass). It returns the ticks spent converging.
+func (f *NetFleet) Round(t uint32, maxTicks int) (int, error) {
+	for _, m := range f.Machines {
+		if err := m.Tick(t); err != nil {
+			return 0, err
+		}
+	}
+	// One tick delivers the forwarded packets to the home and pushes the
+	// resulting updates; the rest is convergence under whatever loss the
+	// network injects.
+	f.Fleet.Tick()
+	ticks, ok := f.Fleet.WaitConverged(f.seg, maxTicks)
+	if !ok {
+		return ticks, fmt.Errorf("rwho: fleet did not converge within %d ticks", maxTicks)
+	}
+	return ticks + 1, nil
+}

@@ -1,0 +1,104 @@
+package rwho
+
+import (
+	"strings"
+	"testing"
+
+	"hemlock/internal/netsim"
+)
+
+// TestNetFleetConvergesUnderLoss is the rwho-on-netshm end-to-end: eight
+// machines, one replicated whod segment homed on machine00, a LAN
+// dropping a deterministic 20% of datagrams. After a few rounds every
+// replica's ruptime — compiled code scanning its local mapping — sees
+// every host.
+func TestNetFleetConvergesUnderLoss(t *testing.T) {
+	net := netsim.New()
+	net.Drop = func(from, to string, seq uint64) bool { return seq%5 == 0 }
+	const hosts = 8
+	f, err := NewNetFleet(net, hosts, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := uint32(1); round <= 3; round++ {
+		ticks, err := f.Round(round, 400)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		t.Logf("round %d converged in %d ticks", round, ticks)
+	}
+
+	// Every machine — home and replicas alike — now answers queries from
+	// its local mapping, and after convergence they all see the SAME
+	// table. (Status forwarding is fire-and-forget like rwhod's UDP, so a
+	// host's latest packet can be lost; what may never happen is replicas
+	// disagreeing with the home.)
+	truth, err := f.Machines[0].DB.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != hosts {
+		t.Fatalf("home sees %d hosts, want %d", len(truth), hosts)
+	}
+	for i, st := range truth {
+		m := f.Machines[i]
+		if st.Host != m.Host || st.BootTime != m.boot || st.RecvTime < 1 || st.RecvTime > 3 {
+			t.Fatalf("home slot %d = %+v, want %s boot %d recv 1..3", i, st, m.Host, m.boot)
+		}
+	}
+	// The home's own record is never subject to packet loss.
+	if truth[0].RecvTime != 3 {
+		t.Fatalf("home record at recv %d, want 3", truth[0].RecvTime)
+	}
+	for _, m := range f.Machines[1:] {
+		got, err := m.DB.Query()
+		if err != nil {
+			t.Fatalf("%s: query: %v", m.Host, err)
+		}
+		if len(got) != len(truth) {
+			t.Fatalf("%s: sees %d hosts, home sees %d", m.Host, len(got), len(truth))
+		}
+		for i := range truth {
+			if got[i] != truth[i] {
+				t.Fatalf("%s: slot %d = %+v, home has %+v", m.Host, i, got[i], truth[i])
+			}
+		}
+	}
+
+	// The assembly ruptime runs unchanged on a replica: same code, same
+	// virtual address, remote data.
+	out, n, err := f.Machines[hosts-1].Ruptime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != hosts {
+		t.Fatalf("ruptime counted %d hosts, want %d\n%s", n, hosts, out)
+	}
+	for _, m := range f.Machines {
+		if !strings.Contains(out, m.Host) {
+			t.Fatalf("ruptime output missing %s:\n%s", m.Host, out)
+		}
+	}
+
+	// The protocol's work is visible in the fleet's metrics.
+	s := f.Fleet.Reg.Snapshot()
+	for _, c := range []string{"netsim.dropped", "netshm.updates_applied", "netshm.acks_recv", "netshm.retries"} {
+		if s.Counters[c] == 0 {
+			t.Fatalf("counter %s is zero after a lossy three-round run", c)
+		}
+	}
+}
+
+// TestNetFleetReplicaCannotWrite pins the single-home rule at the rwho
+// layer: a replica's direct store is refused by netshm.
+func TestNetFleetReplicaCannotWrite(t *testing.T) {
+	f, err := NewNetFleet(netsim.New(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Machines[1]
+	if err := rep.store(rep.Status(1)); err == nil {
+		t.Fatal("replica stored into the shared table directly")
+	}
+}

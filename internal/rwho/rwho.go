@@ -366,19 +366,30 @@ func (d *SharedDB) findSlot(host string) (int, bool, error) {
 
 // Update stores the record in place: no linearisation, no file rewrite.
 func (d *SharedDB) Update(st Status) error {
+	_, err := d.UpdateSlot(st)
+	return err
+}
+
+// UpdateSlot stores the record in place and returns the slot index it
+// landed in — what a replicating daemon needs to mark the dirty range.
+func (d *SharedDB) UpdateSlot(st Status) (int, error) {
 	i, _, err := d.findSlot(st.Host)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if i < 0 {
-		return ErrTableFull
+		return 0, ErrTableFull
 	}
 	if err := d.table.WriteBytes(uint32(i)*SlotSize, encodeSlot(st)); err != nil {
-		return err
+		return 0, err
 	}
 	d.cache[st.Host] = i
-	return nil
+	return i, nil
 }
+
+// TableAddr returns the virtual address of the shared slot table — the
+// same on every machine, by the linker's public-module invariant.
+func (d *SharedDB) TableAddr() uint32 { return d.table.Addr }
 
 // Query scans the shared table directly.
 func (d *SharedDB) Query() ([]Status, error) {

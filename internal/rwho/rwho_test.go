@@ -301,7 +301,7 @@ func TestDistributedFleetSurvivesLoss(t *testing.T) {
 			t.Fatalf("%s sees %d hosts after lossy rounds", m.Host, len(got))
 		}
 	}
-	if _, dropped := net.Stats(); dropped == 0 {
+	if net.Stats().Dropped == 0 {
 		t.Fatal("loss model never fired")
 	}
 }

@@ -1,0 +1,60 @@
+package shmfs
+
+import (
+	"errors"
+	"testing"
+
+	"hemlock/internal/mem"
+)
+
+func TestCreateAtPinsInodeAndAddress(t *testing.T) {
+	fs, err := New(mem.NewPhysical(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/lib", DefaultDirMode, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.CreateAt("/lib/whod", 7, DefaultFileMode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ino != 7 || st.Addr != AddrOf(7) {
+		t.Fatalf("stat = %+v, want ino 7 at 0x%08x", st, AddrOf(7))
+	}
+	// The address lookup table covers it like any other file.
+	p, off, err := fs.AddrToPath(AddrOf(7) + 100)
+	if err != nil || p != "/lib/whod" || off != 100 {
+		t.Fatalf("AddrToPath: %q %d %v", p, off, err)
+	}
+	// Occupied inode and existing path both refuse.
+	if _, err := fs.CreateAt("/lib/other", 7, DefaultFileMode, 0); !errors.Is(err, ErrExist) {
+		t.Fatalf("occupied inode: %v", err)
+	}
+	if _, err := fs.CreateAt("/lib/whod", 8, DefaultFileMode, 0); !errors.Is(err, ErrExist) {
+		t.Fatalf("existing path: %v", err)
+	}
+	if _, err := fs.CreateAt("/lib/oob", NumInodes, DefaultFileMode, 0); !errors.Is(err, ErrInval) {
+		t.Fatalf("out-of-range inode: %v", err)
+	}
+	// Ordinary allocation skips the pinned inode.
+	for i := 0; i < 3; i++ {
+		if _, err := fs.Create("/lib/f"+string(rune('0'+i)), DefaultFileMode, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := fs.StatPath("/lib/f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Ino == 7 {
+		t.Fatal("allocator reused the pinned inode")
+	}
+	// Unlinking frees the slot for reuse.
+	if err := fs.Unlink("/lib/whod", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateAt("/lib/whod2", 7, DefaultFileMode, 0); err != nil {
+		t.Fatal(err)
+	}
+}

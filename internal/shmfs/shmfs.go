@@ -367,6 +367,41 @@ func (fs *FS) Create(p string, mode Mode, uid int) (Stat, error) {
 	return fs.statOf(nd), nil
 }
 
+// CreateAt makes a new regular file at p bound to the specific inode ino,
+// and therefore to the fixed virtual address AddrOf(ino). It fails if p
+// exists or the inode is taken. This is how a replica machine materialises
+// a segment homed elsewhere: the home dictates the slot, so the public
+// module occupies the same virtual address on every machine (the netshm
+// replication protocol depends on it).
+func (fs *FS) CreateAt(p string, ino int, mode Mode, uid int) (Stat, error) {
+	if ino < 0 || ino >= NumInodes {
+		return Stat{}, fmt.Errorf("%w: inode %d", ErrInval, ino)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, leaf, err := fs.parentOf(p)
+	if err != nil {
+		return Stat{}, err
+	}
+	if _, ok := parent.entries[leaf]; ok {
+		return Stat{}, fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	if fs.inodes[ino] != nil {
+		return Stat{}, fmt.Errorf("%w: inode %d already allocated", ErrExist, ino)
+	}
+	nd := &inode{ino: ino, typ: TypeFile, mode: mode, uid: uid, mtime: fs.tick()}
+	fs.inodes[ino] = nd
+	fs.nAlloc++
+	parent.entries[leaf] = nd.ino
+	parent.mtime = fs.tick()
+	fs.tableInsert(nd.ino, Clean(p))
+	fs.ctrCreate.Inc()
+	if fs.tracer.Enabled() {
+		fs.tracer.Emit(obsv.Event{Subsys: "shmfs", Name: "create", Mod: Clean(p), Addr: AddrOf(nd.ino)})
+	}
+	return fs.statOf(nd), nil
+}
+
 // Mkdir creates a directory at p.
 func (fs *FS) Mkdir(p string, mode Mode, uid int) error {
 	fs.mu.Lock()
