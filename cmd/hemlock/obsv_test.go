@@ -96,7 +96,8 @@ func TestCLIStats(t *testing.T) {
 	dir := t.TempDir()
 	buildDemo(t, dir)
 	out := cli(t, dir, "stats", "/bin/demo")
-	for _, want := range []string{"counters:", "kern.syscalls", "ldl.modules_mapped", "mem.frames_live", "gauges:"} {
+	for _, want := range []string{"counters:", "kern.syscalls", "ldl.modules_mapped", "mem.frames_live", "gauges:",
+		"vm.tlb_hit", "vm.tlb_miss", "vm.icache_fill", "vm.icache_invalidate"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats output missing %q:\n%s", want, out)
 		}
@@ -127,6 +128,9 @@ func TestCLIStatsJSON(t *testing.T) {
 	}
 	if snap.Counters["kern.syscalls"] == 0 {
 		t.Fatal("kern.syscalls = 0")
+	}
+	if snap.Counters["vm.tlb_hit"] == 0 || snap.Counters["vm.icache_fill"] == 0 {
+		t.Fatalf("vm cache counters not live: %v", snap.Counters)
 	}
 	if _, ok := snap.Gauges["mem.frames_live"]; !ok {
 		t.Fatalf("no mem gauges in snapshot: %v", snap.Gauges)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hemlock/internal/mem"
 	"hemlock/internal/obsv"
@@ -72,8 +73,8 @@ func (a Access) String() string {
 	return fmt.Sprintf("access(%d)", uint8(a))
 }
 
-// need returns the protection bit required for the access.
-func (a Access) need() Prot {
+// Need returns the protection bit required for the access.
+func (a Access) Need() Prot {
 	switch a {
 	case AccessWrite:
 		return ProtWrite
@@ -120,6 +121,13 @@ type Space struct {
 	mu    sync.RWMutex
 	pages map[uint32]pte // VPN -> entry
 	phys  *mem.Physical
+
+	// gen counts mapping mutations (map, unmap, protect, share, clone-in,
+	// release). Cached translations — the VM's software TLB — are valid
+	// only while the generation they were filled under is current, so a
+	// single bump here flushes every cache built on this space. Bumped
+	// under mu; read lock-free via Gen.
+	gen atomic.Uint64
 
 	// Observability wiring (Observe). All fields are nil-safe: a bare
 	// Space constructed by a test is simply unobserved.
@@ -182,6 +190,7 @@ func (s *Space) MapAnon(addr, size uint32, prot Prot) error {
 	for i := uint32(0); i < n; i++ {
 		s.pages[base+i] = pte{frame: frames[i], prot: prot}
 	}
+	s.gen.Add(1)
 	s.ctrMaps.Add(uint64(n))
 	if s.tracer.Enabled() {
 		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "map_anon", PID: s.pid, Addr: addr, Val: uint64(n)})
@@ -209,6 +218,7 @@ func (s *Space) MapFrames(addr uint32, frames []*mem.Frame, prot Prot) error {
 		f.Retain()
 		s.pages[base+uint32(i)] = pte{frame: f, prot: prot}
 	}
+	s.gen.Add(1)
 	s.ctrMaps.Add(uint64(len(frames)))
 	if s.tracer.Enabled() {
 		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "map_frames", PID: s.pid, Addr: addr, Val: uint64(len(frames))})
@@ -229,6 +239,9 @@ func (s *Space) Unmap(addr, size uint32) {
 			delete(s.pages, base+i)
 			released++
 		}
+	}
+	if released > 0 {
+		s.gen.Add(1)
 	}
 	s.ctrUnmap.Add(released)
 	if released > 0 && s.tracer.Enabled() {
@@ -253,6 +266,7 @@ func (s *Space) Protect(addr, size uint32, prot Prot) error {
 		e.prot = prot
 		s.pages[base+i] = e
 	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -265,8 +279,17 @@ func (s *Space) ProtAt(addr uint32) (Prot, bool) {
 	return e.prot, ok
 }
 
-// Mapped reports whether every page of [addr, addr+size) is mapped.
+// Mapped reports whether every page of [addr, addr+size) is mapped. An
+// empty range is vacuously mapped. A range extending past the top of the
+// 32-bit space is not (those pages cannot exist); the old end-of-range
+// arithmetic wrapped around for size 0 and scanned bogus VPNs.
 func (s *Space) Mapped(addr, size uint32) bool {
+	if size == 0 {
+		return true
+	}
+	if uint64(addr)+uint64(size) > 1<<32 {
+		return false
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	base := vpn(PageBase(addr))
@@ -279,6 +302,38 @@ func (s *Space) Mapped(addr, size uint32) bool {
 	return true
 }
 
+// Gen returns the space's mapping generation. It is bumped by every
+// mutation of the page table, so a cached Entry whose Gen no longer
+// matches must be re-translated.
+func (s *Space) Gen() uint64 { return s.gen.Load() }
+
+// Entry is a cacheable translation: the frame backing one page, its
+// protection, and the generation the entry was read under. Holders must
+// discard it once Gen() moves past Entry.Gen.
+type Entry struct {
+	Frame *mem.Frame
+	Prot  Prot
+	Gen   uint64
+}
+
+// Translate resolves the page containing addr for the given access kind
+// and returns the full page-table entry plus the current generation, so
+// callers — the VM's software TLB — can cache the result and revalidate
+// it with a single atomic load instead of taking the space lock.
+func (s *Space) Translate(addr uint32, a Access) (Entry, *Fault) {
+	s.mu.RLock()
+	e, ok := s.pages[vpn(addr)]
+	g := s.gen.Load()
+	s.mu.RUnlock()
+	if !ok {
+		return Entry{}, &Fault{Addr: addr, Access: a, Unmapped: true}
+	}
+	if e.prot&a.Need() == 0 {
+		return Entry{}, &Fault{Addr: addr, Access: a}
+	}
+	return Entry{Frame: e.frame, Prot: e.prot, Gen: g}, nil
+}
+
 // translate returns the frame and in-page offset for addr if the access is
 // permitted.
 func (s *Space) translate(addr uint32, a Access) (*mem.Frame, uint32, *Fault) {
@@ -288,7 +343,7 @@ func (s *Space) translate(addr uint32, a Access) (*mem.Frame, uint32, *Fault) {
 	if !ok {
 		return nil, 0, &Fault{Addr: addr, Access: a, Unmapped: true}
 	}
-	if e.prot&a.need() == 0 {
+	if e.prot&a.Need() == 0 {
 		return nil, 0, &Fault{Addr: addr, Access: a}
 	}
 	return e.frame, addr & (mem.PageSize - 1), nil
@@ -318,6 +373,7 @@ func (s *Space) Write(addr uint32, buf []byte) (int, error) {
 		if flt != nil {
 			return done, flt
 		}
+		f.NoteStore()
 		n := copy(f.Data[off:], buf[done:])
 		done += n
 	}
@@ -345,6 +401,7 @@ func (s *Space) StoreWord(addr, val uint32) error {
 	if flt != nil {
 		return flt
 	}
+	f.NoteStore()
 	binary.BigEndian.PutUint32(f.Data[off:], val)
 	return nil
 }
@@ -376,6 +433,7 @@ func (s *Space) StoreByte(addr uint32, val byte) error {
 	if flt != nil {
 		return flt
 	}
+	f.NoteStore()
 	f.Data[off] = val
 	return nil
 }
@@ -412,7 +470,9 @@ func (s *Space) Regions() []Region {
 }
 
 // CloneRange deep-copies every mapped page in [start, end) of s into dst,
-// allocating fresh frames. This is the private half of fork.
+// allocating fresh frames. This is the private half of fork. The frame
+// copies happen outside any lock; dst's lock is taken exactly once to
+// install them all.
 func (s *Space) CloneRange(dst *Space, start, end uint32) error {
 	s.mu.RLock()
 	type ent struct {
@@ -427,33 +487,58 @@ func (s *Space) CloneRange(dst *Space, start, end uint32) error {
 		}
 	}
 	s.mu.RUnlock()
-	for _, it := range ents {
+	copies := make([]*mem.Frame, len(ents))
+	for i, it := range ents {
 		f, err := it.e.frame.Copy()
 		if err != nil {
+			for _, g := range copies[:i] {
+				g.Release()
+			}
 			return err
 		}
-		dst.mu.Lock()
-		dst.pages[it.vpn] = pte{frame: f, prot: it.e.prot}
-		dst.mu.Unlock()
+		copies[i] = f
 	}
+	if len(ents) == 0 {
+		return nil
+	}
+	dst.mu.Lock()
+	for i, it := range ents {
+		dst.pages[it.vpn] = pte{frame: copies[i], prot: it.e.prot}
+	}
+	dst.gen.Add(1)
+	dst.mu.Unlock()
 	return nil
 }
 
 // ShareRange installs s's mappings in [start, end) into dst, retaining the
 // frames so that both spaces see the same bytes. This is the public half of
-// fork.
+// fork. The frames are retained under s's read lock (so none can be
+// released out from under us); dst's lock is taken once for the whole
+// batch rather than once per page.
 func (s *Space) ShareRange(dst *Space, start, end uint32) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	type ent struct {
+		vpn uint32
+		e   pte
+	}
+	var ents []ent
 	for p, e := range s.pages {
 		a := p << mem.PageShift
 		if a >= start && a < end {
 			e.frame.Retain()
-			dst.mu.Lock()
-			dst.pages[p] = e
-			dst.mu.Unlock()
+			ents = append(ents, ent{p, e})
 		}
 	}
+	s.mu.RUnlock()
+	if len(ents) == 0 {
+		return
+	}
+	dst.mu.Lock()
+	for _, it := range ents {
+		dst.pages[it.vpn] = it.e
+	}
+	dst.gen.Add(1)
+	dst.mu.Unlock()
 }
 
 // Release unmaps everything, releasing all frames. The space must not be
@@ -466,6 +551,7 @@ func (s *Space) Release() {
 		e.frame.Release()
 		delete(s.pages, p)
 	}
+	s.gen.Add(1)
 	s.ctrUnmap.Add(released)
 	if released > 0 && s.tracer.Enabled() {
 		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "release", PID: s.pid, Val: released})

@@ -1,0 +1,88 @@
+package kern
+
+// Cross-process cache coherence: stores into a shared page by one process
+// must be visible to a sibling CPU's instruction cache on its very next
+// fetch. This is the ldl scenario — one domain patches shared text that
+// another domain is executing.
+
+import (
+	"testing"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/isa"
+	"hemlock/internal/layout"
+	"hemlock/internal/mem"
+	"hemlock/internal/vm"
+)
+
+func TestSharedPageStoreVisibleToSiblingCPU(t *testing.T) {
+	k := New()
+	writer := k.Spawn(0)
+	runner := k.Spawn(0)
+
+	// Shared RWX page mapped at the same address in both spaces — segment
+	// discipline per the paper.
+	const shared = layout.SharedBase
+	if err := writer.AS.MapAnon(shared, mem.PageSize, addrspace.ProtRWX); err != nil {
+		t.Fatal(err)
+	}
+	writer.AS.ShareRange(runner.AS, shared, shared+mem.PageSize)
+
+	// Runner spins on the shared page, predecoding it into its icache.
+	const escape = shared + 0x80
+	loop := []uint32{
+		isa.EncodeI(isa.OpADDIU, 10, 10, 1), // victim: addiu t2, t2, 1
+		isa.EncodeJ(isa.OpJ, shared),        // j victim
+	}
+	for i, w := range loop {
+		if err := writer.AS.StoreWord(shared+uint32(4*i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writer.AS.StoreWord(escape, isa.EncodeI(isa.OpHALT, 0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	runner.CPU.PC = shared
+	for i := 0; i < 6; i++ {
+		if ev, err := runner.CPU.Step(); err != nil || ev != vm.EventStep {
+			t.Fatalf("runner warmup step %d: ev=%v err=%v", i, ev, err)
+		}
+	}
+
+	// Writer executes its own private text: one store that patches the
+	// runner's victim instruction in the shared page.
+	const wtext = 0x00001000
+	if err := writer.AS.MapAnon(wtext, mem.PageSize, addrspace.ProtRWX); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.AS.StoreWord(wtext, isa.EncodeI(isa.OpSW, 8, 9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	writer.CPU.PC = wtext
+	writer.CPU.Regs[8] = isa.EncodeJ(isa.OpJ, escape)
+	writer.CPU.Regs[9] = shared
+	if ev, err := writer.CPU.Step(); err != nil || ev != vm.EventStep {
+		t.Fatalf("writer store: ev=%v err=%v", ev, err)
+	}
+
+	// The runner's very next fetch of the victim must see the patch. Its
+	// PC is mid-loop; step until it re-reaches the victim, then one more.
+	for runner.CPU.PC != shared {
+		if ev, err := runner.CPU.Step(); err != nil || ev != vm.EventStep {
+			t.Fatalf("runner drain: ev=%v err=%v", ev, err)
+		}
+	}
+	before := runner.CPU.Regs[10]
+	if ev, err := runner.CPU.Step(); err != nil || ev != vm.EventStep {
+		t.Fatalf("runner post-patch step: ev=%v err=%v", ev, err)
+	}
+	if runner.CPU.PC != escape {
+		t.Fatalf("sibling executed stale predecode: pc = 0x%08x, want 0x%08x", runner.CPU.PC, escape)
+	}
+	if runner.CPU.Regs[10] != before {
+		t.Fatal("victim addiu retired after the patch landed")
+	}
+	if st := runner.CPU.CacheStats(); st.ICInvals == 0 {
+		t.Fatal("sibling icache invalidation not recorded")
+	}
+}

@@ -61,6 +61,10 @@ type Kernel struct {
 	ctrForks    *obsv.Counter
 	ctrExits    *obsv.Counter
 	ctrVMTraps  *obsv.Counter
+	ctrTLBHit   *obsv.Counter
+	ctrTLBMiss  *obsv.Counter
+	ctrICFill   *obsv.Counter
+	ctrICInval  *obsv.Counter
 	ctrASMaps   *obsv.Counter
 	ctrASUnmaps *obsv.Counter
 	hRunSteps   *obsv.Histogram
@@ -98,6 +102,10 @@ func newKernel(fs *shmfs.FS, phys *mem.Physical) *Kernel {
 		ctrForks:    o.R.Counter("kern.forks"),
 		ctrExits:    o.R.Counter("kern.exits"),
 		ctrVMTraps:  o.R.Counter("vm.traps"),
+		ctrTLBHit:   o.R.Counter("vm.tlb_hit"),
+		ctrTLBMiss:  o.R.Counter("vm.tlb_miss"),
+		ctrICFill:   o.R.Counter("vm.icache_fill"),
+		ctrICInval:  o.R.Counter("vm.icache_invalidate"),
 		ctrASMaps:   o.R.Counter("addrspace.pages_mapped"),
 		ctrASUnmaps: o.R.Counter("addrspace.pages_unmapped"),
 		hRunSteps:   o.R.Histogram("kern.run_steps"),
@@ -180,6 +188,10 @@ func (k *Kernel) Spawn(uid int) *Process {
 	}
 	p.CPU = vm.New(p.AS)
 	p.CPU.CtrTraps = k.ctrVMTraps
+	p.CPU.CtrTLBHit = k.ctrTLBHit
+	p.CPU.CtrTLBMiss = k.ctrTLBMiss
+	p.CPU.CtrICFill = k.ctrICFill
+	p.CPU.CtrICInval = k.ctrICInval
 	p.AS.Observe(k.Obs.Tracer(), k.ctrASMaps, k.ctrASUnmaps, p.PID)
 	k.nextPID++
 	k.procs[p.PID] = p

@@ -108,7 +108,10 @@ func (k *Kernel) PDCall(client *Process, id int, arg uint32) (uint32, error) {
 	// with the argument, and restore afterwards.
 	server := svc.server
 	saved := server.CPU.Snapshot()
-	defer func() { *server.CPU = saved }()
+	defer func() {
+		server.CPU.FlushObsv() // credit cache stats before the state rollback discards them
+		*server.CPU = saved
+	}()
 	server.CPU.PC = svc.entry
 	server.CPU.Regs[isa.RegA0] = arg
 	server.CPU.Regs[isa.RegA1] = uint32(client.PID)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hemlock/internal/obsv"
 )
@@ -28,12 +29,17 @@ var ErrOutOfMemory = errors.New("mem: out of physical memory")
 
 // Frame is one page of simulated physical memory. The zero value is not
 // usable; frames are obtained from a Physical pool.
+//
+// The reference count and the store-version counter are atomics so that
+// the hot paths — Retain/Release on fork and map operations, version
+// checks on every interpreted instruction — never touch the pool mutex.
 type Frame struct {
 	Data [PageSize]byte
 
 	pool *Physical
 	pfn  int
-	refs int
+	refs atomic.Int64
+	ver  atomic.Uint64
 }
 
 // PFN returns the frame's physical frame number within its pool.
@@ -63,62 +69,75 @@ func (p *Physical) Alloc() (*Frame, error) {
 	if p.limit > 0 && p.live >= p.limit {
 		return nil, fmt.Errorf("%w: limit %d frames", ErrOutOfMemory, p.limit)
 	}
-	f := &Frame{pool: p, pfn: p.nextPFN, refs: 1}
+	f := &Frame{pool: p, pfn: p.nextPFN}
+	f.refs.Store(1)
 	p.nextPFN++
 	p.live++
 	p.allocCnt++
 	return f, nil
 }
 
-// AllocN allocates n zeroed frames, releasing any partial allocation on
-// failure.
+// AllocN allocates n zeroed frames under a single pool lock. It either
+// delivers all n or fails without allocating anything, so the fork and map
+// paths pay one mutex round trip instead of n.
 func (p *Physical) AllocN(n int) ([]*Frame, error) {
-	frames := make([]*Frame, 0, n)
-	for i := 0; i < n; i++ {
-		f, err := p.Alloc()
-		if err != nil {
-			for _, g := range frames {
-				g.Release()
-			}
-			return nil, err
-		}
-		frames = append(frames, f)
+	if n <= 0 {
+		return nil, nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.limit > 0 && p.live+n > p.limit {
+		return nil, fmt.Errorf("%w: limit %d frames", ErrOutOfMemory, p.limit)
+	}
+	frames := make([]*Frame, n)
+	for i := range frames {
+		f := &Frame{pool: p, pfn: p.nextPFN}
+		f.refs.Store(1)
+		p.nextPFN++
+		frames[i] = f
+	}
+	p.live += n
+	p.allocCnt += uint64(n)
 	return frames, nil
 }
 
 // Retain increments the frame's reference count. It is used when a frame is
 // mapped into an additional address space or retained by a file.
 func (f *Frame) Retain() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	if f.refs <= 0 {
+	if f.refs.Add(1) <= 1 {
 		panic("mem: Retain on released frame")
 	}
-	f.refs++
 }
 
 // Release decrements the reference count, returning the frame to the pool
 // when it reaches zero.
 func (f *Frame) Release() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	if f.refs <= 0 {
+	n := f.refs.Add(-1)
+	if n < 0 {
 		panic("mem: Release on released frame")
 	}
-	f.refs--
-	if f.refs == 0 {
+	if n == 0 {
+		f.pool.mu.Lock()
 		f.pool.live--
 		f.pool.freeCnt++
+		f.pool.mu.Unlock()
 	}
 }
 
 // Refs reports the current reference count (for tests and fsck).
-func (f *Frame) Refs() int {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	return f.refs
-}
+func (f *Frame) Refs() int { return int(f.refs.Load()) }
+
+// NoteStore records a mutation of the frame's bytes by bumping the
+// store-version counter. Every writer — the VM's store fast path, the
+// address-space write API, the shared file system — must call it; the VM's
+// predecoded instruction cache validates against Version on every fetch,
+// which is how a store into live text (ldl patching a trampoline or
+// jump-table slot) invalidates stale predecode, even across processes
+// sharing the frame.
+func (f *Frame) NoteStore() { f.ver.Add(1) }
+
+// Version returns the frame's store-version counter.
+func (f *Frame) Version() uint64 { return f.ver.Load() }
 
 // Stats describes pool usage.
 type Stats struct {

@@ -673,6 +673,10 @@ func (fs *FS) writeAtInode(nd *inode, off uint32, buf []byte) (int, error) {
 		pos := off + uint32(done)
 		fi := int(pos / mem.PageSize)
 		fo := pos % mem.PageSize
+		// Writes may land in frames mapped executable elsewhere (ldl's
+		// filePatcher patches shared text this way); the version bump is
+		// what invalidates any predecoded instructions.
+		nd.frames[fi].NoteStore()
 		n := copy(nd.frames[fi].Data[fo:], buf[done:])
 		done += n
 	}
@@ -773,6 +777,9 @@ func (fs *FS) Truncate(p string, size uint32, uid int) error {
 		return err
 	}
 	if size < nd.size {
+		for fi := int(size / mem.PageSize); fi <= int((nd.size-1)/mem.PageSize); fi++ {
+			nd.frames[fi].NoteStore()
+		}
 		for pos := size; pos < nd.size; pos++ {
 			fi := int(pos / mem.PageSize)
 			fo := pos % mem.PageSize

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench.sh — run the interpreter dispatch microbenchmark plus the paper
+# benchmarks (Table 1, call cost, pointer chase) and write BENCH_<n>.json.
+#
+# Usage:
+#   scripts/bench.sh <n> [benchtime]
+#
+# Output:
+#   BENCH_<n>.txt   raw `go test -bench` lines — feed two of these straight
+#                   to benchstat to compare runs:
+#                       benchstat BENCH_3.txt BENCH_4.txt
+#   BENCH_<n>.json  the same rows parsed into {name, iterations, ns_per_op}
+#                   plus host metadata, for dashboards and CHANGES archaeology.
+#
+# Run from the repository root. Keep benchmark NAMES stable across PRs —
+# benchstat matches on name, so renaming a benchmark orphans its history.
+set -eu
+
+n=${1:?usage: scripts/bench.sh <n> [benchtime]}
+benchtime=${2:-1s}
+
+cd "$(dirname "$0")/.."
+
+raw=BENCH_"$n".txt
+out=BENCH_"$n".json
+
+# Dispatch microbenchmark (internal/vm) and the paper's macro benchmarks
+# (repo root). -count=3 gives benchstat enough samples for a variance
+# estimate without making CI runs painful.
+{
+  go test -run=NONE -bench='BenchmarkDispatch' -benchtime="$benchtime" -count=3 ./internal/vm/
+  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase' -benchtime="$benchtime" -count=3 .
+} | tee "$raw"
+
+{
+  printf '{\n'
+  printf '  "bench_id": %s,\n' "$n"
+  printf '  "goos": "%s",\n' "$(go env GOOS)"
+  printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+  printf '  "go_version": "%s",\n' "$(go version | awk '{print $3}')"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "results": [\n'
+  awk '/^Benchmark/ {
+    name=$1; iters=$2; ns=$3
+    sub(/-[0-9]+$/, "", name)
+    if (seen++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, ns
+  } END { printf "\n" }' "$raw"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $raw and $out"
