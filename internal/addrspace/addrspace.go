@@ -469,6 +469,24 @@ func (s *Space) Regions() []Region {
 	return out
 }
 
+// VisitPages calls fn for every mapped page in ascending VPN order,
+// regardless of protection (ProtNone pages included). The differential
+// harness uses it to hash and dump whole-space state cheaply; fn must not
+// mutate the space (the read lock is held across the walk).
+func (s *Space) VisitPages(fn func(vpn uint32, prot Prot, data *[mem.PageSize]byte)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vpns := make([]uint32, 0, len(s.pages))
+	for p := range s.pages {
+		vpns = append(vpns, p)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, p := range vpns {
+		e := s.pages[p]
+		fn(p, e.prot, &e.frame.Data)
+	}
+}
+
 // CloneRange deep-copies every mapped page in [start, end) of s into dst,
 // allocating fresh frames. This is the private half of fork. The frame
 // copies happen outside any lock; dst's lock is taken exactly once to

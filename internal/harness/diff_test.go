@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestDiff is the acceptance gate: at least 1,000 generated programs, each
+// executed on the fast path and the reference path, with zero divergences.
+// Every failure message carries both the scenario seed (-harness.seed
+// replays the whole run) and the individual program seed (FuzzDiffExec
+// replays just that program).
+func TestDiff(t *testing.T) {
+	s := NewScenario(t, "diff", 1)
+	n := s.Scale(1000, 1000) // the 1,000-program floor holds even under -short
+	for i := 0; i < n; i++ {
+		DiffOne(s, s.Rand.Int63())
+	}
+	progs := s.Reg.Snapshot().Counters["harness.diff.programs"]
+	if progs < 1000 {
+		s.Failf("executed only %d programs, want >= 1000", progs)
+	}
+	s.Logf("%d programs, %d steps, %d traps, no divergences",
+		progs,
+		s.Reg.Snapshot().Counters["harness.diff.steps"],
+		s.Reg.Snapshot().Counters["harness.diff.traps"])
+}
+
+// TestDiffTrapsExercised guards the generator itself: across a modest run
+// the mix must produce traps (faults, unaligned accesses, illegal targets)
+// as well as clean retirements, or the differential coverage is hollow.
+func TestDiffTrapsExercised(t *testing.T) {
+	s := NewScenario(t, "diff-mix", 2)
+	for i := 0; i < 50; i++ {
+		DiffOne(s, s.Rand.Int63())
+	}
+	c := s.Reg.Snapshot().Counters
+	if c["harness.diff.traps"] == 0 {
+		s.Failf("generator produced no traps in 50 programs")
+	}
+	if c["harness.diff.steps"] == 0 {
+		s.Failf("generator retired no instructions in 50 programs")
+	}
+}
+
+// FuzzDiffExec lets the fuzzer drive the program-generator seed directly.
+// The committed corpus pins a spread of interesting seeds; `go test -fuzz
+// FuzzDiffExec` explores beyond them.
+func FuzzDiffExec(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 42, 1 << 32, -1} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		DiffOne(WithSeed(t, "diff-fuzz", seed), seed)
+	})
+}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"math/rand"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/isa"
+	"hemlock/internal/layout"
+	"hemlock/internal/mem"
+	"hemlock/internal/vm"
+)
+
+// The generated-program memory image. Text is RWX so stores into it are
+// legal self-modifying code (the icache-invalidation case the fast path
+// must get right); the read-only page provides protection faults; the
+// shared page is frame-backed the way shmfs segments are.
+const (
+	genTextBase   = layout.TextBase // 2 pages, RWX
+	genTextPages  = 2
+	genTextWords  = genTextPages * mem.PageSize / 4
+	genDataBase   = layout.PrivDataBase          // 1 page, RW
+	genROBase     = layout.PrivDataBase + 0x4000 // 1 page, R
+	genSharedBase = layout.SharedBase            // 1 page, RW, frame-backed
+)
+
+// image is one generated program plus its initial memory and registers —
+// everything needed to instantiate any number of bit-identical CPUs.
+type image struct {
+	text   []uint32
+	data   [mem.PageSize]byte
+	ro     [mem.PageSize]byte
+	shared [mem.PageSize]byte
+	regs   [32]uint32
+}
+
+// genImage draws a complete program image from rng.
+func genImage(rng *rand.Rand) *image {
+	im := &image{text: make([]uint32, genTextWords)}
+	rng.Read(im.data[:])
+	rng.Read(im.ro[:])
+	rng.Read(im.shared[:])
+
+	// Base registers the instruction mix leans on: page bases in r8-r11,
+	// planted jump/load targets in r12-r15, random values elsewhere.
+	im.regs[8] = genTextBase
+	im.regs[9] = genDataBase
+	im.regs[10] = genROBase
+	im.regs[11] = genSharedBase
+	im.regs[12] = genTextBase + uint32(rng.Intn(genTextWords))*4
+	im.regs[13] = genTextBase + uint32(rng.Intn(genTextWords))*4
+	im.regs[14] = genDataBase + uint32(rng.Intn(mem.PageSize/4))*4
+	im.regs[15] = genSharedBase + uint32(rng.Intn(mem.PageSize/4))*4
+	for r := 16; r < 32; r++ {
+		im.regs[r] = rng.Uint32()
+	}
+
+	for i := 0; i < genTextWords; i++ {
+		im.text[i] = genInst(rng, i)
+	}
+	// A halt backstop at the end of text, so straight-line runs stop
+	// instead of walking off the mapping (which would also be fine — both
+	// paths would fault identically — but ends more runs cleanly).
+	for i := genTextWords - 4; i < genTextWords; i++ {
+		im.text[i] = uint32(isa.OpHALT) << 26
+	}
+	return im
+}
+
+// reg picks a general destination register, avoiding $zero (writes to it
+// are legal no-ops, covered separately) and usually preserving the base
+// registers r8-r15 so memory traffic stays interesting.
+func genDst(rng *rand.Rand) int {
+	if rng.Intn(8) == 0 {
+		return rng.Intn(32) // occasionally anything, including $zero and bases
+	}
+	return 16 + rng.Intn(10) // r16..r25
+}
+
+// genInst draws one instruction for text word index wi.
+func genInst(rng *rand.Rand, wi int) uint32 {
+	aluFns := []int{
+		isa.FnADD, isa.FnADDU, isa.FnSUB, isa.FnSUBU, isa.FnAND, isa.FnOR,
+		isa.FnXOR, isa.FnNOR, isa.FnSLT, isa.FnSLTU, isa.FnMUL, isa.FnDIV,
+	}
+	anyReg := func() int { return rng.Intn(32) }
+	baseReg := func() int { return 8 + rng.Intn(8) } // r8..r15
+	switch p := rng.Intn(100); {
+	case p < 20: // R-type ALU (div included: div-by-zero traps are coverage)
+		return isa.EncodeR(aluFns[rng.Intn(len(aluFns))], genDst(rng), anyReg(), anyReg(), 0)
+	case p < 28: // shifts, constant and variable
+		switch rng.Intn(6) {
+		case 0:
+			return isa.EncodeR(isa.FnSLL, genDst(rng), 0, anyReg(), rng.Intn(32))
+		case 1:
+			return isa.EncodeR(isa.FnSRL, genDst(rng), 0, anyReg(), rng.Intn(32))
+		case 2:
+			return isa.EncodeR(isa.FnSRA, genDst(rng), 0, anyReg(), rng.Intn(32))
+		case 3:
+			return isa.EncodeR(isa.FnSLLV, genDst(rng), anyReg(), anyReg(), 0)
+		case 4:
+			return isa.EncodeR(isa.FnSRLV, genDst(rng), anyReg(), anyReg(), 0)
+		}
+		return isa.EncodeR(isa.FnSRAV, genDst(rng), anyReg(), anyReg(), 0)
+	case p < 40: // I-type ALU
+		ops := []int{isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI}
+		return isa.EncodeI(ops[rng.Intn(len(ops))], genDst(rng), anyReg(), uint16(rng.Uint32()))
+	case p < 45: // LUI/ORI pair start: materialise a region address high half
+		bases := []uint32{genTextBase, genDataBase, genROBase, genSharedBase}
+		return isa.EncodeI(isa.OpLUI, 12+rng.Intn(4), 0, uint16(bases[rng.Intn(len(bases))]>>16))
+	case p < 63: // loads and stores
+		ops := []int{isa.OpLW, isa.OpLB, isa.OpLBU, isa.OpSW, isa.OpSB}
+		op := ops[rng.Intn(len(ops))]
+		var off uint16
+		switch rng.Intn(10) {
+		case 0: // wild offset: unmapped faults, negative reaches
+			off = uint16(rng.Uint32())
+		case 1: // unaligned (matters for lw/sw)
+			off = uint16(rng.Intn(mem.PageSize))
+		default: // in-page, word-aligned
+			off = uint16(rng.Intn(mem.PageSize/4)) * 4
+		}
+		// Stores with a text base register are self-modifying code.
+		return isa.EncodeI(op, genDst(rng), baseReg(), off)
+	case p < 71: // branches within text
+		ops := []int{isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ}
+		op := ops[rng.Intn(len(ops))]
+		target := rng.Intn(genTextWords)
+		imm := uint16(int16(target - (wi + 1)))
+		rt := anyReg()
+		if op == isa.OpBLEZ || op == isa.OpBGTZ {
+			rt = 0
+		}
+		return isa.EncodeI(op, rt, anyReg(), imm)
+	case p < 77: // 26-bit jumps within text
+		op := isa.OpJ
+		if rng.Intn(2) == 0 {
+			op = isa.OpJAL
+		}
+		return isa.EncodeJ(op, genTextBase+uint32(rng.Intn(genTextWords))*4)
+	case p < 81: // register jumps: planted targets mostly, garbage sometimes
+		rs := 12 + rng.Intn(2) // r12/r13 hold text addresses
+		if rng.Intn(6) == 0 {
+			rs = anyReg()
+		}
+		if rng.Intn(2) == 0 {
+			return isa.EncodeR(isa.FnJR, 0, rs, 0, 0)
+		}
+		return isa.EncodeR(isa.FnJALR, genDst(rng), rs, 0, 0)
+	case p < 84: // syscall/break (PC advances, driver records and continues)
+		if rng.Intn(2) == 0 {
+			return isa.EncodeR(isa.FnSYSCALL, 0, 0, 0, 0)
+		}
+		return isa.EncodeR(isa.FnBREAK, 0, 0, 0, 0)
+	case p < 85: // halt
+		return uint32(isa.OpHALT) << 26
+	default: // nop filler keeps straight-line stretches common
+		return isa.Nop
+	}
+}
+
+// instantiate materialises the image into a fresh CPU with its own
+// address space. Calling it twice yields two independent, bit-identical
+// machines — the precondition for a meaningful differential run.
+func (im *image) instantiate() (*vm.CPU, error) {
+	phys := mem.NewPhysical(0)
+	as := addrspace.New(phys)
+	if err := as.MapAnon(genTextBase, genTextPages*mem.PageSize, addrspace.ProtRWX); err != nil {
+		return nil, err
+	}
+	for i, w := range im.text {
+		if err := as.StoreWord(genTextBase+uint32(i)*4, w); err != nil {
+			return nil, err
+		}
+	}
+	if err := as.MapAnon(genDataBase, mem.PageSize, addrspace.ProtRW); err != nil {
+		return nil, err
+	}
+	if _, err := as.Write(genDataBase, im.data[:]); err != nil {
+		return nil, err
+	}
+	// The read-only page is populated while mapped RW, then downgraded —
+	// the same dance a loader does, and a Protect-generation bump the
+	// TLB must observe.
+	if err := as.MapAnon(genROBase, mem.PageSize, addrspace.ProtRW); err != nil {
+		return nil, err
+	}
+	if _, err := as.Write(genROBase, im.ro[:]); err != nil {
+		return nil, err
+	}
+	if err := as.Protect(genROBase, mem.PageSize, addrspace.ProtRead); err != nil {
+		return nil, err
+	}
+	// The shared page is frame-backed (MapFrames), the way shmfs maps
+	// public segments into a process.
+	frames, err := phys.AllocN(1)
+	if err != nil {
+		return nil, err
+	}
+	copy(frames[0].Data[:], im.shared[:])
+	if err := as.MapFrames(genSharedBase, frames, addrspace.ProtRW); err != nil {
+		return nil, err
+	}
+
+	c := vm.New(as)
+	c.PC = genTextBase
+	c.Regs = im.regs
+	return c, nil
+}

@@ -1,0 +1,300 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"hemlock/internal/core"
+	"hemlock/internal/netshm"
+	"hemlock/internal/netsim"
+	"hemlock/internal/shmfs"
+)
+
+// The netshm network fuzzer: a seeded adversary over the simulated LAN.
+// One run builds a small fleet, homes a segment on two different machines,
+// then interleaves home-side writes with fleet ticks while the adversary
+// drops, duplicates, delays and reorders datagrams — all decisions pure
+// functions of (seed, from, to, seq), so a run replays exactly. Midway a
+// new machine joins the established fleet (the announce-triggered
+// anti-entropy path). Afterwards the adversary is switched off and the
+// fleet must converge: every replica byte-identical to the model of what
+// each home wrote, and every node's applied/heard generations having grown
+// monotonically throughout.
+
+// netfuzzQuiesceTicks bounds the healing phase after the adversary stops.
+// Generous on purpose: bounded retries may be exhausted, leaving recovery
+// to announce-triggered pulls on the announce period.
+const netfuzzQuiesceTicks = 400
+
+// adversary derives deterministic drop/dup/reorder/delay decisions from a
+// run-specific salt. Each knob gets an independent hash stream (the knob
+// id is mixed in) so, e.g., dropping a datagram is uncorrelated with
+// delaying it.
+type adversary struct {
+	salt               uint64
+	drop, dup, reorder uint32 // per-mille probabilities
+	delayP             uint32 // per-mille probability of delaying
+	delayMax           int    // 1..delayMax ticks when delayed
+}
+
+func newAdversary(rng *rand.Rand) *adversary {
+	return &adversary{
+		salt:     rng.Uint64(),
+		drop:     uint32(rng.Intn(150)), // up to 15% loss
+		dup:      uint32(rng.Intn(200)), // up to 20% duplicated
+		reorder:  uint32(rng.Intn(300)), // up to 30% queue-jumping
+		delayP:   uint32(rng.Intn(250)), // up to 25% delayed
+		delayMax: 1 + rng.Intn(4),       // by 1..4 ticks
+	}
+}
+
+// roll hashes (salt, knob, from, to, seq) into [0, 1000).
+func (a *adversary) roll(knob byte, from, to string, seq uint64) uint32 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(a.salt >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte{knob})
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	for i := range b {
+		b[i] = byte(seq >> (8 * i))
+	}
+	h.Write(b[:])
+	return uint32(h.Sum64() % 1000)
+}
+
+// arm installs the adversary's knobs on the network.
+func (a *adversary) arm(net *netsim.Network) {
+	net.Drop = func(from, to string, seq uint64) bool {
+		return a.roll(0, from, to, seq) < a.drop
+	}
+	net.Dup = func(from, to string, seq uint64) bool {
+		return a.roll(1, from, to, seq) < a.dup
+	}
+	net.Reorder = func(from, to string, seq uint64) bool {
+		return a.roll(2, from, to, seq) < a.reorder
+	}
+	net.DelayTicks = func(from, to string, seq uint64) int {
+		if a.roll(3, from, to, seq) < a.delayP {
+			return 1 + int(a.roll(4, from, to, seq))%a.delayMax
+		}
+		return 0
+	}
+}
+
+// disarm restores a faithful LAN.
+func (a *adversary) disarm(net *netsim.Network) {
+	net.Drop, net.Dup, net.Reorder, net.DelayTicks = nil, nil, nil, nil
+}
+
+// genWatch tracks one node's view of one segment and fails on any
+// generation regression — the per-segment sequence monotonicity invariant.
+type genWatch struct {
+	applied, highest uint64
+}
+
+// netfuzzRun is one fuzzed fleet plus the model of every homed segment.
+type netfuzzRun struct {
+	s     *Scenario
+	rng   *rand.Rand
+	fleet *netshm.Fleet
+	adv   *adversary
+	// model[path] is the byte-exact content the home has written so far.
+	model map[string][]byte
+	paths []string                        // deterministic iteration order for rng picks
+	home  map[string]string               // path -> home machine name
+	watch map[string]map[string]*genWatch // node -> path -> last seen gens
+}
+
+// checkGens asserts, for every node and every segment it knows, that the
+// applied and highest-heard generations never move backwards.
+func (r *netfuzzRun) checkGens(seed int64, tick int) {
+	for _, n := range r.fleet.Nodes() {
+		w := r.watch[n.Name()]
+		if w == nil {
+			w = map[string]*genWatch{}
+			r.watch[n.Name()] = w
+		}
+		for path := range r.model {
+			applied, highest, err := n.Gen(path)
+			if err != nil {
+				continue // node hasn't heard of the segment yet
+			}
+			g := w[path]
+			if g == nil {
+				g = &genWatch{}
+				w[path] = g
+			}
+			if applied < g.applied {
+				r.s.Failf("netfuzz seed=%d tick=%d: %s applied gen of %s went backwards: %d -> %d",
+					seed, tick, n.Name(), path, g.applied, applied)
+			}
+			if highest < g.highest {
+				r.s.Failf("netfuzz seed=%d tick=%d: %s highest gen of %s went backwards: %d -> %d",
+					seed, tick, n.Name(), path, g.highest, highest)
+			}
+			g.applied, g.highest = applied, highest
+		}
+	}
+}
+
+// writeSomewhere performs one home-side write on a random segment and
+// updates the model.
+func (r *netfuzzRun) writeSomewhere(seed int64, tick int) {
+	path := r.paths[r.rng.Intn(len(r.paths))]
+	home := r.fleet.Node(r.home[path])
+	m := r.model[path]
+	off := r.rng.Intn(len(m))
+	n := 1 + r.rng.Intn(64)
+	if off+n > len(m) {
+		n = len(m) - off
+	}
+	data := make([]byte, n)
+	r.rng.Read(data)
+	if err := home.Write(path, uint32(off), data); err != nil {
+		r.s.Failf("netfuzz seed=%d tick=%d: write %s on %s: %v", seed, tick, path, home.Name(), err)
+	}
+	copy(m[off:], data)
+	r.s.Reg.Counter("harness.netfuzz.writes").Inc()
+}
+
+// NetFuzzOne runs one seeded adversarial fleet scenario: publish, churn
+// under fire, late join, quiesce, converge, verify.
+func NetFuzzOne(s *Scenario, fuzzSeed int64) {
+	rng := rand.New(rand.NewSource(fuzzSeed))
+	net := netsim.New()
+	fleet := netshm.NewFleet(net, netshm.Config{})
+	for i := 0; i < 3; i++ {
+		fleet.Add(fmt.Sprintf("m%d", i), core.NewSystem())
+	}
+
+	r := &netfuzzRun{
+		s: s, rng: rng, fleet: fleet,
+		model: map[string][]byte{},
+		home:  map[string]string{},
+		watch: map[string]map[string]*genWatch{},
+	}
+
+	// Two segments, homed on different machines, so update traffic and
+	// acks cross in both directions through the adversary. Each home
+	// places its file at an explicitly disjoint inode slot (CreateAt):
+	// independent Create calls on fresh machines would hand both homes
+	// the same slot, and the same-VA invariant would (correctly) refuse
+	// the second segment everywhere as an address clash.
+	for i, path := range []string{"/lib/alpha", "/lib/beta"} {
+		homeName := fmt.Sprintf("m%d", i)
+		home := fleet.Node(homeName)
+		size := 1024 + rng.Intn(3*netshm.PageSize)
+		content := make([]byte, size)
+		rng.Read(content)
+		fs := home.Sys().FS
+		if err := fs.MkdirAll("/lib", shmfs.DefaultDirMode, 0); err != nil {
+			s.Failf("netfuzz seed=%d: mkdir /lib on %s: %v", fuzzSeed, homeName, err)
+		}
+		if _, err := fs.CreateAt(path, 8+i, shmfs.DefaultFileMode|shmfs.ModeOtherWrite, 0); err != nil {
+			s.Failf("netfuzz seed=%d: create %s on %s: %v", fuzzSeed, path, homeName, err)
+		}
+		if _, err := fs.WriteAt(path, 0, content, 0); err != nil {
+			s.Failf("netfuzz seed=%d: write %s on %s: %v", fuzzSeed, path, homeName, err)
+		}
+		if err := home.Serve(path); err != nil {
+			s.Failf("netfuzz seed=%d: serve %s on %s: %v", fuzzSeed, path, homeName, err)
+		}
+		if err := home.MarkDirty(path, 0, uint32(size)); err != nil {
+			s.Failf("netfuzz seed=%d: push %s on %s: %v", fuzzSeed, path, homeName, err)
+		}
+		r.model[path] = content
+		r.paths = append(r.paths, path)
+		r.home[path] = homeName
+	}
+
+	adv := newAdversary(rng)
+	adv.arm(net)
+	r.adv = adv
+
+	churn := 60 + rng.Intn(120)
+	joinAt := churn / 3 * (1 + rng.Intn(2)) // one-third or two-thirds in
+	joined := false
+	ctrTicks := s.Reg.Counter("harness.netfuzz.ticks")
+	for tick := 0; tick < churn; tick++ {
+		if tick == joinAt && !joined {
+			fleet.Add("late", core.NewSystem())
+			joined = true
+			s.Reg.Counter("harness.netfuzz.joins").Inc()
+		}
+		if rng.Intn(3) != 0 {
+			r.writeSomewhere(fuzzSeed, tick)
+		}
+		fleet.Tick()
+		ctrTicks.Inc()
+		r.checkGens(fuzzSeed, tick)
+	}
+
+	// Quiesce: faithful LAN again; the protocol must heal everything the
+	// adversary broke. Gens stay monotone through recovery too.
+	adv.disarm(net)
+	deadline := -1
+	for tick := 0; tick < netfuzzQuiesceTicks; tick++ {
+		fleet.Tick()
+		ctrTicks.Inc()
+		r.checkGens(fuzzSeed, churn+tick)
+		allDone := true
+		for path := range r.model {
+			if !fleet.Converged(path) {
+				allDone = false
+				break
+			}
+		}
+		if allDone && net.InFlight() == 0 {
+			deadline = tick
+			break
+		}
+	}
+	if deadline < 0 {
+		snap := fleet.Reg.Snapshot().Text()
+		s.Failf("netfuzz seed=%d: fleet did not converge within %d quiesce ticks\nfleet counters:\n%s",
+			fuzzSeed, netfuzzQuiesceTicks, snap)
+	}
+
+	// Every machine — including the latecomer — must hold byte-identical
+	// content and the home's exact generation for every segment.
+	for path, want := range r.model {
+		homeApplied, _, err := fleet.Node(r.home[path]).Gen(path)
+		if err != nil {
+			s.Failf("netfuzz seed=%d: home gen %s: %v", fuzzSeed, path, err)
+		}
+		for _, n := range fleet.Nodes() {
+			applied, _, err := n.Gen(path)
+			if err != nil {
+				s.Failf("netfuzz seed=%d: %s never adopted %s: %v", fuzzSeed, n.Name(), path, err)
+			}
+			if applied != homeApplied {
+				s.Failf("netfuzz seed=%d: %s applied gen %d of %s, home at %d",
+					fuzzSeed, n.Name(), applied, path, homeApplied)
+			}
+			st, err := n.Sys().FS.StatPath(path)
+			if err != nil {
+				s.Failf("netfuzz seed=%d: %s stat %s: %v", fuzzSeed, n.Name(), path, err)
+			}
+			got := make([]byte, st.Size)
+			if _, err := n.Sys().FS.ReadAt(path, 0, got, 0); err != nil {
+				s.Failf("netfuzz seed=%d: %s read %s: %v", fuzzSeed, n.Name(), path, err)
+			}
+			if !bytes.Equal(got, want) {
+				i := 0
+				for i < len(got) && i < len(want) && got[i] == want[i] {
+					i++
+				}
+				s.Failf("netfuzz seed=%d: %s content of %s diverges from model at byte %d (len %d vs %d)",
+					fuzzSeed, n.Name(), path, i, len(got), len(want))
+			}
+		}
+	}
+	s.Reg.Counter("harness.netfuzz.runs").Inc()
+}

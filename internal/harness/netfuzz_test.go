@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestNetShmFuzz runs a batch of seeded adversarial fleet scenarios:
+// drops, duplicates, delays and reorders under churn, a late join, then
+// quiesce and byte-exact convergence.
+func TestNetShmFuzz(t *testing.T) {
+	s := NewScenario(t, "netfuzz", 4)
+	n := s.Scale(20, 5)
+	for i := 0; i < n; i++ {
+		NetFuzzOne(s, s.Rand.Int63())
+	}
+	c := s.Reg.Snapshot().Counters
+	if c["harness.netfuzz.runs"] != uint64(n) {
+		s.Failf("completed %d runs, want %d", c["harness.netfuzz.runs"], n)
+	}
+	s.Logf("%d runs: %d ticks, %d writes, %d late joins, all converged byte-exact",
+		n, c["harness.netfuzz.ticks"], c["harness.netfuzz.writes"], c["harness.netfuzz.joins"])
+}
+
+// FuzzNetShm lets the fuzzer pick the adversary seed directly.
+func FuzzNetShm(f *testing.F) {
+	for _, seed := range []int64{0, 1, 4, 9, 1 << 48, -13} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		NetFuzzOne(WithSeed(t, "netfuzz-fuzz", seed), seed)
+	})
+}

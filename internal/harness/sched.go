@@ -1,0 +1,299 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+)
+
+// The link/load schedule explorer: one seeded schedule is a random
+// interleaving of launch / run / fork / var-access / segment-create /
+// early-exit operations over a live system, with the linker invariants
+// model-checked after every step:
+//
+//   - same-VA: a public symbol resolves to one address, in every process,
+//     for the life of the machine;
+//   - PLT patch visible on next fetch: the player calls its extern twice
+//     back-to-back, so its exit code is only right if the call after the
+//     patch executed the patched stub;
+//   - ImageRelocsLeft never goes negative, across lazy links, forks and
+//     early exits (the delta-accounting PR 1 fixed);
+//   - PLTResolves is monotone;
+//   - the shared file system's path<->address mapping stays a bijection
+//     for every segment the schedule creates.
+
+// schedPlayerSrc calls a public function through a jump-table stub twice
+// (the second call only works if the first call's patch is visible on the
+// very next fetch of that stub), bumps a public counter, and exits with
+// 35 + the new count — so one exit code checks the PLT, the lazy data
+// link, and the cross-process counter at once.
+const schedPlayerSrc = `
+        .text
+        .globl  main
+        .extern svc_add
+        .extern pub_n
+main:   addiu   $sp, $sp, -8
+        sw      $ra, 0($sp)
+        li      $a0, 30
+        li      $a1, 5
+        jal     svc_add
+        jal     svc_add
+        move    $t5, $v0
+        la      $t0, pub_n
+        lw      $t1, 0($t0)
+        addiu   $t1, $t1, 1
+        sw      $t1, 0($t0)
+        addu    $v0, $t5, $t1
+        lw      $ra, 0($sp)
+        addiu   $sp, $sp, 8
+        jr      $ra
+`
+
+const schedSvcSrc = `
+        .text
+        .globl  svc_add
+svc_add:
+        addu    $v0, $a0, $a1
+        jr      $ra
+`
+
+const schedCounterSrc = `
+        .data
+        .globl  pub_n
+pub_n:  .word   0
+        .space  60
+`
+
+// schedMaxIdle bounds the number of launched-but-not-yet-run processes a
+// schedule keeps alive at once.
+const schedMaxIdle = 6
+
+type schedExplorer struct {
+	s       *Scenario
+	rng     *rand.Rand
+	sys     *core.System
+	res     *lds.Result
+	idle    []*core.Program
+	expect  uint32            // model of pub_n
+	pubAddr map[string]uint32 // same-VA: symbol -> first resolved address
+	lastPLT int
+	nextSeg int
+}
+
+// ScheduleOne builds a fresh system and drives it through ops seeded
+// operations, failing the scenario on the first invariant violation. The
+// failure message names schedSeed (the FuzzLinkSchedule input).
+func ScheduleOne(s *Scenario, schedSeed int64, ops int) {
+	rng := rand.New(rand.NewSource(schedSeed))
+	sys := core.NewSystem()
+	if _, err := sys.Asm("/lib/svc.o", schedSvcSrc); err != nil {
+		s.Failf("schedule seed=%d: asm svc: %v", schedSeed, err)
+	}
+	if _, err := sys.Asm("/lib/cnt.o", schedCounterSrc); err != nil {
+		s.Failf("schedule seed=%d: asm cnt: %v", schedSeed, err)
+	}
+	if _, err := sys.Asm("/bin/player.o", schedPlayerSrc); err != nil {
+		s.Failf("schedule seed=%d: asm player: %v", schedSeed, err)
+	}
+	res, err := sys.Link(&lds.Options{
+		Output: "player",
+		Modules: []lds.Input{
+			{Name: "player.o", Class: objfile.StaticPrivate},
+			{Name: "svc.o", Class: objfile.DynamicPublic},
+			{Name: "cnt.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+		JumpTables:  true,
+	})
+	if err != nil {
+		s.Failf("schedule seed=%d: link: %v", schedSeed, err)
+	}
+	e := &schedExplorer{s: s, rng: rng, sys: sys, res: res, pubAddr: map[string]uint32{}}
+
+	ctrOps := s.Reg.Counter("harness.sched.ops")
+	for i := 0; i < ops; i++ {
+		e.step(schedSeed, i)
+		ctrOps.Inc()
+		e.checkInvariants(schedSeed, i)
+	}
+	// Drain: run everything still idle so the schedule always ends with
+	// every launched process accounted for.
+	for len(e.idle) > 0 {
+		e.opRun(schedSeed, ops)
+		e.checkInvariants(schedSeed, ops)
+	}
+}
+
+func (e *schedExplorer) step(seed int64, i int) {
+	switch p := e.rng.Intn(100); {
+	case p < 25:
+		e.opLaunch(seed, i)
+	case p < 55:
+		e.opRun(seed, i)
+	case p < 65:
+		e.opFork(seed, i)
+	case p < 85:
+		e.opVar(seed, i)
+	case p < 93:
+		e.opCreateSegment(seed, i)
+	default:
+		e.opEarlyExit(seed, i)
+	}
+}
+
+func (e *schedExplorer) opLaunch(seed int64, i int) {
+	if len(e.idle) >= schedMaxIdle {
+		e.opRun(seed, i)
+		return
+	}
+	pg, err := e.sys.Launch(e.res.Image, 0, nil)
+	if err != nil {
+		e.s.Failf("schedule seed=%d op=%d: launch: %v", seed, i, err)
+	}
+	e.idle = append(e.idle, pg)
+	e.s.Reg.Counter("harness.sched.launches").Inc()
+}
+
+// takeIdle removes and returns a random idle program, or nil.
+func (e *schedExplorer) takeIdle() *core.Program {
+	if len(e.idle) == 0 {
+		return nil
+	}
+	k := e.rng.Intn(len(e.idle))
+	pg := e.idle[k]
+	e.idle = append(e.idle[:k], e.idle[k+1:]...)
+	return pg
+}
+
+func (e *schedExplorer) pickIdle() *core.Program {
+	if len(e.idle) == 0 {
+		return nil
+	}
+	return e.idle[e.rng.Intn(len(e.idle))]
+}
+
+func (e *schedExplorer) opRun(seed int64, i int) {
+	pg := e.takeIdle()
+	if pg == nil {
+		e.opLaunch(seed, i)
+		return
+	}
+	if err := pg.Run(1_000_000); err != nil {
+		e.s.Failf("schedule seed=%d op=%d: run pid=%d: %v", seed, i, pg.P.PID, err)
+	}
+	e.expect++
+	want := int(35 + e.expect)
+	if pg.P.ExitCode != want {
+		e.s.Failf("schedule seed=%d op=%d: pid=%d exited %d, want %d (PLT patch or shared counter broken)",
+			seed, i, pg.P.PID, pg.P.ExitCode, want)
+	}
+	e.s.Reg.Counter("harness.sched.runs").Inc()
+}
+
+func (e *schedExplorer) opFork(seed int64, i int) {
+	pg := e.pickIdle()
+	if pg == nil {
+		e.opLaunch(seed, i)
+		return
+	}
+	if len(e.idle) >= schedMaxIdle {
+		e.opRun(seed, i)
+		return
+	}
+	child, err := pg.Fork()
+	if err != nil {
+		e.s.Failf("schedule seed=%d op=%d: fork pid=%d: %v", seed, i, pg.P.PID, err)
+	}
+	e.idle = append(e.idle, child)
+	e.s.Reg.Counter("harness.sched.forks").Inc()
+}
+
+// opVar accesses public symbols through the language-level Var path (which
+// lazy-links the owning module on fault) and checks the same-VA invariant
+// plus the counter model; sometimes it stores a fresh counter value, which
+// every later reader and runner must observe.
+func (e *schedExplorer) opVar(seed int64, i int) {
+	pg := e.pickIdle()
+	if pg == nil {
+		e.opLaunch(seed, i)
+		return
+	}
+	for _, name := range []string{"pub_n", "svc_add"} {
+		v, err := pg.Var(name)
+		if err != nil {
+			e.s.Failf("schedule seed=%d op=%d: resolve %s in pid=%d: %v", seed, i, name, pg.P.PID, err)
+		}
+		if prev, seen := e.pubAddr[name]; seen && prev != v.Addr {
+			e.s.Failf("schedule seed=%d op=%d: same-VA violated: %s at 0x%08x in pid=%d, first seen at 0x%08x",
+				seed, i, name, v.Addr, pg.P.PID, prev)
+		}
+		e.pubAddr[name] = v.Addr
+	}
+	v, _ := pg.Var("pub_n")
+	got, err := v.Load()
+	if err != nil {
+		e.s.Failf("schedule seed=%d op=%d: load pub_n: %v", seed, i, err)
+	}
+	if got != e.expect {
+		e.s.Failf("schedule seed=%d op=%d: pub_n = %d in pid=%d, model says %d",
+			seed, i, got, pg.P.PID, e.expect)
+	}
+	if e.rng.Intn(3) == 0 {
+		nv := uint32(e.rng.Intn(50))
+		if err := v.Store(nv); err != nil {
+			e.s.Failf("schedule seed=%d op=%d: store pub_n: %v", seed, i, err)
+		}
+		e.expect = nv
+	}
+	e.s.Reg.Counter("harness.sched.varops").Inc()
+}
+
+// opCreateSegment creates a new public segment file and checks the shared
+// file system's address mapping stays a bijection.
+func (e *schedExplorer) opCreateSegment(seed int64, i int) {
+	path := fmt.Sprintf("/lib/seg%03d.o", e.nextSeg)
+	sym := fmt.Sprintf("segv%03d", e.nextSeg)
+	e.nextSeg++
+	src := fmt.Sprintf(".data\n.globl %s\n%s: .word %d\n", sym, sym, e.nextSeg)
+	if _, err := e.sys.Asm(path, src); err != nil {
+		e.s.Failf("schedule seed=%d op=%d: create %s: %v", seed, i, path, err)
+	}
+	addr, err := e.sys.FS.PathToAddr(path)
+	if err != nil {
+		e.s.Failf("schedule seed=%d op=%d: PathToAddr(%s): %v", seed, i, path, err)
+	}
+	back, off, err := e.sys.FS.AddrToPath(addr)
+	if err != nil || back != path || off != 0 {
+		e.s.Failf("schedule seed=%d op=%d: AddrToPath(0x%08x) = (%q, %d, %v), want (%q, 0, nil)",
+			seed, i, addr, back, off, err, path)
+	}
+	e.s.Reg.Counter("harness.sched.segments").Inc()
+}
+
+// opEarlyExit kills an idle process without running it — the path where
+// retained image relocations must be handed back without double counting.
+func (e *schedExplorer) opEarlyExit(seed int64, i int) {
+	pg := e.takeIdle()
+	if pg == nil {
+		e.opLaunch(seed, i)
+		return
+	}
+	pg.P.Exit(0)
+	e.s.Reg.Counter("harness.sched.exits").Inc()
+}
+
+func (e *schedExplorer) checkInvariants(seed int64, i int) {
+	st := e.sys.W.Stats
+	if st.ImageRelocsLeft < 0 {
+		e.s.Failf("schedule seed=%d op=%d: ImageRelocsLeft = %d (negative)", seed, i, st.ImageRelocsLeft)
+	}
+	if st.PLTResolves < e.lastPLT {
+		e.s.Failf("schedule seed=%d op=%d: PLTResolves went backwards: %d -> %d",
+			seed, i, e.lastPLT, st.PLTResolves)
+	}
+	e.lastPLT = st.PLTResolves
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestLinkSchedule drives seeded schedules of launch/run/fork/var/segment/
+// exit operations, each over a fresh machine, with the linker invariants
+// checked after every operation.
+func TestLinkSchedule(t *testing.T) {
+	s := NewScenario(t, "sched", 3)
+	n := s.Scale(30, 8)
+	for i := 0; i < n; i++ {
+		ScheduleOne(s, s.Rand.Int63(), 40)
+	}
+	c := s.Reg.Snapshot().Counters
+	// The op mix must actually exercise every operation kind, or the
+	// explorer is quietly narrower than it claims.
+	for _, k := range []string{
+		"harness.sched.launches", "harness.sched.runs", "harness.sched.forks",
+		"harness.sched.varops", "harness.sched.segments", "harness.sched.exits",
+	} {
+		if c[k] == 0 {
+			s.Failf("schedule mix never performed %s", k)
+		}
+	}
+	s.Logf("%d schedules: %d ops (%d runs, %d forks, %d var ops, %d segments, %d early exits)",
+		n, c["harness.sched.ops"], c["harness.sched.runs"], c["harness.sched.forks"],
+		c["harness.sched.varops"], c["harness.sched.segments"], c["harness.sched.exits"])
+}
+
+// FuzzLinkSchedule lets the fuzzer pick the schedule seed directly.
+func FuzzLinkSchedule(f *testing.F) {
+	for _, seed := range []int64{0, 1, 3, 7, 1 << 40, -5} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		ScheduleOne(WithSeed(t, "sched-fuzz", seed), seed, 40)
+	})
+}

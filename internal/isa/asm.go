@@ -35,9 +35,11 @@ import (
 // xori lui lb lbu lw sb sw beq bne blez bgtz j jal halt, plus the pseudos
 // nop, move, li, la, b, beqz, bnez.
 //
-// %hi(sym)/%lo(sym) immediates, .word sym, and j/jal targets emit HI16,
-// LO16, WORD32 and JUMP26 relocations; PC-relative branches must target
-// labels defined in the same file.
+// %hi(sym)/%lo(sym) immediates, .word sym, and symbolic j/jal targets emit
+// HI16, LO16, WORD32 and JUMP26 relocations; PC-relative branches must
+// target labels defined in the same file. Jump and branch targets may also
+// be absolute numeric addresses (the form the disassembler prints, with the
+// text assumed based at 0), which encode directly with no relocation.
 func Assemble(name, src string) (*objfile.Object, error) {
 	a := &asm{
 		name:    name,
@@ -710,6 +712,16 @@ func (a *asm) instruction(line string) error {
 		if mn == "jal" {
 			op = OpJAL
 		}
+		if v, err := parseInt(args[0]); err == nil {
+			// Absolute numeric target (as the disassembler prints): the
+			// 26-bit field keeps only the target's low 28 bits, so it can
+			// be encoded directly with no relocation.
+			if v%4 != 0 {
+				return a.errf("%s: target 0x%x not word-aligned", mn, v)
+			}
+			a.emit(EncodeJ(op, uint32(v)))
+			return nil
+		}
 		sym, add, ok := symExpr(args[0])
 		if !ok {
 			return a.errf("bad jump target %q", args[0])
@@ -783,6 +795,17 @@ func (a *asm) instruction(line string) error {
 }
 
 func (a *asm) emitBranch(op, rt, rs int, target string) error {
+	if v, err := parseInt(target); err == nil {
+		// Absolute numeric target (as the disassembler prints), resolved
+		// against the instruction's own text offset — i.e. the code is
+		// assumed based at 0, matching DisassembleText(text, 0).
+		off, ok := BranchOffset(uint32(len(a.text)), uint32(v))
+		if !ok {
+			return a.errf("branch target 0x%x out of range", v)
+		}
+		a.emit(EncodeI(op, rt, rs, off))
+		return nil
+	}
 	if !isIdent(target) {
 		return a.errf("bad branch target %q", target)
 	}

@@ -23,11 +23,13 @@ func Disassemble(w, pc uint32) string {
 		case FnSRA:
 			return fmt.Sprintf("sra %s, %s, %d", r(in.RD), r(in.RT), in.Shamt)
 		case FnSLLV:
-			return fmt.Sprintf("sllv %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+			// MIPS operand order: rd, rt (value), rs (shift amount) — the
+			// order the assembler parses.
+			return fmt.Sprintf("sllv %s, %s, %s", r(in.RD), r(in.RT), r(in.RS))
 		case FnSRLV:
-			return fmt.Sprintf("srlv %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+			return fmt.Sprintf("srlv %s, %s, %s", r(in.RD), r(in.RT), r(in.RS))
 		case FnSRAV:
-			return fmt.Sprintf("srav %s, %s, %s", r(in.RD), r(in.RS), r(in.RT))
+			return fmt.Sprintf("srav %s, %s, %s", r(in.RD), r(in.RT), r(in.RS))
 		case FnJR:
 			return fmt.Sprintf("jr %s", r(in.RS))
 		case FnJALR:

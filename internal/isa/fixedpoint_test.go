@@ -1,0 +1,155 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The assembler/disassembler fixed-point property: for every opcode class,
+// asm → bytes → disasm → asm reproduces the same bytes, and a second
+// disassembly reproduces the same text. Instruction words are generated
+// per class with clean encodings (unused fields zero, exactly what the
+// assembler itself emits), then round-tripped starting from their
+// disassembly so the disassembler's own formatting is what gets re-parsed.
+
+const fixedpointSeed = 0x5EED
+
+// genWord produces one valid instruction word for opcode class `class`,
+// positioned at text offset pc (needed so branch displacements stay
+// representable and meaningful).
+func genInstWord(rng *rand.Rand, class int, pc uint32) uint32 {
+	reg := func() int { return rng.Intn(32) }
+	imm := func() uint16 { return uint16(rng.Uint32()) }
+	switch class {
+	case 0: // R-type ALU
+		fns := []int{FnADD, FnADDU, FnSUB, FnSUBU, FnAND, FnOR, FnXOR, FnNOR, FnSLT, FnSLTU, FnMUL, FnDIV}
+		return EncodeR(fns[rng.Intn(len(fns))], reg(), reg(), reg(), 0)
+	case 1: // constant shifts
+		fns := []int{FnSLL, FnSRL, FnSRA}
+		return EncodeR(fns[rng.Intn(len(fns))], reg(), 0, reg(), rng.Intn(32))
+	case 2: // variable shifts
+		fns := []int{FnSLLV, FnSRLV, FnSRAV}
+		return EncodeR(fns[rng.Intn(len(fns))], reg(), reg(), reg(), 0)
+	case 3: // register jumps
+		if rng.Intn(2) == 0 {
+			return EncodeR(FnJR, 0, reg(), 0, 0)
+		}
+		return EncodeR(FnJALR, reg(), reg(), 0, 0)
+	case 4: // no-operand SPECIALs + halt + nop
+		switch rng.Intn(4) {
+		case 0:
+			return EncodeR(FnSYSCALL, 0, 0, 0, 0)
+		case 1:
+			return EncodeR(FnBREAK, 0, 0, 0, 0)
+		case 2:
+			return uint32(OpHALT) << 26
+		}
+		return Nop
+	case 5: // I-type ALU
+		ops := []int{OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI}
+		return EncodeI(ops[rng.Intn(len(ops))], reg(), reg(), imm())
+	case 6: // lui
+		return EncodeI(OpLUI, reg(), 0, imm())
+	case 7: // loads/stores
+		ops := []int{OpLB, OpLBU, OpLW, OpSB, OpSW}
+		return EncodeI(ops[rng.Intn(len(ops))], reg(), reg(), imm())
+	case 8: // branches (including the b pseudo when both regs are $zero)
+		ops := []int{OpBEQ, OpBNE, OpBLEZ, OpBGTZ}
+		op := ops[rng.Intn(len(ops))]
+		rt := reg()
+		if op == OpBLEZ || op == OpBGTZ {
+			rt = 0
+		}
+		return EncodeI(op, rt, reg(), imm())
+	default: // 26-bit jumps
+		op := OpJ
+		if rng.Intn(2) == 0 {
+			op = OpJAL
+		}
+		return EncodeJ(op, rng.Uint32()&0x0FFFFFFC)
+	}
+}
+
+const numInstClasses = 10
+
+func TestAsmDisasmFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(fixedpointSeed))
+	for class := 0; class < numInstClasses; class++ {
+		// One program of 64 instructions per class per round.
+		for round := 0; round < 8; round++ {
+			words := make([]uint32, 64)
+			text1 := make([]byte, 4*len(words))
+			for i := range words {
+				words[i] = genInstWord(rng, class, uint32(4*i))
+				binary.BigEndian.PutUint32(text1[4*i:], words[i])
+			}
+			src1 := disasmToSource(text1)
+			o, err := Assemble("fp.s", src1)
+			if err != nil {
+				t.Fatalf("seed=%d class=%d round=%d: reassembly failed: %v\nsource:\n%s",
+					fixedpointSeed, class, round, err, src1)
+			}
+			if len(o.Text) != len(text1) {
+				t.Fatalf("seed=%d class=%d round=%d: size changed %d -> %d",
+					fixedpointSeed, class, round, len(text1), len(o.Text))
+			}
+			for i := range words {
+				got := binary.BigEndian.Uint32(o.Text[4*i:])
+				if got != words[i] {
+					t.Fatalf("seed=%d class=%d round=%d inst=%d: 0x%08x -> %q -> 0x%08x",
+						fixedpointSeed, class, round, i,
+						words[i], Disassemble(words[i], uint32(4*i)), got)
+				}
+			}
+			// Text is a fixed point too: disassembling the reassembled
+			// bytes must reproduce the source exactly.
+			if src2 := disasmToSource(o.Text); src2 != src1 {
+				t.Fatalf("seed=%d class=%d round=%d: disassembly not stable:\n--- first\n%s\n--- second\n%s",
+					fixedpointSeed, class, round, src1, src2)
+			}
+		}
+	}
+}
+
+// disasmToSource renders text (based at 0) as re-assemblable source: one
+// instruction per line, no addresses or encodings.
+func disasmToSource(text []byte) string {
+	var sb strings.Builder
+	sb.WriteString(".text\n")
+	for off := 0; off+4 <= len(text); off += 4 {
+		w := binary.BigEndian.Uint32(text[off:])
+		fmt.Fprintf(&sb, "%s\n", Disassemble(w, uint32(off)))
+	}
+	return sb.String()
+}
+
+// TestNumericJumpAndBranchTargets pins the assembler extension the fixed-
+// point property depends on: absolute numeric targets, exactly as the
+// disassembler prints them.
+func TestNumericJumpAndBranchTargets(t *testing.T) {
+	o, err := Assemble("num.s", `
+        .text
+        j       0x00000008
+        beq     $t0, $t1, 0x00000000
+        nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := binary.BigEndian.Uint32(o.Text[0:]); w != EncodeJ(OpJ, 8) {
+		t.Fatalf("j: got 0x%08x", w)
+	}
+	// beq at offset 4: target 0 is offset -8 bytes = -2 words.
+	if w := binary.BigEndian.Uint32(o.Text[4:]); w != EncodeI(OpBEQ, 9, 8, 0xFFFE) {
+		t.Fatalf("beq: got 0x%08x", w)
+	}
+	if _, err := Assemble("bad.s", ".text\n j 0x00000002\n"); err == nil {
+		t.Fatal("unaligned jump target accepted")
+	}
+	if _, err := Assemble("bad.s", ".text\n beq $t0, $t1, 0x40000000\n"); err == nil {
+		t.Fatal("out-of-range branch target accepted")
+	}
+}

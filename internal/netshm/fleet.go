@@ -73,10 +73,12 @@ func (f *Fleet) Nodes() []*Node {
 // Now reads the virtual clock.
 func (f *Fleet) Now() uint64 { return f.clk.Load() }
 
-// Tick advances the virtual clock and runs one protocol step on every
-// machine, in Add order.
+// Tick advances the virtual clock, ages the network (maturing any
+// datagrams held by its DelayTicks knob), and runs one protocol step on
+// every machine, in Add order.
 func (f *Fleet) Tick() {
 	f.clk.Add(1)
+	f.Net.Advance()
 	for _, name := range f.order {
 		f.nodes[name].Step()
 	}

@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func drain(nd *Node) []Datagram {
+	var out []Datagram
+	for {
+		d, ok := nd.Recv()
+		if !ok {
+			return out
+		}
+		out = append(out, d)
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	n := New()
+	n.Dup = func(from, to string, seq uint64) bool { return true }
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(b)
+	if len(got) != 2 || string(got[0].Payload) != "x" || string(got[1].Payload) != "x" {
+		t.Fatalf("got %d datagrams, want 2 identical", len(got))
+	}
+	// Copies must not alias: mutating one leaves the other intact.
+	got[0].Payload[0] = 'y'
+	if got[1].Payload[0] != 'x' {
+		t.Fatal("duplicate aliases the original payload")
+	}
+	st := n.Stats()
+	if st.Duplicated != 1 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v, want Duplicated=1 Delivered=2", st)
+	}
+	if ns := n.NodeStats("b"); ns.Duplicated != 1 || ns.Delivered != 2 {
+		t.Fatalf("node stats = %+v", ns)
+	}
+}
+
+func TestDupCopyCanOverflowIndependently(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	for i := 0; i < DefaultQueueDepth-1; i++ {
+		a.Send("b", []byte{1})
+	}
+	// One slot left: the original fits, the duplicate overflows.
+	n.Dup = func(from, to string, seq uint64) bool { return true }
+	a.Send("b", []byte{2})
+	st := n.Stats()
+	if st.Overflow != 1 || st.Duplicated != 1 {
+		t.Fatalf("stats = %+v, want exactly the duplicate overflowed", st)
+	}
+	if b.Pending() != DefaultQueueDepth {
+		t.Fatalf("pending = %d", b.Pending())
+	}
+}
+
+func TestReorderOvertakesQueue(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	a.Send("b", []byte("first"))
+	n.Reorder = func(from, to string, seq uint64) bool { return true }
+	a.Send("b", []byte("second"))
+	got := drain(b)
+	if len(got) != 2 || string(got[0].Payload) != "second" || string(got[1].Payload) != "first" {
+		t.Fatalf("reorder did not overtake: %q", got)
+	}
+	if st := n.Stats(); st.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1", st.Reordered)
+	}
+}
+
+func TestReorderIntoEmptyQueueNotCounted(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	n.Attach("b")
+	n.Reorder = func(from, to string, seq uint64) bool { return true }
+	a.Send("b", []byte("only"))
+	if st := n.Stats(); st.Reordered != 0 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v: overtaking an empty queue is no reorder", st)
+	}
+}
+
+func TestDelayMaturesAfterAdvance(t *testing.T) {
+	n := New()
+	n.DelayTicks = func(from, to string, seq uint64) int { return 2 }
+	a := n.Attach("a")
+	b := n.Attach("b")
+	a.Send("b", []byte("slow"))
+	if b.Pending() != 0 || n.InFlight() != 1 {
+		t.Fatalf("pending=%d inflight=%d, want datagram held", b.Pending(), n.InFlight())
+	}
+	n.Advance()
+	if b.Pending() != 0 || n.InFlight() != 1 {
+		t.Fatal("matured a tick early")
+	}
+	n.Advance()
+	if b.Pending() != 1 || n.InFlight() != 0 {
+		t.Fatalf("pending=%d inflight=%d after 2 ticks", b.Pending(), n.InFlight())
+	}
+	st := n.Stats()
+	if st.Delayed != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDelayPreservesSendOrderAmongMatured(t *testing.T) {
+	n := New()
+	n.DelayTicks = func(from, to string, seq uint64) int { return 1 }
+	a := n.Attach("a")
+	b := n.Attach("b")
+	a.Send("b", []byte("1"))
+	a.Send("b", []byte("2"))
+	a.Send("b", []byte("3"))
+	n.Advance()
+	got := drain(b)
+	if len(got) != 3 || string(got[0].Payload) != "1" || string(got[2].Payload) != "3" {
+		t.Fatalf("matured out of order: %q", got)
+	}
+}
+
+func TestDelayedToDetachedReceiverIsDropped(t *testing.T) {
+	n := New()
+	n.DelayTicks = func(from, to string, seq uint64) int { return 1 }
+	a := n.Attach("a")
+	b := n.Attach("b")
+	a.Send("b", []byte("x"))
+	b.Detach()
+	n.Advance()
+	st := n.Stats()
+	if st.Dropped != 1 || st.Delivered != 0 || n.InFlight() != 0 {
+		t.Fatalf("stats = %+v inflight=%d, want in-flight datagram dropped", st, n.InFlight())
+	}
+}
+
+func TestDelayedReorderAppliesAtMaturity(t *testing.T) {
+	n := New()
+	delay := true
+	n.DelayTicks = func(from, to string, seq uint64) int {
+		if delay {
+			return 1
+		}
+		return 0
+	}
+	a := n.Attach("a")
+	b := n.Attach("b")
+	a.Send("b", []byte("slow")) // held one tick
+	delay = false
+	a.Send("b", []byte("fast")) // immediate
+	n.Reorder = func(from, to string, seq uint64) bool { return true }
+	n.Advance() // "slow" matures into a non-empty queue and overtakes
+	got := drain(b)
+	if len(got) != 2 || string(got[0].Payload) != "slow" {
+		t.Fatalf("got %q, want matured datagram reordered to front", got)
+	}
+	if st := n.Stats(); st.Reordered != 1 || st.Delayed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

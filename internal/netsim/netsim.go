@@ -6,9 +6,12 @@
 // carries the netshm replication protocol.
 //
 // Datagrams are copied per receiver (UDP semantics), queues are bounded,
-// and an optional deterministic drop function models a lossy LAN, so the
-// experiments stay reproducible. Losses from the Drop function and losses
-// from inbox overflow are accounted separately, network-wide and per node.
+// and optional deterministic adversary functions model a misbehaving LAN:
+// Drop (loss), Dup (duplicate delivery), Reorder (queue overtaking) and
+// DelayTicks (datagrams held in flight until enough Advance ticks pass).
+// Every knob's effect is accounted separately, network-wide and per node,
+// so the experiments — and the netshm fuzzer built on top — stay
+// reproducible and inspectable.
 package netsim
 
 import (
@@ -36,24 +39,34 @@ type Datagram struct {
 // Stats is the network-wide datagram accounting. Dropped counts losses
 // injected by the Drop function (the lossy LAN); Overflow counts datagrams
 // discarded because the receiver's inbox was full. The two are separate
-// failure modes: one is the wire, the other is a slow receiver.
+// failure modes: one is the wire, the other is a slow receiver. Duplicated,
+// Reordered and Delayed count the adversarial-delivery knobs (Dup, Reorder,
+// DelayTicks): extra copies injected, queue-jumping deliveries, and
+// datagrams held for later Advance ticks.
 type Stats struct {
-	Delivered uint64
-	Dropped   uint64
-	Overflow  uint64
+	Delivered  uint64
+	Dropped    uint64
+	Overflow   uint64
+	Duplicated uint64
+	Reordered  uint64
+	Delayed    uint64
 }
 
 // Lost is the total of both loss modes.
 func (s Stats) Lost() uint64 { return s.Dropped + s.Overflow }
 
 // NodeStats is one node's datagram accounting. Sent counts per-receiver
-// copies originated by the node; Delivered/Dropped/Overflow count copies
-// addressed to the node.
+// copies originated by the node; the remaining fields count copies
+// addressed to the node (Duplicated/Reordered/Delayed attribute the
+// adversarial knobs to the receiver they acted on).
 type NodeStats struct {
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64
-	Overflow  uint64
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Overflow   uint64
+	Duplicated uint64
+	Reordered  uint64
+	Delayed    uint64
 }
 
 // Network is the simulated LAN.
@@ -62,17 +75,43 @@ type Network struct {
 	nodes map[string]*Node
 
 	// Drop, when non-nil, decides whether the datagram from -> to is
-	// lost. It must be deterministic for reproducible experiments.
+	// lost. It must be deterministic for reproducible experiments — as
+	// must Dup, Reorder and DelayTicks below.
 	Drop func(from, to string, seq uint64) bool
 
-	seq   uint64
-	stats Stats
+	// Dup, when non-nil and true, injects one extra copy of the datagram
+	// (duplicate delivery, as a retransmitting or confused switch would).
+	Dup func(from, to string, seq uint64) bool
+
+	// Reorder, when non-nil and true, makes the datagram overtake the
+	// receiver's queue: it is inserted at the front of the inbox instead
+	// of appended.
+	Reorder func(from, to string, seq uint64) bool
+
+	// DelayTicks, when non-nil and positive, holds the datagram in flight
+	// for that many Advance calls before it reaches the receiver's inbox.
+	DelayTicks func(from, to string, seq uint64) int
+
+	seq     uint64
+	stats   Stats
+	delayed []delayedDatagram
 
 	// Observability wiring (Observe); nil-safe when unwired.
-	reg          *obsv.Registry
-	ctrDelivered *obsv.Counter
-	ctrDropped   *obsv.Counter
-	ctrOverflow  *obsv.Counter
+	reg           *obsv.Registry
+	ctrDelivered  *obsv.Counter
+	ctrDropped    *obsv.Counter
+	ctrOverflow   *obsv.Counter
+	ctrDuplicated *obsv.Counter
+	ctrReordered  *obsv.Counter
+	ctrDelayed    *obsv.Counter
+}
+
+// delayedDatagram is an in-flight datagram held by the DelayTicks knob.
+type delayedDatagram struct {
+	from, to string
+	seq      uint64
+	payload  []byte // already copied
+	ticks    int
 }
 
 // New creates an empty network.
@@ -91,6 +130,9 @@ func (n *Network) Observe(r *obsv.Registry) {
 	n.ctrDelivered = r.Counter("netsim.delivered")
 	n.ctrDropped = r.Counter("netsim.dropped")
 	n.ctrOverflow = r.Counter("netsim.overflow")
+	n.ctrDuplicated = r.Counter("netsim.duplicated")
+	n.ctrReordered = r.Counter("netsim.reordered")
+	n.ctrDelayed = r.Counter("netsim.delayed")
 	for name, nd := range n.nodes {
 		n.registerInboxGauge(name, nd)
 	}
@@ -178,8 +220,9 @@ func (nd *Node) Stats() NodeStats {
 	return nd.stats
 }
 
-// deliver moves one datagram copy from nd to peer, applying the loss model
-// and the inbox bound; caller holds n.mu.
+// deliver moves one datagram from nd to peer, applying the adversarial
+// knobs in wire order — loss, then duplication, then per-copy delay —
+// before the copies reach the inbox via enqueue; caller holds n.mu.
 func (n *Network) deliver(nd, peer *Node, payload []byte) {
 	nd.stats.Sent++
 	if n.Drop != nil && n.Drop(nd.name, peer.name, n.seq) {
@@ -188,18 +231,86 @@ func (n *Network) deliver(nd, peer *Node, payload []byte) {
 		n.ctrDropped.Inc()
 		return
 	}
+	copies := 1
+	if n.Dup != nil && n.Dup(nd.name, peer.name, n.seq) {
+		copies = 2
+		n.stats.Duplicated++
+		peer.stats.Duplicated++
+		n.ctrDuplicated.Inc()
+	}
+	for i := 0; i < copies; i++ {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		if n.DelayTicks != nil {
+			if t := n.DelayTicks(nd.name, peer.name, n.seq); t > 0 {
+				n.delayed = append(n.delayed, delayedDatagram{
+					from: nd.name, to: peer.name, seq: n.seq, payload: cp, ticks: t,
+				})
+				n.stats.Delayed++
+				peer.stats.Delayed++
+				n.ctrDelayed.Inc()
+				continue
+			}
+		}
+		n.enqueue(nd.name, peer, n.seq, cp)
+	}
+}
+
+// enqueue places one already-copied datagram into peer's inbox, applying
+// the Reorder knob and the inbox bound; caller holds n.mu.
+func (n *Network) enqueue(from string, peer *Node, seq uint64, cp []byte) {
 	if len(peer.inbox) >= DefaultQueueDepth {
 		n.stats.Overflow++
 		peer.stats.Overflow++
 		n.ctrOverflow.Inc()
 		return
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	peer.inbox = append(peer.inbox, Datagram{From: nd.name, Payload: cp})
+	d := Datagram{From: from, Payload: cp}
+	if n.Reorder != nil && len(peer.inbox) > 0 && n.Reorder(from, peer.name, seq) {
+		// Overtake everything queued (counted only when something was
+		// actually overtaken).
+		peer.inbox = append([]Datagram{d}, peer.inbox...)
+		n.stats.Reordered++
+		peer.stats.Reordered++
+		n.ctrReordered.Inc()
+	} else {
+		peer.inbox = append(peer.inbox, d)
+	}
 	n.stats.Delivered++
 	peer.stats.Delivered++
 	n.ctrDelivered.Inc()
+}
+
+// Advance ages every in-flight (delayed) datagram by one tick and enqueues
+// the ones that matured, in send order. A datagram whose receiver detached
+// while it was in flight is lost and counted as a drop. Networks that never
+// set DelayTicks never need to call Advance.
+func (n *Network) Advance() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	still := n.delayed[:0]
+	for _, d := range n.delayed {
+		d.ticks--
+		if d.ticks > 0 {
+			still = append(still, d)
+			continue
+		}
+		peer, ok := n.nodes[d.to]
+		if !ok || peer.detached {
+			n.stats.Dropped++
+			n.ctrDropped.Inc()
+			continue
+		}
+		n.enqueue(d.from, peer, d.seq, d.payload)
+	}
+	n.delayed = still
+}
+
+// InFlight reports how many delayed datagrams have not yet matured.
+func (n *Network) InFlight() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.delayed)
 }
 
 // Broadcast sends payload to every other attached node (not to itself),

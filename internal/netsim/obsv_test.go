@@ -84,9 +84,12 @@ func TestObserveGoldenText(t *testing.T) {
 	got := r.Snapshot().Text()
 	want := strings.Join([]string{
 		"counters:",
+		"  netsim.delayed               0",
 		"  netsim.delivered             8",
 		"  netsim.dropped               2",
+		"  netsim.duplicated            0",
 		"  netsim.overflow              0",
+		"  netsim.reordered             0",
 		"gauges:",
 		"  netsim.inbox.a               0",
 		"  netsim.inbox.b               4",

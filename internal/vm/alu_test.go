@@ -6,28 +6,46 @@ import (
 	"hemlock/internal/isa"
 )
 
+// aluCases and immCases are package-level so ref_test.go can replay the
+// same vectors through ReferenceStep and assert fast/reference agreement.
+var aluCases = []struct {
+	name string
+	word uint32
+	a, b uint32 // $t0, $t1 inputs
+	want uint32 // expected $t2
+}{
+	{"add", isa.EncodeR(isa.FnADD, 10, 8, 9, 0), 7, 5, 12},
+	{"addu-wrap", isa.EncodeR(isa.FnADDU, 10, 8, 9, 0), 0xFFFFFFFF, 2, 1},
+	{"sub", isa.EncodeR(isa.FnSUB, 10, 8, 9, 0), 5, 7, 0xFFFFFFFE},
+	{"and", isa.EncodeR(isa.FnAND, 10, 8, 9, 0), 0xF0F0, 0xFF00, 0xF000},
+	{"or", isa.EncodeR(isa.FnOR, 10, 8, 9, 0), 0xF0F0, 0x0F0F, 0xFFFF},
+	{"xor", isa.EncodeR(isa.FnXOR, 10, 8, 9, 0), 0xFF, 0x0F, 0xF0},
+	{"nor", isa.EncodeR(isa.FnNOR, 10, 8, 9, 0), 0, 0, 0xFFFFFFFF},
+	{"mul", isa.EncodeR(isa.FnMUL, 10, 8, 9, 0), 1000, 1000, 1000000},
+	{"div-signed", isa.EncodeR(isa.FnDIV, 10, 8, 9, 0), 0xFFFFFFF9, 2, 0xFFFFFFFD}, // -7/2 = -3
+	{"slt-true", isa.EncodeR(isa.FnSLT, 10, 8, 9, 0), 0xFFFFFFFF, 0, 1},            // -1 < 0
+	{"sltu-false", isa.EncodeR(isa.FnSLTU, 10, 8, 9, 0), 0xFFFFFFFF, 0, 0},
+}
+
+var immCases = []struct {
+	name string
+	word uint32
+	in   uint32 // $t0
+	want uint32 // $t1
+}{
+	{"addi-neg", isa.EncodeI(isa.OpADDI, 9, 8, 0xFFFF), 10, 9},
+	{"andi-zeroext", isa.EncodeI(isa.OpANDI, 9, 8, 0xFFFF), 0xABCD1234, 0x1234},
+	{"ori", isa.EncodeI(isa.OpORI, 9, 8, 0x00F0), 0x0F00, 0x0FF0},
+	{"xori", isa.EncodeI(isa.OpXORI, 9, 8, 0x00FF), 0x0F0F, 0x0FF0},
+	{"slti-neg", isa.EncodeI(isa.OpSLTI, 9, 8, 0xFFFF), 0xFFFFFFFE, 1}, // -2 < -1
+	{"sltiu-signext", isa.EncodeI(isa.OpSLTIU, 9, 8, 0xFFFF), 5, 1},    // 5 < 0xFFFFFFFF
+	{"lui", isa.EncodeI(isa.OpLUI, 9, 0, 0x1234), 0, 0x12340000},
+}
+
 // TestALUOperationTable pins every ALU operation's semantics with direct
 // register setup (no assembler in the loop).
 func TestALUOperationTable(t *testing.T) {
-	cases := []struct {
-		name string
-		word uint32
-		a, b uint32 // $t0, $t1 inputs
-		want uint32 // expected $t2
-	}{
-		{"add", isa.EncodeR(isa.FnADD, 10, 8, 9, 0), 7, 5, 12},
-		{"addu-wrap", isa.EncodeR(isa.FnADDU, 10, 8, 9, 0), 0xFFFFFFFF, 2, 1},
-		{"sub", isa.EncodeR(isa.FnSUB, 10, 8, 9, 0), 5, 7, 0xFFFFFFFE},
-		{"and", isa.EncodeR(isa.FnAND, 10, 8, 9, 0), 0xF0F0, 0xFF00, 0xF000},
-		{"or", isa.EncodeR(isa.FnOR, 10, 8, 9, 0), 0xF0F0, 0x0F0F, 0xFFFF},
-		{"xor", isa.EncodeR(isa.FnXOR, 10, 8, 9, 0), 0xFF, 0x0F, 0xF0},
-		{"nor", isa.EncodeR(isa.FnNOR, 10, 8, 9, 0), 0, 0, 0xFFFFFFFF},
-		{"mul", isa.EncodeR(isa.FnMUL, 10, 8, 9, 0), 1000, 1000, 1000000},
-		{"div-signed", isa.EncodeR(isa.FnDIV, 10, 8, 9, 0), 0xFFFFFFF9, 2, 0xFFFFFFFD}, // -7/2 = -3
-		{"slt-true", isa.EncodeR(isa.FnSLT, 10, 8, 9, 0), 0xFFFFFFFF, 0, 1},            // -1 < 0
-		{"sltu-false", isa.EncodeR(isa.FnSLTU, 10, 8, 9, 0), 0xFFFFFFFF, 0, 0},
-	}
-	for _, c := range cases {
+	for _, c := range aluCases {
 		cpu := loadProgram(t, ".text\n nop\n halt\n", 0x1000)
 		cpu.AS.StoreWord(0x1000, c.word)
 		cpu.Regs[8], cpu.Regs[9] = c.a, c.b
@@ -42,21 +60,7 @@ func TestALUOperationTable(t *testing.T) {
 
 // TestImmediateOperationTable covers the I-type ALU forms.
 func TestImmediateOperationTable(t *testing.T) {
-	cases := []struct {
-		name string
-		word uint32
-		in   uint32 // $t0
-		want uint32 // $t1
-	}{
-		{"addi-neg", isa.EncodeI(isa.OpADDI, 9, 8, 0xFFFF), 10, 9},
-		{"andi-zeroext", isa.EncodeI(isa.OpANDI, 9, 8, 0xFFFF), 0xABCD1234, 0x1234},
-		{"ori", isa.EncodeI(isa.OpORI, 9, 8, 0x00F0), 0x0F00, 0x0FF0},
-		{"xori", isa.EncodeI(isa.OpXORI, 9, 8, 0x00FF), 0x0F0F, 0x0FF0},
-		{"slti-neg", isa.EncodeI(isa.OpSLTI, 9, 8, 0xFFFF), 0xFFFFFFFE, 1}, // -2 < -1
-		{"sltiu-signext", isa.EncodeI(isa.OpSLTIU, 9, 8, 0xFFFF), 5, 1},    // 5 < 0xFFFFFFFF
-		{"lui", isa.EncodeI(isa.OpLUI, 9, 0, 0x1234), 0, 0x12340000},
-	}
-	for _, c := range cases {
+	for _, c := range immCases {
 		cpu := loadProgram(t, ".text\n nop\n halt\n", 0x1000)
 		cpu.AS.StoreWord(0x1000, c.word)
 		cpu.Regs[8] = c.in

@@ -178,6 +178,13 @@ type CPU struct {
 	stats   CacheStats
 	flushed CacheStats
 
+	// uncached routes every fetch, load and store through the canonical
+	// addrspace paths, bypassing the TLBs and the icache entirely. It is
+	// the reference-interpreter mode the differential-testing harness
+	// compares the cached fast path against (ReferenceStep).
+	uncached bool
+	refInst  pinst // scratch predecode slot for uncached fetches
+
 	dtlb [tlbSize]tlbEnt
 	itlb [tlbSize]tlbEnt
 	ic   [icSize]*icPage
@@ -246,8 +253,8 @@ func (c *CPU) dentry(addr uint32, a addrspace.Access) (*tlbEnt, *addrspace.Fault
 }
 
 func (c *CPU) loadWord(addr uint32) (uint32, error) {
-	if addr&3 != 0 {
-		return c.AS.LoadWord(addr) // canonical unaligned-access error
+	if addr&3 != 0 || c.uncached {
+		return c.AS.LoadWord(addr) // canonical path (also the unaligned error)
 	}
 	e, flt := c.dentry(addr, addrspace.AccessRead)
 	if flt != nil {
@@ -257,6 +264,9 @@ func (c *CPU) loadWord(addr uint32) (uint32, error) {
 }
 
 func (c *CPU) loadByte(addr uint32) (byte, error) {
+	if c.uncached {
+		return c.AS.LoadByte(addr)
+	}
 	e, flt := c.dentry(addr, addrspace.AccessRead)
 	if flt != nil {
 		return 0, flt
@@ -265,8 +275,8 @@ func (c *CPU) loadByte(addr uint32) (byte, error) {
 }
 
 func (c *CPU) storeWord(addr, val uint32) error {
-	if addr&3 != 0 {
-		return c.AS.StoreWord(addr, val) // canonical unaligned-access error
+	if addr&3 != 0 || c.uncached {
+		return c.AS.StoreWord(addr, val) // canonical path (also the unaligned error)
 	}
 	e, flt := c.dentry(addr, addrspace.AccessWrite)
 	if flt != nil {
@@ -281,6 +291,9 @@ func (c *CPU) storeWord(addr, val uint32) error {
 }
 
 func (c *CPU) storeByte(addr uint32, val byte) error {
+	if c.uncached {
+		return c.AS.StoreByte(addr, val)
+	}
 	e, flt := c.dentry(addr, addrspace.AccessWrite)
 	if flt != nil {
 		return flt
@@ -294,6 +307,14 @@ func (c *CPU) storeByte(addr uint32, val byte) error {
 // I-TLB probe (generation check), an icache probe (frame version check)
 // and a bitmap test; the slow paths fill the missing level and retry.
 func (c *CPU) fetch(pc uint32) (*pinst, error) {
+	if c.uncached {
+		w, err := c.AS.FetchWord(pc)
+		if err != nil {
+			return nil, err
+		}
+		c.refInst = predecode(w)
+		return &c.refInst, nil
+	}
 	if pc&3 != 0 {
 		_, err := c.AS.FetchWord(pc) // canonical unaligned-fetch error
 		return nil, err

@@ -1,0 +1,61 @@
+#!/bin/sh
+# benchcheck.sh — benchstat-style regression gate over two BENCH_<n>.json
+# files (the artifacts scripts/bench.sh writes). Self-contained awk: the
+# benchstat binary is not assumed to exist on CI runners.
+#
+# Usage:
+#   scripts/benchcheck.sh <baseline.json> <candidate.json> [threshold_pct]
+#
+# For every benchmark name present in both files the best (minimum)
+# ns_per_op of the samples is compared; min-of-N is robust against a noisy
+# neighbour inflating one sample. Every delta is reported. The gate FAILS
+# (exit 1) only if a dispatch benchmark (name containing "Dispatch") is
+# slower than the baseline by more than threshold_pct (default 20) — the
+# interpreter fast path is the perf contract this repo tracks hardest; the
+# macro benchmarks are reported for the record but are too system-noisy to
+# gate merges on.
+set -eu
+
+base=${1:?usage: scripts/benchcheck.sh <baseline.json> <candidate.json> [threshold_pct]}
+cand=${2:?usage: scripts/benchcheck.sh <baseline.json> <candidate.json> [threshold_pct]}
+threshold=${3:-20}
+
+awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
+  # Pull (name, ns_per_op) out of a bench.sh result row.
+  function row(line, parts) {
+    if (match(line, /"name": "[^"]*"/) == 0) return 0
+    name = substr(line, RSTART + 9, RLENGTH - 10)
+    if (match(line, /"ns_per_op": [0-9.eE+-]+/) == 0) return 0
+    ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+    return 1
+  }
+  FNR == 1 { file++ }
+  {
+    if (!row($0)) next
+    if (file == 1) { if (!(name in b) || ns < b[name]) b[name] = ns }
+    else           { if (!(name in c) || ns < c[name]) c[name] = ns }
+  }
+  END {
+    printf "benchcheck: %s (baseline) vs %s, gate: Dispatch* > +%d%%\n", basefile, candfile, threshold
+    printf "%-34s %12s %12s %8s\n", "name", "base ns/op", "new ns/op", "delta"
+    fail = 0
+    n = 0
+    for (name in c) if (name in b) order[n++] = name
+    # insertion sort for stable, readable output
+    for (i = 1; i < n; i++) {
+      k = order[i]
+      for (j = i - 1; j >= 0 && order[j] > k; j--) order[j+1] = order[j]
+      order[j+1] = k
+    }
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      delta = (c[name] - b[name]) / b[name] * 100
+      mark = ""
+      if (name ~ /Dispatch/ && delta > threshold) { mark = "  << REGRESSION"; fail = 1 }
+      printf "%-34s %12.2f %12.2f %+7.1f%%%s\n", name, b[name], c[name], delta, mark
+    }
+    if (n == 0) { print "benchcheck: no common benchmark names — nothing compared"; exit 1 }
+    if (fail) { print "benchcheck: FAIL — dispatch regression beyond threshold"; exit 1 }
+    print "benchcheck: ok"
+  }
+' "$base" "$cand"

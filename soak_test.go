@@ -3,6 +3,10 @@ package hemlock_test
 // A day-in-the-life integration test: many programs, several sharing
 // patterns, a fork, a reboot — with resource accounting checked at the
 // end. This is the whole system exercised through the public API only.
+//
+// Both soaks run as harness scenarios: seeded (replay a failure with
+// -harness.seed=N), -short-aware (Scale), and reported with the engine
+// counters every other harness failure carries.
 
 import (
 	"bytes"
@@ -10,10 +14,13 @@ import (
 	"testing"
 
 	"hemlock"
+	"hemlock/internal/harness"
 	"hemlock/internal/shmfs"
 )
 
 func TestSoakManyProgramsOneMachine(t *testing.T) {
+	s := harness.NewScenario(t, "soak", 5)
+	runs := s.Scale(16, 6)
 	sys := hemlock.New()
 
 	// A public scoreboard module and a private scratch module.
@@ -61,42 +68,45 @@ main:
 		DefaultPath: []string{"/lib"},
 	})
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("link: %v", err)
 	}
 
-	// Sixteen sequential runs: the public counter accumulates, the
-	// private scratch never does.
+	// Sequential runs: the public counter accumulates, the private
+	// scratch never does.
+	ctrRuns := s.Reg.Counter("harness.soak.runs")
 	var pids []int
-	for i := 1; i <= 16; i++ {
+	for i := 1; i <= runs; i++ {
 		pg, err := sys.Launch(res.Image, 0, nil)
 		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			s.Failf("run %d: %v", i, err)
 		}
 		pids = append(pids, pg.P.PID)
 		if err := pg.Run(1_000_000); err != nil {
-			t.Fatalf("run %d: %v", i, err)
+			s.Failf("run %d: %v", i, err)
 		}
 		if pg.P.ExitCode != i {
-			t.Fatalf("run %d exited %d", i, pg.P.ExitCode)
+			s.Failf("run %d exited %d", i, pg.P.ExitCode)
 		}
+		ctrRuns.Inc()
 	}
 
-	// A watcher process reads the scoreboard and verifies every pid.
+	// A watcher process reads the scoreboard — in a seeded random order —
+	// and verifies every pid.
 	watcher, err := sys.Launch(res.Image, 0, nil)
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("launch watcher: %v", err)
 	}
 	scores, err := watcher.Var("scores")
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("resolve scores: %v", err)
 	}
-	for i, pid := range pids {
+	for _, i := range s.Rand.Perm(len(pids)) {
 		got, err := scores.LoadAt(uint32(4 * i))
 		if err != nil {
-			t.Fatal(err)
+			s.Failf("scores[%d]: %v", i, err)
 		}
-		if got != uint32(pid) {
-			t.Fatalf("scores[%d] = %d, want %d", i, got, pid)
+		if got != uint32(pids[i]) {
+			s.Failf("scores[%d] = %d, want %d", i, got, pids[i])
 		}
 	}
 
@@ -104,48 +114,49 @@ main:
 	// and its private writes stay private.
 	child, err := watcher.Fork()
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("fork: %v", err)
 	}
 	cScores, err := child.Var("scores")
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("resolve scores in child: %v", err)
 	}
 	if cScores.Addr != scores.Addr {
-		t.Fatal("fork moved the public segment")
+		s.Failf("fork moved the public segment: 0x%08x vs 0x%08x", cScores.Addr, scores.Addr)
 	}
 	wScratch, _ := watcher.Var("scratch")
 	cScratch, _ := child.Var("scratch")
-	wScratch.Store(1)
-	cScratch.Store(2)
-	if v, _ := wScratch.Load(); v != 1 {
-		t.Fatal("private scratch aliased across fork")
+	wv, cv := uint32(s.Rand.Intn(1<<16)), uint32(s.Rand.Intn(1<<16))
+	wScratch.Store(wv)
+	cScratch.Store(cv)
+	if v, _ := wScratch.Load(); v != wv {
+		s.Failf("private scratch aliased across fork: %d, want %d", v, wv)
 	}
 
 	// Reboot the machine: the scoreboard survives, the count is intact.
 	if err := sys.SaveExecutable("/bin/player", res.Image); err != nil {
-		t.Fatal(err)
+		s.Failf("save executable: %v", err)
 	}
 	var disk bytes.Buffer
 	if err := sys.Save(&disk); err != nil {
-		t.Fatal(err)
+		s.Failf("save disk: %v", err)
 	}
 	sys2, err := hemlock.Load(&disk)
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("reboot: %v", err)
 	}
 	im2, err := sys2.LoadExecutable("/bin/player")
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("reload executable: %v", err)
 	}
 	pg, err := sys2.Launch(im2, 0, nil)
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("launch after reboot: %v", err)
 	}
 	if err := pg.Run(1_000_000); err != nil {
-		t.Fatal(err)
+		s.Failf("run after reboot: %v", err)
 	}
-	if pg.P.ExitCode != 17 {
-		t.Fatalf("after reboot count = %d, want 17", pg.P.ExitCode)
+	if pg.P.ExitCode != runs+1 {
+		s.Failf("after reboot count = %d, want %d", pg.P.ExitCode, runs+1)
 	}
 
 	// Resource accounting on the original machine: exit everyone, then
@@ -162,19 +173,27 @@ main:
 	})
 	live := sys.K.Phys.Stats().Live
 	if live != fileFrames {
-		t.Fatalf("live frames = %d after all exits, want %d (files only)", live, fileFrames)
+		s.Failf("live frames = %d after all exits, want %d (files only)", live, fileFrames)
 	}
+	s.Logf("%d runs, %d pids verified, reboot count %d, %d file frames", runs, len(pids), runs+1, fileFrames)
 }
 
 func TestSoakManyModules(t *testing.T) {
-	// 60 public modules in one process: stresses inode allocation, the
-	// lookup table, mapping, and symbol resolution together.
+	// Dozens of public modules in one process: stresses inode allocation,
+	// the lookup table, mapping, and symbol resolution together. Module
+	// values are seeded and the resolution order is a seeded permutation,
+	// so a lookup-table bug that depends on access order has many chances
+	// to surface — and one seed to replay.
+	s := harness.NewScenario(t, "soak-modules", 6)
+	nm := s.Scale(60, 16)
 	sys := hemlock.New()
+	vals := make([]uint32, nm)
 	var mods []hemlock.Module
 	mods = append(mods, hemlock.Module{Name: "main.o", Class: hemlock.StaticPrivate})
-	for i := 0; i < 60; i++ {
+	for i := 0; i < nm; i++ {
+		vals[i] = uint32(s.Rand.Intn(1 << 20))
 		mustAsm(t, sys, fmt.Sprintf("/lib/m%02d.o", i),
-			fmt.Sprintf(".data\n.globl mval%02d\nmval%02d: .word %d\n", i, i, 10000+i))
+			fmt.Sprintf(".data\n.globl mval%02d\nmval%02d: .word %d\n", i, i, vals[i]))
 		mods = append(mods, hemlock.Module{Name: fmt.Sprintf("m%02d.o", i), Class: hemlock.DynamicPublic})
 	}
 	mustAsm(t, sys, "/bin/main.o", trivialMainSrc)
@@ -185,32 +204,35 @@ func TestSoakManyModules(t *testing.T) {
 		DefaultPath: []string{"/lib"},
 	})
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("link %d modules: %v", nm, err)
 	}
 	pg, err := sys.Launch(res.Image, 0, nil)
 	if err != nil {
-		t.Fatal(err)
+		s.Failf("launch: %v", err)
 	}
-	for i := 0; i < 60; i++ {
+	ctrVars := s.Reg.Counter("harness.soak.vars")
+	for _, i := range s.Rand.Perm(nm) {
 		v, err := pg.Var(fmt.Sprintf("mval%02d", i))
 		if err != nil {
-			t.Fatalf("mval%02d: %v", i, err)
+			s.Failf("mval%02d: %v", i, err)
 		}
 		got, err := v.Load()
-		if err != nil || got != uint32(10000+i) {
-			t.Fatalf("mval%02d = %d, %v", i, got, err)
+		if err != nil || got != vals[i] {
+			s.Failf("mval%02d = %d (%v), want %d", i, got, err, vals[i])
 		}
+		ctrVars.Inc()
 	}
 	// Every module occupies its own slot, all resolvable by address.
 	count := 0
 	sys.FS.WalkFiles(func(p string, st shmfs.Stat) error {
 		if got, _, err := sys.FS.AddrToPath(st.Addr); err != nil || got != p {
-			t.Fatalf("%s: %q %v", p, got, err)
+			s.Failf("%s: AddrToPath(0x%08x) = %q, %v", p, st.Addr, got, err)
 		}
 		count++
 		return nil
 	})
-	if count < 120 { // 60 templates + 60 instances + main.o + ...
-		t.Fatalf("only %d files", count)
+	if count < 2*nm { // nm templates + nm instances + main.o + ...
+		s.Failf("only %d files for %d modules", count, nm)
 	}
+	s.Logf("%d modules resolved in seeded order, %d files slot-addressable", nm, count)
 }
