@@ -304,7 +304,9 @@ func (s *Space) Mapped(addr, size uint32) bool {
 
 // Gen returns the space's mapping generation. It is bumped by every
 // mutation of the page table, so a cached Entry whose Gen no longer
-// matches must be re-translated.
+// matches must be re-translated. The VM checks it in two places: TLB
+// entries on every hit, and translated basic blocks on every block entry
+// — one bump invalidates both, with no shootdown protocol.
 func (s *Space) Gen() uint64 { return s.gen.Load() }
 
 // Entry is a cacheable translation: the frame backing one page, its

@@ -74,9 +74,19 @@ func DiffOne(s *Scenario, progSeed int64) {
 		s.Failf("program seed=%d: instantiate ref: %v", progSeed, err)
 		return
 	}
+	// Third machine: batched execution with the block engine forced to the
+	// other setting, so one run always compares block-translated against
+	// per-instruction batching regardless of HEMLOCK_BLOCK_ENGINE.
+	alt, err := im.instantiate()
+	if err != nil {
+		s.Failf("program seed=%d: instantiate alt: %v", progSeed, err)
+		return
+	}
+	alt.SetBlockEngine(!alt.BlockEngineOn())
 
 	fe := execPath(fast, true, diffSlotBudget)
 	re := execPath(ref, false, diffSlotBudget)
+	ae := execPath(alt, true, diffSlotBudget)
 	ctrProg.Inc()
 	ctrSteps.Add(fast.Steps)
 	ctrTraps.Add(fast.Traps)
@@ -109,5 +119,28 @@ func DiffOne(s *Scenario, progSeed int64) {
 	if fh, rh := vm.StateHash(fast), vm.StateHash(ref); fh != rh {
 		s.Failf("program seed=%d: memory diverged (hash fast=%016x ref=%016x)\nfast:\n%s\nref:\n%s",
 			progSeed, fh, rh, vm.DumpState(fast), vm.DumpState(ref))
+		return
+	}
+	// The alternate batched path against the (already reference-verified)
+	// fast path.
+	for i := 0; i < len(ae) || i < len(fe); i++ {
+		a, f := "<none>", "<none>"
+		if i < len(ae) {
+			a = ae[i]
+		}
+		if i < len(fe) {
+			f = fe[i]
+		}
+		if a != f {
+			s.Failf("program seed=%d: event %d diverged between batched engines\n  fast: %s\n  alt:  %s\nfast state:\n%s\nalt state:\n%s",
+				progSeed, i, f, a, vm.DumpState(fast), vm.DumpState(alt))
+			return
+		}
+	}
+	if alt.Steps != fast.Steps || alt.Traps != fast.Traps ||
+		alt.PC != fast.PC || alt.Regs != fast.Regs ||
+		vm.StateHash(alt) != vm.StateHash(fast) {
+		s.Failf("program seed=%d: batched engines diverged\nfast:\n%s\nalt:\n%s",
+			progSeed, vm.DumpState(fast), vm.DumpState(alt))
 	}
 }

@@ -33,8 +33,15 @@ type image struct {
 	regs   [32]uint32
 }
 
-// genImage draws a complete program image from rng.
+// genImage draws a complete program image from rng. The first draw picks
+// the program shape: mostly the uniform instruction mix, with dedicated
+// shapes that concentrate on what the block engine optimises — hot loops
+// (chained blocks entered thousands of times), LUI-pair idioms (macro-op
+// fusion), and store-into-text gadgets layered over loops (invalidation of
+// already-chained successors). Shapes only skew the distribution; every
+// image still runs bit-identically on all execution paths.
 func genImage(rng *rand.Rand) *image {
+	shape := rng.Intn(10)
 	im := &image{text: make([]uint32, genTextWords)}
 	rng.Read(im.data[:])
 	rng.Read(im.ro[:])
@@ -57,6 +64,18 @@ func genImage(rng *rand.Rand) *image {
 	for i := 0; i < genTextWords; i++ {
 		im.text[i] = genInst(rng, i)
 	}
+	switch {
+	case shape < 5: // uniform mix only
+	case shape < 7:
+		stampHotLoops(rng, im.text)
+	case shape < 9:
+		stampIdioms(rng, im.text)
+	default:
+		// Loops first, then stores aimed at text: the stores patch words
+		// that blocks chained around the loops have already translated.
+		stampHotLoops(rng, im.text)
+		stampTextStores(rng, im.text)
+	}
 	// A halt backstop at the end of text, so straight-line runs stop
 	// instead of walking off the mapping (which would also be fine — both
 	// paths would fault identically — but ends more runs cleanly).
@@ -64,6 +83,72 @@ func genImage(rng *rand.Rand) *image {
 		im.text[i] = uint32(isa.OpHALT) << 26
 	}
 	return im
+}
+
+// stampHotLoops overwrites random text spots with bounded countdown loops:
+// andi caps the counter at 63, then addiu/bgtz spin it to zero. Each gadget
+// re-enters its own block up to 63 times, which is what heats block
+// chaining; control flow that lands mid-gadget is still well-formed code.
+func stampHotLoops(rng *rand.Rand, text []uint32) {
+	for g := 0; g < 8; g++ {
+		w := rng.Intn(len(text) - 8)
+		r := 16 + rng.Intn(10)
+		text[w] = isa.EncodeI(isa.OpANDI, r, r, 63)
+		text[w+1] = isa.EncodeI(isa.OpADDIU, r, r, 0xFFFF) // -1
+		text[w+2] = isa.EncodeI(isa.OpBGTZ, 0, r, 0xFFFE)  // back to the addiu
+	}
+}
+
+// stampIdioms overwrites random text spots with the address-materialisation
+// sequences fusion targets: LUI+ORI constants, LUI+absolute loads/stores,
+// and full lui/ori/jr|jalr trampolines to in-text targets.
+func stampIdioms(rng *rand.Rand, text []uint32) {
+	bases := []uint32{genTextBase, genDataBase, genROBase, genSharedBase}
+	for g := 0; g < 32; g++ {
+		w := rng.Intn(len(text) - 8)
+		r := 16 + rng.Intn(10)
+		base := bases[rng.Intn(len(bases))]
+		off := uint16(base) | uint16(rng.Intn(mem.PageSize/4)*4)
+		switch rng.Intn(4) {
+		case 0: // composed constant (usually a region address)
+			text[w] = isa.EncodeI(isa.OpLUI, r, 0, uint16(base>>16))
+			text[w+1] = isa.EncodeI(isa.OpORI, r, r, off)
+		case 1: // absolute load
+			op := isa.OpLW
+			if rng.Intn(3) == 0 {
+				op = isa.OpLBU
+			}
+			text[w] = isa.EncodeI(isa.OpLUI, r, 0, uint16(base>>16))
+			text[w+1] = isa.EncodeI(op, genDst(rng), r, off)
+		case 2: // absolute store (self-modifying code when base is text)
+			op := isa.OpSW
+			if rng.Intn(3) == 0 {
+				op = isa.OpSB
+			}
+			text[w] = isa.EncodeI(isa.OpLUI, r, 0, uint16(base>>16))
+			text[w+1] = isa.EncodeI(op, rng.Intn(32), r, off)
+		case 3: // call trampoline to a planted in-text target
+			target := genTextBase + uint32(rng.Intn(len(text)))*4
+			text[w] = isa.EncodeI(isa.OpLUI, r, 0, uint16(target>>16))
+			text[w+1] = isa.EncodeI(isa.OpORI, r, r, uint16(target))
+			if rng.Intn(2) == 0 {
+				text[w+2] = isa.EncodeR(isa.FnJR, 0, r, 0, 0)
+			} else {
+				text[w+2] = isa.EncodeR(isa.FnJALR, genDst(rng), r, 0, 0)
+			}
+		}
+	}
+}
+
+// stampTextStores overwrites random text spots with word-aligned stores
+// through the text base register: each one rewrites some text word — often
+// one inside or just past a stamped loop — so already-chained successor
+// blocks go stale mid-run.
+func stampTextStores(rng *rand.Rand, text []uint32) {
+	for g := 0; g < 24; g++ {
+		w := rng.Intn(len(text) - 8)
+		text[w] = isa.EncodeI(isa.OpSW, rng.Intn(32), 8, uint16(rng.Intn(len(text)))*4)
+	}
 }
 
 // reg picks a general destination register, avoiding $zero (writes to it

@@ -86,3 +86,80 @@ func TestSharedPageStoreVisibleToSiblingCPU(t *testing.T) {
 		t.Fatal("sibling icache invalidation not recorded")
 	}
 }
+
+// TestSharedPageStoreInvalidatesSiblingBlocks is the batched-execution
+// variant: the runner's loop is hot in translated, chained blocks when a
+// sibling process stores into the shared text frame. The frame-version
+// check on the runner's next block entry must force a rebuild, so the
+// patched word executes on the very next transfer into it.
+func TestSharedPageStoreInvalidatesSiblingBlocks(t *testing.T) {
+	k := New()
+	writer := k.Spawn(0)
+	runner := k.Spawn(0)
+	if !runner.CPU.BlockEngineOn() {
+		t.Skip("block engine disabled via HEMLOCK_BLOCK_ENGINE")
+	}
+
+	const shared = layout.SharedBase
+	if err := writer.AS.MapAnon(shared, mem.PageSize, addrspace.ProtRWX); err != nil {
+		t.Fatal(err)
+	}
+	writer.AS.ShareRange(runner.AS, shared, shared+mem.PageSize)
+
+	// Victim loop off the page base so the rebuild registers as a stale
+	// same-address replacement in the direct-mapped block cache.
+	const victim = shared + 0x100
+	const escape = shared + 0x200
+	loop := []uint32{
+		isa.EncodeI(isa.OpADDIU, 10, 10, 1), // victim: addiu t2, t2, 1
+		isa.EncodeJ(isa.OpJ, victim),        // j victim
+	}
+	for i, w := range loop {
+		if err := writer.AS.StoreWord(victim+uint32(4*i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writer.AS.StoreWord(escape, isa.EncodeI(isa.OpHALT, 0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	runner.CPU.PC = victim
+	if ev, err := runner.CPU.RunBatch(20); err != nil || ev != vm.EventStep {
+		t.Fatalf("runner warmup: ev=%v err=%v", ev, err)
+	}
+	if runner.CPU.CacheStats().BlockHits == 0 {
+		t.Fatal("runner loop never got hot in the block cache")
+	}
+
+	// The writer's store goes through its own CPU, in its own space, into
+	// the shared frame.
+	const wtext = 0x00001000
+	if err := writer.AS.MapAnon(wtext, mem.PageSize, addrspace.ProtRWX); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.AS.StoreWord(wtext, isa.EncodeI(isa.OpSW, 8, 9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	writer.CPU.PC = wtext
+	writer.CPU.Regs[8] = isa.EncodeJ(isa.OpJ, escape)
+	writer.CPU.Regs[9] = victim
+	if ev, err := writer.CPU.RunBatch(1); err != nil || ev != vm.EventStep {
+		t.Fatalf("writer store: ev=%v err=%v", ev, err)
+	}
+
+	before := runner.CPU.Regs[10]
+	ev, err := runner.CPU.RunBatch(1000)
+	if err != nil || ev != vm.EventHalt {
+		t.Fatalf("runner post-patch: ev=%v err=%v pc=0x%08x, want halt", ev, err, runner.CPU.PC)
+	}
+	if runner.CPU.PC != escape {
+		t.Fatalf("sibling executed stale blocks: pc = 0x%08x, want 0x%08x", runner.CPU.PC, escape)
+	}
+	// The runner's PC sat mid-loop when the batch ended, so at most the
+	// tail of one iteration retires before the patched victim is refetched.
+	if runner.CPU.Regs[10] > before+1 {
+		t.Fatalf("victim retired %d more times after the patch", runner.CPU.Regs[10]-before)
+	}
+	if st := runner.CPU.CacheStats(); st.BlockInvals == 0 {
+		t.Fatal("sibling block invalidation not recorded")
+	}
+}

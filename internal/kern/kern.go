@@ -65,6 +65,10 @@ type Kernel struct {
 	ctrTLBMiss  *obsv.Counter
 	ctrICFill   *obsv.Counter
 	ctrICInval  *obsv.Counter
+	ctrBlkBuild *obsv.Counter
+	ctrBlkHit   *obsv.Counter
+	ctrBlkInval *obsv.Counter
+	ctrFusedOps *obsv.Counter
 	ctrASMaps   *obsv.Counter
 	ctrASUnmaps *obsv.Counter
 	hRunSteps   *obsv.Histogram
@@ -106,6 +110,10 @@ func newKernel(fs *shmfs.FS, phys *mem.Physical) *Kernel {
 		ctrTLBMiss:  o.R.Counter("vm.tlb_miss"),
 		ctrICFill:   o.R.Counter("vm.icache_fill"),
 		ctrICInval:  o.R.Counter("vm.icache_invalidate"),
+		ctrBlkBuild: o.R.Counter("vm.block_build"),
+		ctrBlkHit:   o.R.Counter("vm.block_hit"),
+		ctrBlkInval: o.R.Counter("vm.block_invalidate"),
+		ctrFusedOps: o.R.Counter("vm.fused_ops"),
 		ctrASMaps:   o.R.Counter("addrspace.pages_mapped"),
 		ctrASUnmaps: o.R.Counter("addrspace.pages_unmapped"),
 		hRunSteps:   o.R.Histogram("kern.run_steps"),
@@ -192,6 +200,10 @@ func (k *Kernel) Spawn(uid int) *Process {
 	p.CPU.CtrTLBMiss = k.ctrTLBMiss
 	p.CPU.CtrICFill = k.ctrICFill
 	p.CPU.CtrICInval = k.ctrICInval
+	p.CPU.CtrBlockBuild = k.ctrBlkBuild
+	p.CPU.CtrBlockHit = k.ctrBlkHit
+	p.CPU.CtrBlockInval = k.ctrBlkInval
+	p.CPU.CtrFusedOps = k.ctrFusedOps
 	p.AS.Observe(k.Obs.Tracer(), k.ctrASMaps, k.ctrASUnmaps, p.PID)
 	k.nextPID++
 	k.procs[p.PID] = p

@@ -116,10 +116,21 @@ func (k *Kernel) PDCall(client *Process, id int, arg uint32) (uint32, error) {
 	server.CPU.Regs[isa.RegA0] = arg
 	server.CPU.Regs[isa.RegA1] = uint32(client.PID)
 
-	steps := uint64(0)
-	for steps < pdCallBudget {
-		ev, err := server.CPU.Step()
-		steps++
+	// Batched execution: the server body runs through RunBatch (and so
+	// through the block engine), with the budget carried as a Steps delta
+	// across turns. A turn that faults retires nothing — the trap unwinds
+	// the faulting instruction so the lazy-link handler can patch and
+	// restart it — so the turn counter, not the step budget, bounds a
+	// handler that never makes progress. The deferred rollback above
+	// copies the snapshot back over the CPU, which also discards any
+	// translated blocks the service call built.
+	start := server.CPU.Steps
+	for turns := uint64(0); turns < pdCallBudget; turns++ {
+		used := server.CPU.Steps - start
+		if used >= pdCallBudget {
+			break
+		}
+		ev, err := server.CPU.RunBatch(pdCallBudget - used)
 		if err != nil {
 			f, ok := vm.FaultOf(err)
 			if !ok {

@@ -33,13 +33,17 @@ func TestPLTPatchExecutesImmediatelyAfterHandler(t *testing.T) {
 	if s.W.Stats.PLTResolves != 1 {
 		t.Fatalf("PLT resolves = %d, want 1 (patched stub must be executed, not re-trapped)", s.W.Stats.PLTResolves)
 	}
-	// The stub page was hot in the icache when the handler patched it: the
-	// invalidation counter must show the refill.
+	// The stub was hot in a predecode cache when the handler patched it:
+	// under the block engine the stale block is rebuilt
+	// (vm.block_invalidate); on the per-instruction path the icache page
+	// refills (vm.icache_invalidate). Either way the invalidation must be
+	// recorded — a silent stale predecode is exactly the bug this test
+	// exists to catch.
 	snap := s.Obs().R.Snapshot()
-	if snap.Counters["vm.icache_invalidate"] == 0 {
-		t.Fatalf("vm.icache_invalidate = 0; stub patch did not invalidate predecoded text (counters: %v)", snap.Counters)
+	if snap.Counters["vm.icache_invalidate"]+snap.Counters["vm.block_invalidate"] == 0 {
+		t.Fatalf("no predecode invalidation recorded; stub patch executed stale text? (counters: %v)", snap.Counters)
 	}
-	if snap.Counters["vm.tlb_hit"] == 0 || snap.Counters["vm.icache_fill"] == 0 {
+	if snap.Counters["vm.icache_fill"]+snap.Counters["vm.block_build"] == 0 {
 		t.Fatalf("cache counters not live: %v", snap.Counters)
 	}
 }

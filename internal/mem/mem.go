@@ -129,11 +129,14 @@ func (f *Frame) Refs() int { return int(f.refs.Load()) }
 
 // NoteStore records a mutation of the frame's bytes by bumping the
 // store-version counter. Every writer — the VM's store fast path, the
-// address-space write API, the shared file system — must call it; the VM's
-// predecoded instruction cache validates against Version on every fetch,
-// which is how a store into live text (ldl patching a trampoline or
-// jump-table slot) invalidates stale predecode, even across processes
-// sharing the frame.
+// address-space write API, the shared file system — must call it BEFORE
+// the bytes change. Two VM consumers validate against Version: the
+// predecoded instruction cache on every fetch, and the block-translation
+// engine on every block entry (including entries through chain pointers).
+// That one counter is how a store into live text — ldl patching a
+// trampoline or jump-table slot, self-modifying code, a sibling process
+// writing through a shared frame — invalidates stale predecode and stale
+// translated blocks on the very next fetch.
 func (f *Frame) NoteStore() { f.ver.Add(1) }
 
 // Version returns the frame's store-version counter.

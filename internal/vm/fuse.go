@@ -1,0 +1,83 @@
+package vm
+
+// Macro-op fusion for the idioms the linkers emit constantly. R3K-lite has
+// no 32-bit immediates, so every absolute address the compilers and the
+// lds/ldl relocation machinery materialise is a LUI/ORI pair (HI16/LO16
+// relocations), every absolute load/store is LUI+LW/SW, and every
+// out-of-region control transfer is the three-word trampoline
+// lui/ori/jr(jalr) (isa.TrampolineWords). Fusing those at block build
+// turns a cross-segment call's address arithmetic into one op with the
+// target folded in as a constant — and because the fused trampoline's
+// target is static, the call chains like a direct jump, which is where
+// the CallFar numbers come from.
+//
+// The fourth idiom the ISSUE names, the jal+nop call sequence, is handled
+// by nop absorption rather than a dedicated op: nops never emit ops, they
+// ride along as a `pre` count on the following op (the nop after a jal
+// belongs to the return point's block and retires, for free, when the
+// callee returns there). Fusing the nop into the jal itself would be
+// wrong: it retires only if the callee returns, and a callee that halts
+// would leave the step count diverged from the reference interpreter.
+//
+// Fusion is semantics-preserving per instruction pair, including the ugly
+// corners, each pinned by TestFuse*:
+//
+//   - lui.rt == $zero never fuses: the pair's second half reads $zero as
+//     0, not the discarded high half;
+//   - ori.rt may differ from lui.rt: both registers are written;
+//   - sw.rt == lui.rt stores the freshly materialised high half;
+//   - a fault in the second half retires the LUI and traps with PC on
+//     the memory instruction, exactly like the sequential execution the
+//     fault handler will restart.
+
+import "hemlock/internal/isa"
+
+// fuseLUI inspects the words after a LUI at ipc (word index wi in the
+// block's page) and, when a fusable idiom follows, returns the fused op
+// plus the number of primary instructions consumed (2 or 3) and whether
+// the op terminates the block. words == 1 means no fusion.
+func (c *CPU) fuseLUI(in pinst, ipc, wi uint32, word func(uint32) uint32) (fop bop, words uint16, terminal bool) {
+	if in.rt == 0 || wi+1 >= pageWords {
+		return bop{}, 1, false
+	}
+	hi := uint32(in.imm) << 16
+	w2 := predecode(word(wi + 1))
+	switch w2.op {
+	case isa.OpORI:
+		if w2.rs != in.rt {
+			return bop{}, 1, false
+		}
+		composed := hi | uint32(w2.imm)
+		// Trampoline: lui/ori/jr (or jalr) through the same register —
+		// the fragment isa.TrampolineWords emits and ldl patches. The
+		// jump target becomes a build-time constant, so the block chains.
+		if w2.rt != 0 && wi+2 < pageWords {
+			w3 := predecode(word(wi + 2))
+			if w3.op == isa.OpSpecial && w3.rs == w2.rt {
+				switch w3.fn {
+				case isa.FnJR:
+					return bop{kind: bFuseTramp, rs: in.rt, rd: w2.rt,
+						aux: hi, imm: composed, pc: ipc}, 3, true
+				case isa.FnJALR:
+					return bop{kind: bFuseTrampCall, rs: in.rt, rd: w2.rt, rt: w3.rd,
+						aux: hi, imm: composed, pc: ipc}, 3, true
+				}
+			}
+		}
+		return bop{kind: bFuseLUIORI, rs: in.rt, rd: w2.rt,
+			aux: hi, imm: composed, pc: ipc}, 2, false
+	case isa.OpLW:
+		if w2.rs != in.rt {
+			return bop{}, 1, false
+		}
+		return bop{kind: bFuseLUILW, rs: in.rt, rd: w2.rt,
+			aux: hi, imm: hi + isa.SignExt(w2.imm), pc: ipc}, 2, false
+	case isa.OpSW:
+		if w2.rs != in.rt {
+			return bop{}, 1, false
+		}
+		return bop{kind: bFuseLUISW, rs: in.rt, rt: w2.rt,
+			aux: hi, imm: hi + isa.SignExt(w2.imm), pc: ipc}, 2, false
+	}
+	return bop{}, 1, false
+}

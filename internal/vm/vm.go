@@ -149,12 +149,18 @@ type icPage struct {
 	code    [pageWords]pinst
 }
 
-// CacheStats is the cumulative TLB/icache accounting for one CPU.
+// CacheStats is the cumulative TLB/icache/block-engine accounting for one
+// CPU.
 type CacheStats struct {
 	TLBHits   uint64 // I- or D-TLB hit: no lock, no map lookup
-	TLBMisses uint64 // slow-path Translate (fills a slot)
+	TLBMisses uint64 // slow-path Translate (fills a slot, or builds a block)
 	ICFills   uint64 // predecoded page (re)filled
 	ICInvals  uint64 // fill that replaced a stale entry for the same page
+
+	BlockBuilds uint64 // basic blocks decoded (vm.block_build)
+	BlockHits   uint64 // block entries served without a build (vm.block_hit)
+	BlockInvals uint64 // rebuilds of a stale block: SMC, PLT patch, remap
+	FusedOps    uint64 // fused macro-ops executed (vm.fused_ops)
 }
 
 // CPU is one simulated processor context.
@@ -175,6 +181,11 @@ type CPU struct {
 	// these shared atomics at batch boundaries.
 	CtrTLBHit, CtrTLBMiss, CtrICFill, CtrICInval *obsv.Counter
 
+	// Block-engine counters (vm.block_build, vm.block_hit,
+	// vm.block_invalidate, vm.fused_ops), wired by kern.Spawn and folded
+	// by FlushObsv like the cache counters.
+	CtrBlockBuild, CtrBlockHit, CtrBlockInval, CtrFusedOps *obsv.Counter
+
 	stats   CacheStats
 	flushed CacheStats
 
@@ -185,14 +196,19 @@ type CPU struct {
 	uncached bool
 	refInst  pinst // scratch predecode slot for uncached fetches
 
+	// blocksOff disables the basic-block engine for batched execution
+	// (SetBlockEngine, or HEMLOCK_BLOCK_ENGINE=0 at process level).
+	blocksOff bool
+
 	dtlb [tlbSize]tlbEnt
 	itlb [tlbSize]tlbEnt
 	ic   [icSize]*icPage
+	bc   [bcSize]*block
 }
 
 // New returns a CPU bound to the given address space.
 func New(as *addrspace.Space) *CPU {
-	return &CPU{AS: as}
+	return &CPU{AS: as, blocksOff: !blockEngineDefault}
 }
 
 func (c *CPU) set(r uint8, v uint32) {
@@ -220,17 +236,22 @@ func (c *CPU) FlushObsv() {
 	c.CtrTLBMiss.Add(c.stats.TLBMisses - c.flushed.TLBMisses)
 	c.CtrICFill.Add(c.stats.ICFills - c.flushed.ICFills)
 	c.CtrICInval.Add(c.stats.ICInvals - c.flushed.ICInvals)
+	c.CtrBlockBuild.Add(c.stats.BlockBuilds - c.flushed.BlockBuilds)
+	c.CtrBlockHit.Add(c.stats.BlockHits - c.flushed.BlockHits)
+	c.CtrBlockInval.Add(c.stats.BlockInvals - c.flushed.BlockInvals)
+	c.CtrFusedOps.Add(c.stats.FusedOps - c.flushed.FusedOps)
 	c.flushed = c.stats
 }
 
-// FlushCaches drops every TLB and icache entry. Required after pointing
-// the CPU at a different address space; never required for mapping
-// changes (the generation check catches those) or stores (the frame
-// version check catches those).
+// FlushCaches drops every TLB, icache and block-cache entry. Required
+// after pointing the CPU at a different address space; never required for
+// mapping changes (the generation check catches those) or stores (the
+// frame version check catches those).
 func (c *CPU) FlushCaches() {
 	c.dtlb = [tlbSize]tlbEnt{}
 	c.itlb = [tlbSize]tlbEnt{}
 	c.ic = [icSize]*icPage{}
+	c.bc = [bcSize]*block{}
 }
 
 // dentry returns a valid D-TLB entry for addr with the needed right,
@@ -520,10 +541,22 @@ func (c *CPU) exec(in *pinst) (Event, error) {
 
 // RunBatch retires up to max instructions, stopping early at the first
 // non-step event or trap (EventStep with a nil error means the budget ran
-// out). This is the kernel's fast path: no per-step closures or checks
-// between instructions, and cache statistics are flushed to the obsv
-// counters once per batch rather than once per instruction.
+// out). This is the kernel's fast path: the block engine decodes, chains
+// and fuses straight-line runs (block.go), and cache statistics are
+// flushed to the obsv counters once per batch rather than once per
+// instruction. With the engine off it falls back to the per-instruction
+// icache path.
 func (c *CPU) RunBatch(max uint64) (Event, error) {
+	if c.blocksOff || c.uncached {
+		return c.runBatchSlow(max)
+	}
+	return c.runBlockEngine(max)
+}
+
+// runBatchSlow is the per-instruction batch loop (the PR-3 fast path):
+// fetch through the I-TLB + predecoded icache, execute, repeat. The block
+// engine delegates budget tails to it so a batch never over-retires.
+func (c *CPU) runBatchSlow(max uint64) (Event, error) {
 	for n := uint64(0); n < max; n++ {
 		in, err := c.fetch(c.PC)
 		if err != nil {
@@ -558,15 +591,20 @@ func (c *CPU) Run(maxSteps uint64) (Event, error) {
 // entries could falsely validate against the parent's frames.
 func (c *CPU) Snapshot() CPU {
 	return CPU{
-		Regs:       c.Regs,
-		PC:         c.PC,
-		AS:         c.AS,
-		Steps:      c.Steps,
-		Traps:      c.Traps,
-		CtrTraps:   c.CtrTraps,
-		CtrTLBHit:  c.CtrTLBHit,
-		CtrTLBMiss: c.CtrTLBMiss,
-		CtrICFill:  c.CtrICFill,
-		CtrICInval: c.CtrICInval,
+		Regs:          c.Regs,
+		PC:            c.PC,
+		AS:            c.AS,
+		Steps:         c.Steps,
+		Traps:         c.Traps,
+		CtrTraps:      c.CtrTraps,
+		CtrTLBHit:     c.CtrTLBHit,
+		CtrTLBMiss:    c.CtrTLBMiss,
+		CtrICFill:     c.CtrICFill,
+		CtrICInval:    c.CtrICInval,
+		CtrBlockBuild: c.CtrBlockBuild,
+		CtrBlockHit:   c.CtrBlockHit,
+		CtrBlockInval: c.CtrBlockInval,
+		CtrFusedOps:   c.CtrFusedOps,
+		blocksOff:     c.blocksOff,
 	}
 }

@@ -9,11 +9,14 @@
 # For every benchmark name present in both files the best (minimum)
 # ns_per_op of the samples is compared; min-of-N is robust against a noisy
 # neighbour inflating one sample. Every delta is reported. The gate FAILS
-# (exit 1) only if a dispatch benchmark (name containing "Dispatch") is
-# slower than the baseline by more than threshold_pct (default 20) — the
-# interpreter fast path is the perf contract this repo tracks hardest; the
-# macro benchmarks are reported for the record but are too system-noisy to
-# gate merges on.
+# (exit 1) if a gated benchmark — name containing "Dispatch", "CallNear",
+# or "CallFarTrampoline" — is slower than the baseline by more than
+# threshold_pct (default 20), or if a gated name present in one file is
+# MISSING from the other (a renamed or deleted gated benchmark must fail
+# loudly, not silently shrink the gate). The interpreter fast path and the
+# cross-segment call paths are the perf contracts this repo tracks hardest;
+# the other macro benchmarks are reported for the record but are too
+# system-noisy to gate merges on.
 set -eu
 
 base=${1:?usage: scripts/benchcheck.sh <baseline.json> <candidate.json> [threshold_pct]}
@@ -36,7 +39,8 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
     else           { if (!(name in c) || ns < c[name]) c[name] = ns }
   }
   END {
-    printf "benchcheck: %s (baseline) vs %s, gate: Dispatch* > +%d%%\n", basefile, candfile, threshold
+    gatepat = "Dispatch|CallNear|CallFarTrampoline"
+    printf "benchcheck: %s (baseline) vs %s, gate: (%s) > +%d%%\n", basefile, candfile, gatepat, threshold
     printf "%-34s %12s %12s %8s\n", "name", "base ns/op", "new ns/op", "delta"
     fail = 0
     n = 0
@@ -51,11 +55,19 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
       name = order[i]
       delta = (c[name] - b[name]) / b[name] * 100
       mark = ""
-      if (name ~ /Dispatch/ && delta > threshold) { mark = "  << REGRESSION"; fail = 1 }
+      if (name ~ gatepat && delta > threshold) { mark = "  << REGRESSION"; fail = 1 }
       printf "%-34s %12.2f %12.2f %+7.1f%%%s\n", name, b[name], c[name], delta, mark
     }
+    # A gated benchmark present in one file but not the other means the
+    # comparison above silently skipped it — fail instead of passing.
+    for (name in b) if (name ~ gatepat && !(name in c)) {
+      printf "benchcheck: gated benchmark %s missing from %s\n", name, candfile; fail = 1
+    }
+    for (name in c) if (name ~ gatepat && !(name in b)) {
+      printf "benchcheck: gated benchmark %s missing from %s\n", name, basefile; fail = 1
+    }
     if (n == 0) { print "benchcheck: no common benchmark names — nothing compared"; exit 1 }
-    if (fail) { print "benchcheck: FAIL — dispatch regression beyond threshold"; exit 1 }
+    if (fail) { print "benchcheck: FAIL — gated benchmark regressed or missing"; exit 1 }
     print "benchcheck: ok"
   }
 ' "$base" "$cand"
