@@ -4,8 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"hemlock/internal/netsim"
+	"hemlock/internal/obsv"
+	"hemlock/internal/obsv/prof"
 	"hemlock/internal/rwho"
 )
 
@@ -22,6 +25,7 @@ func cmdFleet(args []string, out io.Writer) error {
 	lossPct := fs.Int("loss", 20, "percentage of datagrams the LAN drops (0-90)")
 	maxTicks := fs.Int("ticks", 400, "virtual-clock budget per round before giving up")
 	jsonOut := fs.Bool("json", false, "print the metrics snapshot as JSON")
+	tracePath := fs.String("trace", "", "write the merged fleet Chrome trace (one track per machine) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,11 +42,18 @@ func cmdFleet(args []string, out io.Writer) error {
 		// Multiplying by a prime spreads the dropped sequence numbers
 		// evenly instead of dropping the first pct of every hundred —
 		// still a pure, reproducible function of the datagram.
-		net.Drop = func(from, to string, seq uint64) bool { return seq * 7919 % 100 < pct }
+		net.Drop = func(from, to string, seq uint64) bool { return seq*7919%100 < pct }
 	}
 	f, err := rwho.NewNetFleet(net, *n, *n)
 	if err != nil {
 		return err
+	}
+	var ring *obsv.Ring
+	if *tracePath != "" {
+		// The flight recorder catches every machine's protocol events;
+		// they merge into one causally-ordered Chrome timeline at the end.
+		ring = obsv.NewRing(1 << 16)
+		f.Fleet.Trace.Attach(ring)
 	}
 	fmt.Fprintf(out, "fleet: %d machines, %d%% loss, whod segment %s homed on %s\n",
 		*n, *lossPct, f.Seg(), f.Machines[0].Host)
@@ -54,6 +65,18 @@ func cmdFleet(args []string, out io.Writer) error {
 		}
 		gen, _, _ := f.Machines[0].NS.Gen(f.Seg())
 		fmt.Fprintf(out, "round %d: converged in %d ticks (generation %d)\n", r, ticks, gen)
+	}
+
+	if ring != nil {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		// WriteFleetChrome closes the file: the Chrome sink owns its writer.
+		if werr := prof.WriteFleetChrome(tf, f.Fleet.Machines(), ring.Events()); werr != nil {
+			return fmt.Errorf("writing fleet trace %s: %w", *tracePath, werr)
+		}
+		fmt.Fprintf(out, "fleet trace: %d events -> %s\n", ring.Len(), *tracePath)
 	}
 
 	last := f.Machines[len(f.Machines)-1]

@@ -20,7 +20,12 @@
 // Every subcommand accepts -img <file> (default hemlock.img) and
 // -trace <file>, which captures every kernel/VM/linker event: JSON Lines
 // by default, or the Chrome trace_event format when the file ends in
-// .json (load it in chrome://tracing or ui.perfetto.dev). See
+// .json (load it in chrome://tracing or ui.perfetto.dev). The profilers
+// ride the same flags: -profile launch prints a per-phase breakdown of
+// every launch the subcommand performs, and -profile guest attributes
+// retired guest instructions to module:function (run only). -profile-out
+// <file> additionally writes the launch profile as a Chrome trace, or the
+// guest profile in folded-stack format for flamegraph.pl. See
 // docs/OBSERVABILITY.md.
 package main
 
@@ -36,13 +41,14 @@ import (
 	"hemlock/internal/lds"
 	"hemlock/internal/objfile"
 	"hemlock/internal/obsv"
+	"hemlock/internal/obsv/prof"
 	"hemlock/internal/shmfs"
 
 	"hemlock/internal/isa"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck|fleet> ...")
+	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] [-profile launch|guest [-profile-out file]] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck|fleet> ...")
 	os.Exit(2)
 }
 
@@ -56,20 +62,31 @@ func main() {
 func run(args []string, out io.Writer) (retErr error) {
 	img := "hemlock.img"
 	tracePath := ""
-	// Allow leading -img and -trace flags, in any order, before the
-	// subcommand.
+	profMode := ""
+	profOut := ""
+	// Allow leading -img, -trace and -profile flags, in any order, before
+	// the subcommand.
 	for len(args) >= 2 {
 		switch args[0] {
 		case "-img":
 			img = args[1]
 		case "-trace":
 			tracePath = args[1]
+		case "-profile":
+			profMode = args[1]
+		case "-profile-out":
+			profOut = args[1]
 		default:
 			goto parsed
 		}
 		args = args[2:]
 	}
 parsed:
+	switch profMode {
+	case "", "launch", "guest":
+	default:
+		return fmt.Errorf("-profile %q: want launch or guest", profMode)
+	}
 	if len(args) == 0 {
 		usage()
 	}
@@ -103,6 +120,27 @@ parsed:
 			if cerr := s.Obs().T.Close(); cerr != nil && retErr == nil {
 				retErr = fmt.Errorf("writing trace %s: %w", tracePath, cerr)
 			}
+		}()
+	}
+	var launchProf *prof.LaunchProfile
+	if profMode == "launch" {
+		launchProf = prof.NewLaunchProfile()
+		s.Obs().T.Attach(launchProf)
+		// The same spans also feed duration histograms, so a follow-up
+		// stats run can read p95 launch phases from the registry.
+		s.Obs().T.Attach(obsv.NewSpanDurations(s.Obs().R))
+		if profOut != "" {
+			f, err := os.Create(profOut)
+			if err != nil {
+				return err
+			}
+			s.Obs().T.Attach(obsv.NewChromeTrace(f))
+		}
+		defer func() {
+			if cerr := s.Obs().T.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("writing profile %s: %w", profOut, cerr)
+			}
+			fmt.Fprint(out, launchProf.Report().Table())
 		}()
 	}
 	dirty := false
@@ -152,7 +190,7 @@ parsed:
 		}
 		dirty = true
 	case "run":
-		if err := cmdRun(s, rest, out); err != nil {
+		if err := cmdRun(s, rest, out, profMode == "guest", profOut); err != nil {
 			return err
 		}
 		dirty = true // programs may create segments
@@ -370,11 +408,12 @@ func cmdLds(s *hemlock.System, args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdRun(s *hemlock.System, args []string, out io.Writer) error {
+func cmdRun(s *hemlock.System, args []string, out io.Writer, guestProf bool, profOut string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	steps := fs.Uint64("steps", 10_000_000, "instruction budget")
 	uid := fs.Int("uid", 0, "user id")
 	verbose := fs.Bool("v", false, "trace dynamic-linker events to stderr")
+	topN := fs.Int("top", 20, "symbols to print with -profile guest")
 	var envs multiFlag
 	fs.Var(&envs, "e", "environment variable K=V (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -405,13 +444,41 @@ func cmdRun(s *hemlock.System, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var sampler *prof.GuestSampler
+	if guestProf {
+		sampler = prof.NewGuestSampler()
+		pg.P.CPU.SetSampler(sampler)
+	}
 	runErr := pg.Run(*steps)
 	io.WriteString(out, pg.Output())
 	if runErr != nil {
 		return runErr
 	}
 	fmt.Fprintf(out, "[exit %d]\n", pg.P.ExitCode)
+	if sampler != nil {
+		sampler.Flush(pg.P.CPU.PC, pg.P.CPU.Steps)
+		sym := guestSymbolizer(im, pg)
+		fmt.Fprintf(out, "\nguest profile: %d instructions attributed\n", sampler.Total())
+		io.WriteString(out, sampler.TopN(sym, *topN))
+		if profOut != "" {
+			if err := os.WriteFile(profOut, []byte(sampler.Folded(sym)), 0644); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// guestSymbolizer assembles the symbol sources for a finished run: the
+// program image's own text, plus every module the dynamic linker brought
+// in (their exports name the shared text other processes reuse).
+func guestSymbolizer(im *hemlock.Image, pg *hemlock.Program) *prof.Symbolizer {
+	sym := &prof.Symbolizer{}
+	sym.AddModule(im.Name, im.TextBase, im.TextBase+uint32(len(im.Text)), im.Symbols)
+	for _, in := range pg.LDL.Instances() {
+		sym.AddModule(in.Name, in.Base, in.Base+in.Size, in.Symbols())
+	}
+	return sym
 }
 
 // cmdStats runs a program like cmdRun and then prints the machine's

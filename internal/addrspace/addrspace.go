@@ -171,9 +171,11 @@ func (s *Space) MapAnon(addr, size uint32, prot Prot) error {
 	if addr%mem.PageSize != 0 {
 		return fmt.Errorf("addrspace: MapAnon addr 0x%08x not page aligned", addr)
 	}
+	sp := s.tracer.Begin("addrspace", "map_anon", s.pid, "")
 	n := PageCount(size)
 	frames, err := s.phys.AllocN(int(n))
 	if err != nil {
+		sp.End(0)
 		return err
 	}
 	s.mu.Lock()
@@ -184,6 +186,7 @@ func (s *Space) MapAnon(addr, size uint32, prot Prot) error {
 			for _, f := range frames {
 				f.Release()
 			}
+			sp.End(0)
 			return fmt.Errorf("addrspace: page 0x%08x already mapped", (base+i)<<mem.PageShift)
 		}
 	}
@@ -192,9 +195,7 @@ func (s *Space) MapAnon(addr, size uint32, prot Prot) error {
 	}
 	s.gen.Add(1)
 	s.ctrMaps.Add(uint64(n))
-	if s.tracer.Enabled() {
-		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "map_anon", PID: s.pid, Addr: addr, Val: uint64(n)})
-	}
+	sp.End(uint64(n))
 	return nil
 }
 
@@ -206,11 +207,13 @@ func (s *Space) MapFrames(addr uint32, frames []*mem.Frame, prot Prot) error {
 	if addr%mem.PageSize != 0 {
 		return fmt.Errorf("addrspace: MapFrames addr 0x%08x not page aligned", addr)
 	}
+	sp := s.tracer.Begin("addrspace", "map_frames", s.pid, "")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	base := vpn(addr)
 	for i := range frames {
 		if _, dup := s.pages[base+uint32(i)]; dup {
+			sp.End(0)
 			return fmt.Errorf("addrspace: page 0x%08x already mapped", (base+uint32(i))<<mem.PageShift)
 		}
 	}
@@ -220,9 +223,7 @@ func (s *Space) MapFrames(addr uint32, frames []*mem.Frame, prot Prot) error {
 	}
 	s.gen.Add(1)
 	s.ctrMaps.Add(uint64(len(frames)))
-	if s.tracer.Enabled() {
-		s.tracer.Emit(obsv.Event{Subsys: "addrspace", Name: "map_frames", PID: s.pid, Addr: addr, Val: uint64(len(frames))})
-	}
+	sp.End(uint64(len(frames)))
 	return nil
 }
 

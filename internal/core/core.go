@@ -150,6 +150,8 @@ type Program struct {
 // image, and runs the crt0/ldl start-up sequence.
 func (s *System) Launch(im *objfile.Image, uid int, env map[string]string) (*Program, error) {
 	p := s.K.Spawn(uid)
+	sp := s.K.Obs.Tracer().Begin("kern", "launch", p.PID, im.Name)
+	defer sp.End(0)
 	for k, v := range env {
 		p.Setenv(k, v)
 	}

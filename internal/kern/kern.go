@@ -269,11 +269,21 @@ func (p *Process) Exec(im *objfile.Image) error {
 		lo = dlo
 	}
 	hi = pageCeil(hi)
+	t := p.K.Obs.Tracer()
+	execSpan := t.Begin("kern", "exec", p.PID, im.Name)
+	mapSpan := t.Begin("kern", "map_pages", p.PID, im.Name)
 	if hi > lo {
 		if err := p.AS.MapAnon(lo, hi-lo, addrspace.ProtRWX); err != nil {
 			return fmt.Errorf("kern: exec %s image: %w", im.Name, err)
 		}
 	}
+	// Stack.
+	stackBase := layout.StackTop - layout.DefaultStackSize
+	if err := p.AS.MapAnon(stackBase, layout.DefaultStackSize, addrspace.ProtRW); err != nil {
+		return fmt.Errorf("kern: exec %s stack: %w", im.Name, err)
+	}
+	mapSpan.End(uint64(addrspace.PageCount(hi-lo) + addrspace.PageCount(layout.DefaultStackSize)))
+	writeSpan := t.Begin("kern", "write_image", p.PID, im.Name)
 	if len(im.Text) > 0 {
 		if _, err := p.AS.Write(im.TextBase, im.Text); err != nil {
 			return fmt.Errorf("kern: exec %s text: %w", im.Name, err)
@@ -284,11 +294,8 @@ func (p *Process) Exec(im *objfile.Image) error {
 			return fmt.Errorf("kern: exec %s data: %w", im.Name, err)
 		}
 	}
-	// Stack.
-	stackBase := layout.StackTop - layout.DefaultStackSize
-	if err := p.AS.MapAnon(stackBase, layout.DefaultStackSize, addrspace.ProtRW); err != nil {
-		return fmt.Errorf("kern: exec %s stack: %w", im.Name, err)
-	}
+	writeSpan.End(uint64(len(im.Text) + len(im.Data)))
+	execSpan.End(0)
 	p.CPU.Regs[29] = layout.StackTop - 16 // $sp
 	p.CPU.PC = im.Entry
 	p.brk = pageCeil(im.BssBase + im.BssSize)
@@ -442,11 +449,14 @@ func (k *Kernel) HandleFault(p *Process, f *addrspace.Fault) error {
 // loads and stores ARE file reads and writes.
 func (k *Kernel) MapSharedFile(p *Process, path string, size uint32, prot addrspace.Prot) (shmfs.Stat, error) {
 	write := prot&addrspace.ProtWrite != 0
+	sp := k.Obs.Tracer().Begin("kern", "map_shared", p.PID, path)
 	frames, st, err := k.FS.Frames(path, size, p.UID, write)
 	if err != nil {
+		sp.End(0)
 		return shmfs.Stat{}, err
 	}
 	if p.mappedSlots[st.Ino] {
+		sp.End(0)
 		return st, nil // already mapped; idempotent
 	}
 	need := int(addrspace.PageCount(st.Size))
@@ -459,12 +469,11 @@ func (k *Kernel) MapSharedFile(p *Process, path string, size uint32, prot addrsp
 		}
 	}
 	if err := p.AS.MapFrames(st.Addr, frames[:need], prot); err != nil {
+		sp.End(0)
 		return shmfs.Stat{}, err
 	}
 	p.mappedSlots[st.Ino] = true
-	if t := k.Obs.Tracer(); t.Enabled() {
-		t.Emit(obsv.Event{Subsys: "kern", Name: "map_shared", PID: p.PID, Mod: path, Addr: st.Addr, Val: uint64(need)})
-	}
+	sp.End(uint64(need))
 	return st, nil
 }
 

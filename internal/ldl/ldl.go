@@ -185,6 +185,16 @@ type Instance struct {
 	lazy    bool // mapped without access permissions
 }
 
+// Symbols returns the instance's exported symbols at their placed
+// absolute addresses: the symbolization source the guest profiler uses to
+// turn sampled PCs inside this module into function names.
+func (in *Instance) Symbols() []objfile.ImageSym {
+	if in.placed == nil {
+		return nil
+	}
+	return in.placed.Exports()
+}
+
 // Linked reports whether the instance has all references resolved.
 func (in *Instance) Linked() bool {
 	if in.sh != nil {
@@ -213,12 +223,17 @@ type Proc struct {
 // special crt0 triggers before main. It installs the fault handler and
 // returns the per-process linker state.
 func (w *World) Start(p *kern.Process, im *objfile.Image) (*Proc, error) {
+	startSpan := w.tracer().Begin("ldl", "start", p.PID, im.Name)
+	defer startSpan.End(0)
 	pr := &Proc{W: w, P: p, Image: im, table: linker.NewTable(), trampNext: im.TrampBase}
+	defSpan := w.tracer().Begin("ldl", "sym_define", p.PID, im.Name)
 	for _, s := range im.Symbols {
 		if err := pr.table.Define(s.Name, s.Addr, s.Size); err != nil {
+			defSpan.End(0)
 			return nil, err
 		}
 	}
+	defSpan.End(uint64(len(im.Symbols)))
 	pr.imagePend = append([]objfile.ImageReloc(nil), im.Relocs...)
 	w.addImageRelocs(len(pr.imagePend))
 	pr.root = &Instance{
@@ -297,7 +312,9 @@ func (pr *Proc) BringIn(ref objfile.ModuleRef, parent *Instance) (*Instance, err
 		parent = pr.root
 	}
 	dirs := pr.scopeDirs(parent)
+	findSpan := pr.W.tracer().Begin("ldl", "find_module", pr.P.PID, ref.Name)
 	tmplPath, ok := pr.W.LD.FindModule(ref.Name, dirs)
+	findSpan.End(0)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s (searched %v)", ErrModuleNotFound, ref.Name, dirs)
 	}
@@ -328,6 +345,8 @@ func (pr *Proc) BringIn(ref objfile.ModuleRef, parent *Instance) (*Instance, err
 // lock) the persistent public instance of the module.
 func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string, parent *Instance) (*Instance, error) {
 	w := pr.W
+	sp := w.tracer().Begin("ldl", "bring_in_public", pr.P.PID, name)
+	defer sp.End(0)
 	instPath := lds.InstancePath(tmplPath)
 
 	// Creation of shared segments is synchronized with file locking.
@@ -342,7 +361,9 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 	sh, known := w.public[instPath]
 	w.mu.Unlock()
 	if !known {
+		createSpan := w.tracer().Begin("ldl", "create_instance", pr.P.PID, tmplPath)
 		_, addr, created, err := w.LD.CreatePublicInstance(tmplPath, pr.P.UID)
+		createSpan.End(0)
 		if err != nil {
 			return nil, err
 		}
@@ -350,7 +371,9 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 		if err != nil {
 			return nil, err
 		}
+		placeSpan := w.tracer().Begin("linker", "place", pr.P.PID, tmplPath)
 		placed, err := linker.Place(obj, addr)
+		placeSpan.End(0)
 		if err != nil {
 			return nil, err
 		}
@@ -428,6 +451,8 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 
 // bringInPrivate creates a new per-process instance of a private module.
 func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string, parent *Instance) (*Instance, error) {
+	sp := pr.W.tracer().Begin("ldl", "bring_in_private", pr.P.PID, name)
+	defer sp.End(0)
 	obj, err := pr.loadTemplate(tmplPath)
 	if err != nil {
 		return nil, err
@@ -435,24 +460,33 @@ func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string
 	// Reserve private address space; each instance is distinct, even for
 	// the same template under different parents (Figure 2 shows two
 	// separate G.o instances).
+	placeSpan := pr.W.tracer().Begin("linker", "place", pr.P.PID, tmplPath)
 	placedProbe, err := linker.Place(obj, 0)
 	if err != nil {
+		placeSpan.End(0)
 		return nil, err
 	}
 	base, err := pr.P.AllocPrivate(placedProbe.Size())
 	if err != nil {
+		placeSpan.End(0)
 		return nil, err
 	}
 	placed, err := linker.Place(obj, base)
+	placeSpan.End(0)
 	if err != nil {
 		return nil, err
 	}
 	// Initialise the instance from its template and apply internal
 	// relocations through the (currently writable) mapping.
-	if err := pr.P.WriteMem(base, placed.Image()); err != nil {
+	writeSpan := pr.W.tracer().Begin("ldl", "write_segment", pr.P.PID, name)
+	err = pr.P.WriteMem(base, placed.Image())
+	writeSpan.End(uint64(placed.Size()))
+	if err != nil {
 		return nil, err
 	}
+	relocSpan := pr.W.tracer().Begin("ldl", "reloc_internal", pr.P.PID, name)
 	pending, err := placed.RelocateInternal(pr.P.AS)
+	relocSpan.End(0)
 	if err != nil {
 		return nil, err
 	}
@@ -493,6 +527,8 @@ func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string
 }
 
 func (pr *Proc) loadTemplate(path string) (*objfile.Object, error) {
+	sp := pr.W.tracer().Begin("ldl", "load_template", pr.P.PID, path)
+	defer sp.End(0)
 	data, err := pr.W.K.FS.ReadFile(path, pr.P.UID)
 	if err != nil {
 		return nil, err
@@ -557,6 +593,8 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		// Another process linked this public module; just enable access.
 		return pr.enable(in)
 	}
+	sp := pr.W.tracer().Begin("ldl", "link_module", pr.P.PID, in.Name)
+	defer sp.End(0)
 	if err := pr.loadDeps(in); err != nil {
 		return err
 	}
@@ -653,6 +691,8 @@ func (fp *filePatcher) StoreWord(addr, val uint32) error {
 // are now resolvable (root scope). Others stay pending; a later LinkModule
 // may satisfy them.
 func (pr *Proc) resolveImageRelocs() error {
+	sp := pr.W.tracer().Begin("ldl", "resolve_image", pr.P.PID, "")
+	defer sp.End(uint64(len(pr.imagePend)))
 	var left []objfile.ImageReloc
 	for _, r := range pr.imagePend {
 		addr, ok := pr.resolveScoped(pr.root, r.Name)

@@ -38,11 +38,13 @@ func (pr *Proc) installPLT() {
 	if len(pr.Image.PLT) == 0 {
 		return
 	}
+	sp := pr.W.tracer().Begin("ldl", "plt_setup", pr.P.PID, pr.Image.Name)
 	pr.plt = map[uint32]string{}
 	for _, s := range pr.Image.PLT {
 		pr.plt[s.Addr] = s.Name
 	}
 	pr.P.BreakHandler = pr.handleBreak
+	sp.End(uint64(len(pr.Image.PLT)))
 }
 
 // handleBreak resolves the stub whose BREAK just trapped. The CPU has

@@ -19,6 +19,13 @@ type Fleet struct {
 	Reg *obsv.Registry
 	Cfg Config
 
+	// Trace is the fleet-wide tracer: every machine emits its protocol
+	// events (write, push, apply, and the write→apply flow pairs) here,
+	// stamped with the machine's fleet index as the event PID and the
+	// virtual clock as the timestamp (1 tick = 1 µs in the Chrome export),
+	// so one sink captures a causally-ordered cross-machine timeline.
+	Trace *obsv.Tracer
+
 	clk   atomic.Uint64
 	order []string
 	nodes map[string]*Node
@@ -33,6 +40,7 @@ func NewFleet(net *netsim.Network, cfg Config) *Fleet {
 		Cfg:   cfg.withDefaults(),
 		nodes: map[string]*Node{},
 	}
+	f.Trace = obsv.NewTracer(func() int64 { return int64(f.clk.Load()) * 1000 })
 	net.Observe(f.Reg)
 	return f
 }
@@ -50,6 +58,7 @@ func (f *Fleet) Add(name string, sys *core.System) *Node {
 		nd:    f.Net.Attach(name),
 		fleet: f,
 		cfg:   f.Cfg,
+		idx:   len(f.order),
 		segs:  map[string]*seg{},
 	}
 	n.wire(f.Reg)
@@ -60,6 +69,13 @@ func (f *Fleet) Add(name string, sys *core.System) *Node {
 
 // Node returns a machine by name, or nil.
 func (f *Fleet) Node(name string) *Node { return f.nodes[name] }
+
+// Machines returns the machine names in Add order: the track order a
+// merged fleet Chrome trace uses (a machine's fleet index is its event
+// PID).
+func (f *Fleet) Machines() []string {
+	return append([]string(nil), f.order...)
+}
 
 // Nodes returns the machines in their deterministic step order.
 func (f *Fleet) Nodes() []*Node {

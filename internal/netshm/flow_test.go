@@ -1,0 +1,120 @@
+package netshm
+
+import (
+	"bytes"
+	"testing"
+
+	"hemlock/internal/netsim"
+	"hemlock/internal/obsv"
+)
+
+// TestWriteApplyFlowExactlyOnce is the causal-tracing golden test: under a
+// deterministic virtual clock, with the LAN delaying AND duplicating every
+// datagram, one write on the home machine produces exactly one
+// flow-start/flow-end pair in the fleet trace — duplicates and retries
+// must not fabricate extra causal arrows.
+func TestWriteApplyFlowExactlyOnce(t *testing.T) {
+	net := netsim.New()
+	net.DelayTicks = func(from, to string, seq uint64) int { return 2 }
+	net.Dup = func(from, to string, seq uint64) bool { return true }
+	net.Reorder = func(from, to string, seq uint64) bool { return seq%2 == 0 }
+
+	f := boot(t, net, 2)
+	ring := obsv.NewRing(4096)
+	f.Trace.Attach(ring)
+
+	home := f.Node("m0")
+	content := bytes.Repeat([]byte{0xC3}, 100)
+	if err := home.Publish("/lib/seg", content); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.WaitConverged("/lib/seg", 50); !ok {
+		t.Fatal("publish did not converge")
+	}
+	if err := home.Write("/lib/seg", 0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.WaitConverged("/lib/seg", 50); !ok {
+		t.Fatal("write did not converge")
+	}
+
+	// Generation 2 is the in-place write. Its flow id ties the home's
+	// write to the replica's apply.
+	want := obsv.FlowID("/lib/seg", 2)
+	var starts, ends []obsv.Event
+	for _, e := range ring.Events() {
+		if e.Name != "repl" || e.Flow != want {
+			continue
+		}
+		switch e.Phase {
+		case obsv.PhaseFlowStart:
+			starts = append(starts, e)
+		case obsv.PhaseFlowEnd:
+			ends = append(ends, e)
+		}
+	}
+	if len(starts) != 1 || len(ends) != 1 {
+		t.Fatalf("gen-2 flow pair: %d starts, %d ends (want exactly 1+1)", len(starts), len(ends))
+	}
+	if starts[0].PID != 0 || ends[0].PID != 1 {
+		t.Fatalf("flow tracks: start on machine %d, end on machine %d (want 0 -> 1)", starts[0].PID, ends[0].PID)
+	}
+	if ends[0].TS <= starts[0].TS {
+		t.Fatalf("apply at tick-ns %d not after write at %d", ends[0].TS, starts[0].TS)
+	}
+
+	// The apply path also feeds the replication-lag histogram (every
+	// datagram was held 2 ticks, so lag >= 2) and the staleness gauge
+	// (zero again once converged).
+	snap := f.Reg.Snapshot()
+	lag, ok := snap.Histograms["netshm.lag_ticks:/lib/seg"]
+	if !ok || lag.Count == 0 {
+		t.Fatalf("no replication-lag histogram: %+v", snap.Histograms)
+	}
+	if lag.P50 < 2 {
+		t.Fatalf("lag p50 = %d ticks under a 2-tick delay", lag.P50)
+	}
+	stale, ok := snap.Gauges["netshm.staleness:m1:/lib/seg"]
+	if !ok {
+		t.Fatalf("no staleness gauge: %+v", snap.Gauges)
+	}
+	if stale != 0 {
+		t.Fatalf("staleness = %d generations after convergence", stale)
+	}
+}
+
+// TestFleetTraceDeterministic re-runs the same delayed/duplicated workload
+// twice and requires bit-identical event streams: the fleet trace is a
+// pure function of the workload, which is what makes it a golden artifact.
+func TestFleetTraceDeterministic(t *testing.T) {
+	run := func() []obsv.Event {
+		net := netsim.New()
+		net.DelayTicks = func(from, to string, seq uint64) int { return int(seq % 3) }
+		net.Dup = func(from, to string, seq uint64) bool { return seq%4 == 0 }
+		f := boot(t, net, 3)
+		ring := obsv.NewRing(4096)
+		f.Trace.Attach(ring)
+		home := f.Node("m0")
+		if err := home.Publish("/lib/seg", bytes.Repeat([]byte{7}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := home.Write("/lib/seg", 0, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := f.WaitConverged("/lib/seg", 80); !ok {
+				t.Fatalf("write %d did not converge", i)
+			}
+		}
+		return ring.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -7,11 +7,16 @@ import (
 
 // Wire format: a fixed three-byte header (magic, version, type) followed by
 // the same field layout for every message type — path, base, size, gen, a
-// page list, and an opaque payload. Types simply leave unused fields empty.
-// Everything is big-endian, like the simulated machines themselves.
+// trace context (origin machine + send tick), a page list, and an opaque
+// payload. Types simply leave unused fields empty. Everything is
+// big-endian, like the simulated machines themselves.
+//
+// Version history: v1 had no trace context; v2 inserts origin and stick
+// between gen and the page list so fleet runs can draw causal flow arrows
+// and measure replication lag without a side channel.
 const (
 	wireMagic   = 'S'
-	wireVersion = 1
+	wireVersion = 2
 )
 
 // Message types of the coherence protocol.
@@ -37,12 +42,14 @@ type msg struct {
 	base    uint32 // globally-agreed virtual address of the segment
 	size    uint32 // segment size in bytes at gen
 	gen     uint64 // update/sync/announce: content generation; ack: applied; pull: have
+	origin  string // trace context: sending machine
+	stick   uint64 // trace context: virtual tick at send time
 	pages   []page
 	payload []byte // msgApp only
 }
 
 func (m *msg) encode() []byte {
-	n := 3 + 2 + len(m.path) + 4 + 4 + 8 + 4 + 4 + len(m.payload)
+	n := 3 + 2 + len(m.path) + 4 + 4 + 8 + 2 + len(m.origin) + 8 + 4 + 4 + len(m.payload)
 	for _, p := range m.pages {
 		n += 4 + 4 + len(p.data)
 	}
@@ -53,6 +60,9 @@ func (m *msg) encode() []byte {
 	b = binary.BigEndian.AppendUint32(b, m.base)
 	b = binary.BigEndian.AppendUint32(b, m.size)
 	b = binary.BigEndian.AppendUint64(b, m.gen)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.origin)))
+	b = append(b, m.origin...)
+	b = binary.BigEndian.AppendUint64(b, m.stick)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.pages)))
 	for _, p := range m.pages {
 		b = binary.BigEndian.AppendUint32(b, p.idx)
@@ -79,6 +89,8 @@ func decodeMsg(b []byte) (*msg, error) {
 	m.base = d.u32()
 	m.size = d.u32()
 	m.gen = d.u64()
+	m.origin = d.str()
+	m.stick = d.u64()
 	npages := d.u32()
 	if npages > uint32(len(b)/8+1) { // each page costs >= 8 header bytes
 		return nil, fmt.Errorf("netshm: implausible page count %d", npages)

@@ -8,6 +8,7 @@ import (
 func TestMsgRoundTrip(t *testing.T) {
 	cases := []*msg{
 		{typ: msgUpdate, path: "/lib/whod", base: 0x30007000, size: 9000, gen: 42,
+			origin: "vaxa", stick: 99,
 			pages: []page{{idx: 0, data: bytes.Repeat([]byte{0xAB}, PageSize)}, {idx: 2, data: []byte{1, 2, 3}}}},
 		{typ: msgSync, path: "/x", base: 4, size: 0, gen: 1},
 		{typ: msgAck, path: "/lib/whod", base: 0x30007000, gen: 7},
@@ -22,7 +23,8 @@ func TestMsgRoundTrip(t *testing.T) {
 			t.Fatalf("type %d: decode: %v", m.typ, err)
 		}
 		if got.typ != m.typ || got.path != m.path || got.base != m.base ||
-			got.size != m.size || got.gen != m.gen {
+			got.size != m.size || got.gen != m.gen ||
+			got.origin != m.origin || got.stick != m.stick {
 			t.Fatalf("type %d: header mismatch: %+v != %+v", m.typ, got, m)
 		}
 		if len(got.pages) != len(m.pages) {
@@ -55,7 +57,7 @@ func TestMsgDecodeRejectsGarbage(t *testing.T) {
 	}
 	// An implausible page count must be rejected before allocating.
 	huge := append([]byte{}, good...)
-	huge[3+2+2+4+4+8+3] = 0xFF // stamp the page-count field enormous
+	huge[3+2+2+4+4+8+2+8+3] = 0xFF // stamp the page-count field enormous
 	bad["huge page count"] = huge
 
 	for name, b := range bad {

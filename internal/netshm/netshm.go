@@ -94,6 +94,10 @@ type seg struct {
 	// Replica-side anti-entropy state.
 	pullArmed bool   // a pull round is in flight or due
 	pullAt    uint64 // virtual tick to (re)send the pull
+
+	// Lazily-fetched per-segment instruments (apply path).
+	lagHist *obsv.Histogram // netshm.lag_ticks:<path> — send→apply ticks
+	staleG  *obsv.Gauge     // netshm.staleness:<machine>:<path> — highest-gen gap
 }
 
 // peerState is the home's view of one replica.
@@ -120,6 +124,7 @@ type Node struct {
 	nd    *netsim.Node
 	fleet *Fleet
 	cfg   Config
+	idx   int // fleet index (Add order): the event PID / Chrome track
 
 	mu    sync.Mutex
 	segs  map[string]*seg
@@ -138,6 +143,36 @@ type Node struct {
 
 // Name returns the machine name.
 func (n *Node) Name() string { return n.name }
+
+// emit sends a protocol event to the fleet tracer, stamped with this
+// machine's fleet index so each machine is one track in a merged trace.
+func (n *Node) emit(e obsv.Event) {
+	if t := n.fleet.Trace; t.Enabled() {
+		e.Subsys = "netshm"
+		e.PID = n.idx
+		t.Emit(e)
+	}
+}
+
+// stamp fills the message's trace context at send time.
+func (n *Node) stamp(m *msg) *msg {
+	m.origin = n.name
+	m.stick = n.fleet.Now()
+	return m
+}
+
+// noteStale refreshes the segment's staleness gauge (how many generations
+// behind the highest heard this machine's replica is).
+func (n *Node) noteStale(s *seg) {
+	if s.staleG == nil {
+		s.staleG = n.fleet.Reg.Gauge("netshm.staleness:" + n.name + ":" + s.path)
+	}
+	lag := int64(0)
+	if s.highest > s.gen {
+		lag = int64(s.highest - s.gen)
+	}
+	s.staleG.Set(lag)
+}
 
 // Sys returns the machine's Hemlock system.
 func (n *Node) Sys() *core.System { return n.sys }
@@ -253,7 +288,10 @@ func (n *Node) dirtyLocked(s *seg, off, length uint32) {
 		s.pageGen[p] = s.gen
 		pages = append(pages, n.readPage(s, p))
 	}
-	m := &msg{typ: msgUpdate, path: s.path, base: s.base, size: s.size, gen: s.gen, pages: pages}
+	n.emit(obsv.Event{Name: "write", Mod: s.path, Addr: s.base, Val: s.gen})
+	n.emit(obsv.Event{Name: "repl", Phase: obsv.PhaseFlowStart, Mod: s.path,
+		Val: s.gen, Flow: obsv.FlowID(s.path, s.gen)})
+	m := n.stamp(&msg{typ: msgUpdate, path: s.path, base: s.base, size: s.size, gen: s.gen, pages: pages})
 	b := m.encode()
 	for _, peer := range n.net.Nodes() {
 		if peer == n.name {
@@ -261,6 +299,7 @@ func (n *Node) dirtyLocked(s *seg, off, length uint32) {
 		}
 		n.nd.Send(peer, b)
 		n.ctrUpdatesSent.Inc()
+		n.emit(obsv.Event{Name: "push", Mod: peer, Val: s.gen})
 		// A push obligates the peer: retry until acked or out of attempts.
 		ps, ok := s.peers[peer]
 		if !ok {
@@ -370,7 +409,7 @@ func (n *Node) pullLocked(s *seg) {
 	s.pullArmed = true
 	s.pullAt = now + n.cfg.RetryTicks
 	n.ctrAntiEntropy.Inc()
-	m := &msg{typ: msgPull, path: s.path, base: s.base, gen: s.gen}
+	m := n.stamp(&msg{typ: msgPull, path: s.path, base: s.base, gen: s.gen})
 	n.nd.Send(s.home, m.encode())
 }
 
@@ -386,7 +425,7 @@ func (n *Node) OnApp(fn func(from string, payload []byte)) {
 
 // SendApp unicasts an application payload to another machine.
 func (n *Node) SendApp(to string, payload []byte) error {
-	m := &msg{typ: msgApp, payload: payload}
+	m := n.stamp(&msg{typ: msgApp, payload: payload})
 	return n.nd.Send(to, m.encode())
 }
 
@@ -414,7 +453,7 @@ func (n *Node) Step() {
 		if s.isHome {
 			n.retryLocked(s, now)
 			if n.cfg.AnnounceTicks > 0 && now%n.cfg.AnnounceTicks == 0 {
-				a := &msg{typ: msgAnnounce, path: s.path, base: s.base, size: s.size, gen: s.gen}
+				a := n.stamp(&msg{typ: msgAnnounce, path: s.path, base: s.base, size: s.size, gen: s.gen})
 				n.nd.Broadcast(a.encode())
 			}
 		} else if s.pullArmed && now >= s.pullAt && s.highest > s.gen {
@@ -450,7 +489,7 @@ func (n *Node) sendSyncLocked(s *seg, to string, sinceGen uint64) {
 			pages = append(pages, n.readPage(s, p))
 		}
 	}
-	m := &msg{typ: msgSync, path: s.path, base: s.base, size: s.size, gen: s.gen, pages: pages}
+	m := n.stamp(&msg{typ: msgSync, path: s.path, base: s.base, size: s.size, gen: s.gen, pages: pages})
 	n.nd.Send(to, m.encode())
 }
 
@@ -483,6 +522,7 @@ func (n *Node) handle(from string, m *msg) {
 			if m.gen > s.highest {
 				s.highest = m.gen
 			}
+			n.noteStale(s)
 		}
 		n.ackLocked(s)
 	case msgSync:
@@ -538,6 +578,7 @@ func (n *Node) handle(from string, m *msg) {
 		if m.gen > s.highest {
 			s.highest = m.gen
 		}
+		n.noteStale(s)
 		if s.highest > s.gen && !s.pullArmed {
 			n.pullLocked(s)
 		}
@@ -597,11 +638,26 @@ func (n *Node) applyLocked(s *seg, m *msg) {
 	if m.gen > s.highest {
 		s.highest = m.gen
 	}
+	if m.stick > 0 {
+		if s.lagHist == nil {
+			s.lagHist = n.fleet.Reg.Histogram("netshm.lag_ticks:" + s.path)
+		}
+		now := n.fleet.Now()
+		lag := uint64(0)
+		if now > m.stick {
+			lag = now - m.stick
+		}
+		s.lagHist.Observe(lag)
+	}
+	n.noteStale(s)
+	n.emit(obsv.Event{Name: "apply", Mod: s.path, Addr: s.base, Val: m.gen})
+	n.emit(obsv.Event{Name: "repl", Phase: obsv.PhaseFlowEnd, Mod: s.path,
+		Val: m.gen, Flow: obsv.FlowID(s.path, m.gen)})
 }
 
 // ackLocked reports the replica's applied generation to the home.
 func (n *Node) ackLocked(s *seg) {
-	m := &msg{typ: msgAck, path: s.path, base: s.base, gen: s.gen}
+	m := n.stamp(&msg{typ: msgAck, path: s.path, base: s.base, gen: s.gen})
 	n.nd.Send(s.home, m.encode())
 }
 

@@ -1,0 +1,27 @@
+package prof
+
+import (
+	"io"
+	"sort"
+
+	"hemlock/internal/obsv"
+)
+
+// WriteFleetChrome merges the events of a fleet run — every machine's
+// events stamped with that machine's fleet index as the event PID — into
+// one Chrome trace_event file: one named track per machine, flow arrows
+// (PhaseFlowStart/PhaseFlowEnd pairs sharing a Flow id) drawn across
+// tracks for the write→push→apply replication path. Events are sorted by
+// timestamp so the file is valid regardless of sink interleaving.
+func WriteFleetChrome(w io.Writer, machines []string, events []obsv.Event) error {
+	ct := obsv.NewChromeTrace(w)
+	for i, name := range machines {
+		ct.Meta("process_name", i, name)
+	}
+	sorted := append([]obsv.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+	for _, e := range sorted {
+		ct.Emit(e)
+	}
+	return ct.Close()
+}

@@ -1,0 +1,54 @@
+package prof_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hemlock/internal/obsv"
+	"hemlock/internal/obsv/prof"
+)
+
+func TestWriteFleetChrome(t *testing.T) {
+	flow := obsv.FlowID("/lib/seg", 2)
+	events := []obsv.Event{
+		{TS: 3000, Subsys: "netshm", Name: "apply", Phase: obsv.PhaseInstant, PID: 1, Mod: "/lib/seg"},
+		{TS: 1000, Subsys: "netshm", Name: "write", Phase: obsv.PhaseInstant, PID: 0, Mod: "/lib/seg"},
+		{TS: 1000, Subsys: "netshm", Name: "repl", Phase: obsv.PhaseFlowStart, PID: 0, Flow: flow},
+		{TS: 3000, Subsys: "netshm", Name: "repl", Phase: obsv.PhaseFlowEnd, PID: 1, Flow: flow},
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteFleetChrome(&buf, []string{"vaxa", "vaxb"}, events); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	// One process_name metadata record per machine, naming its track.
+	names := map[float64]string{}
+	var flowPhases []string
+	for _, r := range recs {
+		switch r["ph"] {
+		case "M":
+			if r["name"] == "process_name" {
+				args := r["args"].(map[string]any)
+				names[r["pid"].(float64)] = args["name"].(string)
+			}
+		case "s", "f":
+			flowPhases = append(flowPhases, r["ph"].(string))
+			if r["id"].(float64) == 0 {
+				t.Fatalf("flow event with zero id: %v", r)
+			}
+		}
+	}
+	if names[0] != "vaxa" || names[1] != "vaxb" {
+		t.Fatalf("track names: %v", names)
+	}
+	// Events were fed out of order; the merged trace is TS-sorted, so the
+	// start precedes the end.
+	if len(flowPhases) != 2 || flowPhases[0] != "s" || flowPhases[1] != "f" {
+		t.Fatalf("flow phases: %v", flowPhases)
+	}
+}

@@ -1,0 +1,221 @@
+package prof_test
+
+import (
+	"strings"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+	"hemlock/internal/obsv"
+	"hemlock/internal/obsv/prof"
+)
+
+// ev builds one span event on the synthetic clock.
+func ev(ts int64, subsys, name string, phase obsv.Phase, pid int) obsv.Event {
+	return obsv.Event{TS: ts, Subsys: subsys, Name: name, Phase: phase, PID: pid}
+}
+
+func TestLaunchProfileSynthetic(t *testing.T) {
+	lp := prof.NewLaunchProfile()
+	seq := []obsv.Event{
+		// Noise before any launch: ignored.
+		ev(0, "kern", "exec", obsv.PhaseBegin, 1),
+		ev(1, "kern", "exec", obsv.PhaseEnd, 1),
+		ev(2, "kern", "spawn", obsv.PhaseInstant, 1),
+		// One launch: root 100ns, exec 90 (30 self), map_pages 60.
+		ev(10, "kern", "launch", obsv.PhaseBegin, 1),
+		ev(15, "kern", "exec", obsv.PhaseBegin, 1),
+		ev(20, "kern", "map_pages", obsv.PhaseBegin, 1),
+		ev(80, "kern", "map_pages", obsv.PhaseEnd, 1),
+		ev(105, "kern", "exec", obsv.PhaseEnd, 1),
+		ev(110, "kern", "launch", obsv.PhaseEnd, 1),
+	}
+	for _, e := range seq {
+		lp.Emit(e)
+	}
+	r := lp.Report()
+	if r.Launches != 1 || r.TotalNS != 100 {
+		t.Fatalf("launches=%d total=%d", r.Launches, r.TotalNS)
+	}
+	// Root self-time: 100 - 90 (exec) = 10ns unattributed.
+	if r.OtherNS != 10 {
+		t.Fatalf("other=%d, want 10", r.OtherNS)
+	}
+	if c := r.Coverage(); c < 0.89 || c > 0.91 {
+		t.Fatalf("coverage=%f, want 0.90", c)
+	}
+	byName := map[string]prof.PhaseStat{}
+	for _, p := range r.Phases {
+		byName[p.Name] = p
+	}
+	if p := byName["kern.exec"]; p.Total != 90 || p.Self != 30 || p.Count != 1 {
+		t.Fatalf("kern.exec = %+v", p)
+	}
+	if p := byName["kern.map_pages"]; p.Total != 60 || p.Self != 60 {
+		t.Fatalf("kern.map_pages = %+v", p)
+	}
+	if !strings.Contains(r.Table(), "(unattributed)") {
+		t.Fatalf("table missing unattributed row:\n%s", r.Table())
+	}
+}
+
+func TestLaunchProfileInterleavedPIDs(t *testing.T) {
+	// Two launches racing on different PIDs must not cross-attribute.
+	lp := prof.NewLaunchProfile()
+	for _, e := range []obsv.Event{
+		ev(0, "kern", "launch", obsv.PhaseBegin, 1),
+		ev(5, "kern", "launch", obsv.PhaseBegin, 2),
+		ev(10, "kern", "exec", obsv.PhaseBegin, 1),
+		ev(20, "kern", "exec", obsv.PhaseBegin, 2),
+		ev(30, "kern", "exec", obsv.PhaseEnd, 1),
+		ev(50, "kern", "exec", obsv.PhaseEnd, 2),
+		ev(60, "kern", "launch", obsv.PhaseEnd, 1),
+		ev(65, "kern", "launch", obsv.PhaseEnd, 2),
+	} {
+		lp.Emit(e)
+	}
+	r := lp.Report()
+	if r.Launches != 2 || r.TotalNS != 120 {
+		t.Fatalf("launches=%d total=%d", r.Launches, r.TotalNS)
+	}
+	var exec prof.PhaseStat
+	for _, p := range r.Phases {
+		if p.Name == "kern.exec" {
+			exec = p
+		}
+	}
+	if exec.Count != 2 || exec.Total != 50 { // 20 + 30
+		t.Fatalf("kern.exec = %+v", exec)
+	}
+}
+
+// TestLaunchProfileRealLaunch is the acceptance gate: profiling a real
+// launch through the assembled system must attribute at least 95% of the
+// wall time to named phases.
+func TestLaunchProfileRealLaunch(t *testing.T) {
+	s := core.NewSystem()
+	if _, err := s.Asm("/lib/counter.o", `
+        .data
+        .globl  hits
+hits:   .word   0
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Asm("/bin/main.o", `
+        .text
+        .globl  main
+        .extern hits
+main:   la      $t0, hits
+        lw      $v0, 0($t0)
+        addiu   $v0, $v0, 1
+        sw      $v0, 0($t0)
+        jr      $ra
+`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Link(&lds.Options{
+		Output: "a.out",
+		Modules: []lds.Input{
+			{Name: "main.o", Class: objfile.StaticPrivate},
+			{Name: "counter.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch-phase self times are wall-clock measurements, so an unlucky
+	// scheduler preemption between two spans can land tens of µs in the
+	// unattributed bucket of a single ~100µs launch. Aggregate a batch of
+	// launches and allow a retry: instrumentation gaps are systematic and
+	// would fail every attempt, while OS noise averages out.
+	const launches = 10
+	var r prof.LaunchReport
+	for attempt := 0; ; attempt++ {
+		lp := prof.NewLaunchProfile()
+		s.Obs().T.Attach(lp)
+		for i := 0; i < launches; i++ {
+			pg, err := s.Launch(res.Image, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pg.Run(100_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Obs().T.Detach(lp)
+		r = lp.Report()
+		if r.Launches != launches {
+			t.Fatalf("launches = %d, want %d", r.Launches, launches)
+		}
+		if r.TotalNS <= 0 {
+			t.Fatalf("total = %dns", r.TotalNS)
+		}
+		if r.Coverage() >= 0.95 {
+			break
+		}
+		if attempt == 3 {
+			t.Fatalf("launch coverage %.1f%% < 95%% on every attempt:\n%s", 100*r.Coverage(), r.Table())
+		}
+	}
+	byName := map[string]bool{}
+	for _, p := range r.Phases {
+		byName[p.Name] = true
+	}
+	for _, want := range []string{"kern.exec", "kern.map_pages", "ldl.start"} {
+		if !byName[want] {
+			t.Fatalf("no %s phase in:\n%s", want, r.Table())
+		}
+	}
+}
+
+// TestSpanDurationHistograms checks the no-call-site-changes satellite: the
+// same launch spans, routed through the SpanDurations sink, surface as
+// registry histograms under the derived "<subsys>.<name>_ns" names.
+func TestSpanDurationHistograms(t *testing.T) {
+	s := core.NewSystem()
+	s.Obs().T.Attach(obsv.NewSpanDurations(s.Obs().R))
+	if _, err := s.Asm("/bin/solo.o", ".text\n.globl main\nmain: li $v0,7\n jr $ra\n"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Link(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "solo.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/bin",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.Launch(res.Image, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Obs().R.Snapshot()
+	for _, want := range []string{"kern.launch_ns", "kern.exec_ns", "ldl.start_ns"} {
+		h, ok := snap.Histograms[want]
+		if !ok || h.Count == 0 {
+			t.Fatalf("no %s histogram; have %v", want, keys(snap.Histograms))
+		}
+	}
+	launch := snap.Histograms["kern.launch_ns"]
+	if launch.Count != 1 {
+		t.Fatalf("kern.launch_ns count = %d", launch.Count)
+	}
+	if launch.P95 < launch.P50 {
+		t.Fatalf("p95 %d < p50 %d", launch.P95, launch.P50)
+	}
+}
+
+func keys(m map[string]obsv.HistogramSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hemlock/internal/objfile"
+)
+
+// GuestSampler implements vm.Sampler: at each block/batch boundary the
+// interpreter reports the PC about to execute and the cumulative retired
+// count, and the sampler attributes the instructions retired since the
+// previous report to the previous PC — exact attribution at basic-block
+// granularity, not statistical sampling. Not safe for concurrent use;
+// install one per CPU.
+type GuestSampler struct {
+	counts    map[uint32]uint64
+	lastPC    uint32
+	lastSteps uint64
+	primed    bool
+	total     uint64
+}
+
+// NewGuestSampler returns an empty sampler.
+func NewGuestSampler() *GuestSampler {
+	return &GuestSampler{counts: map[uint32]uint64{}}
+}
+
+// Sample implements vm.Sampler.
+func (g *GuestSampler) Sample(pc uint32, steps uint64) {
+	if g.primed && steps > g.lastSteps {
+		d := steps - g.lastSteps
+		g.counts[g.lastPC] += d
+		g.total += d
+	}
+	g.lastPC = pc
+	g.lastSteps = steps
+	g.primed = true
+}
+
+// Flush attributes the tail — instructions retired after the last
+// boundary report — using the CPU's final PC and step count. Call it once
+// after the run finishes.
+func (g *GuestSampler) Flush(pc uint32, steps uint64) {
+	g.Sample(pc, steps)
+}
+
+// Total returns the number of attributed instructions.
+func (g *GuestSampler) Total() uint64 { return g.total }
+
+// ---- symbolization ----------------------------------------------------------
+
+// Module is one symbolization source: a named address range with its
+// defined symbols.
+type Module struct {
+	Name string
+	Lo   uint32
+	Hi   uint32 // exclusive
+	syms []objfile.ImageSym
+}
+
+// Symbolizer maps guest PCs to module:function names from whatever
+// sources are registered: the program image (objfile.Image.Symbols), each
+// ldl instance's exports, and symtab segment regions.
+type Symbolizer struct {
+	mods []Module
+}
+
+// AddModule registers a module covering [lo, hi) with the given symbols.
+// Symbols outside the range are kept (they still resolve by address);
+// order does not matter.
+func (s *Symbolizer) AddModule(name string, lo, hi uint32, syms []objfile.ImageSym) {
+	sorted := append([]objfile.ImageSym(nil), syms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	s.mods = append(s.mods, Module{Name: name, Lo: lo, Hi: hi, syms: sorted})
+	sort.Slice(s.mods, func(i, j int) bool { return s.mods[i].Lo < s.mods[j].Lo })
+}
+
+// Resolve maps pc to "module:function". Unknown PCs resolve to the bare
+// hex address; PCs inside a module but before its first symbol resolve to
+// "module:+0xoff".
+func (s *Symbolizer) Resolve(pc uint32) (module, fn string) {
+	for i := range s.mods {
+		m := &s.mods[i]
+		if pc < m.Lo || pc >= m.Hi {
+			continue
+		}
+		// Greatest symbol with Addr <= pc.
+		k := sort.Search(len(m.syms), func(j int) bool { return m.syms[j].Addr > pc })
+		if k == 0 {
+			return m.Name, fmt.Sprintf("+0x%x", pc-m.Lo)
+		}
+		return m.Name, m.syms[k-1].Name
+	}
+	return "", fmt.Sprintf("0x%08x", pc)
+}
+
+// ---- reports ----------------------------------------------------------------
+
+type symCount struct {
+	module string
+	fn     string
+	n      uint64
+}
+
+func (g *GuestSampler) bySymbol(sym *Symbolizer) []symCount {
+	agg := map[[2]string]uint64{}
+	for pc, n := range g.counts {
+		m, f := sym.Resolve(pc)
+		agg[[2]string{m, f}] += n
+	}
+	out := make([]symCount, 0, len(agg))
+	for k, n := range agg {
+		out = append(out, symCount{module: k[0], fn: k[1], n: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		if out[i].module != out[j].module {
+			return out[i].module < out[j].module
+		}
+		return out[i].fn < out[j].fn
+	})
+	return out
+}
+
+// TopN renders the n hottest symbols as a text table.
+func (g *GuestSampler) TopN(sym *Symbolizer, n int) string {
+	rows := g.bySymbol(sym)
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %7s  %s\n", "instructions", "%", "symbol")
+	for _, r := range rows {
+		pct := 0.0
+		if g.total > 0 {
+			pct = 100 * float64(r.n) / float64(g.total)
+		}
+		name := r.fn
+		if r.module != "" {
+			name = r.module + ":" + r.fn
+		}
+		fmt.Fprintf(&b, "%12d %6.1f%%  %s\n", r.n, pct, name)
+	}
+	return b.String()
+}
+
+// Folded renders the profile in folded-stack format ("module;function
+// count" per line, name-sorted), ready for flamegraph.pl or speedscope.
+func (g *GuestSampler) Folded(sym *Symbolizer) string {
+	rows := g.bySymbol(sym)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].module != rows[j].module {
+			return rows[i].module < rows[j].module
+		}
+		return rows[i].fn < rows[j].fn
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		mod := r.module
+		if mod == "" {
+			mod = "(unknown)"
+		}
+		fmt.Fprintf(&b, "%s;%s %d\n", mod, r.fn, r.n)
+	}
+	return b.String()
+}

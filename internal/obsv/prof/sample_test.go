@@ -1,0 +1,83 @@
+package prof_test
+
+import (
+	"strings"
+	"testing"
+
+	"hemlock/internal/objfile"
+	"hemlock/internal/obsv/prof"
+)
+
+func TestGuestSamplerAttribution(t *testing.T) {
+	g := prof.NewGuestSampler()
+	// Boundary reports: 100 instructions at 0x1000, then 50 at 0x2000,
+	// then a 25-instruction tail flushed at the final PC.
+	g.Sample(0x1000, 0)
+	g.Sample(0x2000, 100)
+	g.Sample(0x1000, 150)
+	g.Flush(0x3000, 175)
+	if g.Total() != 175 {
+		t.Fatalf("total = %d, want 175", g.Total())
+	}
+
+	sym := &prof.Symbolizer{}
+	sym.AddModule("main", 0x1000, 0x1800, []objfile.ImageSym{
+		{Name: "main", Addr: 0x1000},
+	})
+	sym.AddModule("libshared", 0x2000, 0x2800, []objfile.ImageSym{
+		{Name: "helper", Addr: 0x2000},
+	})
+	top := g.TopN(sym, 10)
+	if !strings.Contains(top, "main:main") || !strings.Contains(top, "libshared:helper") {
+		t.Fatalf("TopN:\n%s", top)
+	}
+	// 125 of 175 instructions in main:main -> it leads the table.
+	lines := strings.Split(strings.TrimSpace(top), "\n")
+	if len(lines) < 3 || !strings.Contains(lines[1], "main:main") || !strings.Contains(lines[1], "125") {
+		t.Fatalf("hottest row wrong:\n%s", top)
+	}
+
+	folded := g.Folded(sym)
+	for _, want := range []string{"main;main 125", "libshared;helper 50"} {
+		if !strings.Contains(folded, want) {
+			t.Fatalf("folded missing %q:\n%s", want, folded)
+		}
+	}
+}
+
+func TestSamplerDecreasingStepsIgnored(t *testing.T) {
+	// A CPU snapshot-restore can rewind Steps; the delta must be dropped,
+	// not underflow.
+	g := prof.NewGuestSampler()
+	g.Sample(0x1000, 100)
+	g.Sample(0x2000, 50)
+	g.Sample(0x3000, 60)
+	if g.Total() != 10 {
+		t.Fatalf("total = %d, want 10", g.Total())
+	}
+}
+
+func TestSymbolizerResolution(t *testing.T) {
+	sym := &prof.Symbolizer{}
+	sym.AddModule("app", 0x400000, 0x400100, []objfile.ImageSym{
+		{Name: "main", Addr: 0x400010},
+		{Name: "loop", Addr: 0x400040},
+	})
+	cases := []struct {
+		pc      uint32
+		mod, fn string
+	}{
+		{0x400010, "app", "main"},
+		{0x40003C, "app", "main"},
+		{0x400040, "app", "loop"},
+		{0x4000FC, "app", "loop"},
+		{0x400004, "app", "+0x4"},    // inside module, before first symbol
+		{0x500000, "", "0x00500000"}, // outside every module
+	}
+	for _, c := range cases {
+		mod, fn := sym.Resolve(c.pc)
+		if mod != c.mod || fn != c.fn {
+			t.Errorf("Resolve(%#x) = %q,%q want %q,%q", c.pc, mod, fn, c.mod, c.fn)
+		}
+	}
+}

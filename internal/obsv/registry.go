@@ -87,10 +87,18 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
-// HistogramSnapshot is the exported state of a histogram.
+// HistogramSnapshot is the exported state of a histogram. P50/P95/P99 are
+// quantile estimates derived from the power-of-two buckets by linear
+// interpolation inside the bucket that holds the quantile rank, so they
+// carry the same coarse-but-free precision as the buckets themselves
+// (within a factor of two of the true value, exact for single-valued
+// buckets).
 type HistogramSnapshot struct {
 	Count   uint64            `json:"count"`
 	Sum     uint64            `json:"sum"`
+	P50     uint64            `json:"p50"`
+	P95     uint64            `json:"p95"`
+	P99     uint64            `json:"p99"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
@@ -118,7 +126,40 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: n})
 	}
+	s.P50 = s.quantile(0.50)
+	s.P95 = s.quantile(0.95)
+	s.P99 = s.quantile(0.99)
 	return s
+}
+
+// quantile estimates the q-quantile from the bucket counts: walk to the
+// bucket containing the rank, then interpolate linearly between the
+// bucket's lower bound (half its Le range) and Le.
+func (s HistogramSnapshot) quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if next >= rank {
+			lo := uint64(0)
+			if b.Le > 0 {
+				lo = b.Le/2 + 1 // bucket k spans [2^(k-1), 2^k - 1]
+			}
+			if b.Le <= lo {
+				return b.Le
+			}
+			frac := (rank - cum) / float64(b.Count)
+			return lo + uint64(frac*float64(b.Le-lo))
+		}
+		cum = next
+	}
+	if n := len(s.Buckets); n > 0 {
+		return s.Buckets[n-1].Le
+	}
+	return 0
 }
 
 // ---- registry ----------------------------------------------------------------
@@ -284,7 +325,8 @@ func (s Snapshot) Text() string {
 	writeSorted("gauges", gl)
 	var hl []string
 	for k, h := range s.Histograms {
-		hl = append(hl, fmt.Sprintf("  %-28s count=%d sum=%d", k, h.Count, h.Sum))
+		hl = append(hl, fmt.Sprintf("  %-28s count=%d sum=%d p50=%d p95=%d p99=%d",
+			k, h.Count, h.Sum, h.P50, h.P95, h.P99))
 	}
 	writeSorted("histograms", hl)
 	return b.String()

@@ -163,3 +163,95 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Fatalf("hist count = %d, want %d", s.Histograms["shared.hist"].Count, workers*per)
 	}
 }
+
+func TestHistogramPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("p.latency")
+	// 100 observations 1..100: exact percentiles are 50, 95, 99. The
+	// estimate interpolates inside power-of-two buckets, so allow the
+	// bucket-granularity error but require the right neighborhood.
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["p.latency"]
+	check := func(name string, got, exact uint64) {
+		t.Helper()
+		lo, hi := exact/2, exact*2
+		if got < lo || got > hi {
+			t.Fatalf("%s = %d, want within [%d,%d] of exact %d", name, got, lo, hi, exact)
+		}
+	}
+	check("p50", s.P50, 50)
+	check("p95", s.P95, 95)
+	check("p99", s.P99, 99)
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("percentiles not monotone: %d %d %d", s.P50, s.P95, s.P99)
+	}
+
+	// A single observation: every percentile lands in its bucket.
+	r.Histogram("p.one").Observe(5)
+	one := r.Snapshot().Histograms["p.one"]
+	if one.P50 < 4 || one.P50 > 7 || one.P99 < 4 || one.P99 > 7 {
+		t.Fatalf("single-sample percentiles: %+v", one)
+	}
+
+	// Zero observations: all-zero snapshot, no division by zero.
+	var empty HistogramSnapshot
+	if empty.P50 != 0 || empty.P95 != 0 || empty.P99 != 0 {
+		t.Fatalf("empty percentiles: %+v", empty)
+	}
+
+	// The text rendering carries the percentiles; so does the JSON.
+	text := r.Snapshot().Text()
+	if !strings.Contains(text, "p50=") || !strings.Contains(text, "p99=") {
+		t.Fatalf("text snapshot missing percentiles:\n%s", text)
+	}
+	b, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("JSON snapshot missing %s:\n%s", want, b)
+		}
+	}
+}
+
+func TestSpanDurationsSink(t *testing.T) {
+	// A deterministic clock drives the tracer; the sink turns each B/E
+	// pair into an observation of "subsys.name_ns" with no call-site
+	// cooperation beyond the span itself.
+	now := int64(0)
+	tr := NewTracer(func() int64 { return now })
+	r := NewRegistry()
+	tr.Attach(NewSpanDurations(r))
+
+	sp := tr.Begin("kern", "run", 1, "")
+	now = 250
+	sp.End(0)
+
+	// Nested same-name spans pair innermost-first.
+	outer := tr.Begin("ldl", "link", 2, "")
+	now = 300
+	inner := tr.Begin("ldl", "link", 2, "")
+	now = 310
+	inner.End(0)
+	now = 400
+	outer.End(0)
+
+	// An unmatched End (sink attached mid-span) is tolerated.
+	tr.Emit(Event{Subsys: "x", Name: "y", Phase: PhaseEnd, PID: 9})
+
+	s := r.Snapshot()
+	run := s.Histograms["kern.run_ns"]
+	if run.Count != 1 || run.Sum != 250 {
+		t.Fatalf("kern.run_ns = %+v", run)
+	}
+	link := s.Histograms["ldl.link_ns"]
+	if link.Count != 2 || link.Sum != 10+150 {
+		t.Fatalf("ldl.link_ns = %+v (want durations 10 and 150)", link)
+	}
+	if _, ok := s.Histograms["x.y_ns"]; ok {
+		t.Fatal("unmatched End produced a histogram")
+	}
+}

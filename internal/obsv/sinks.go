@@ -101,6 +101,10 @@ func appendEventJSON(b []byte, e Event) []byte {
 		b = append(b, `,"val":`...)
 		b = strconv.AppendUint(b, e.Val, 10)
 	}
+	if e.Flow != 0 {
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendUint(b, e.Flow, 10)
+	}
 	b = append(b, '}')
 	return b
 }
@@ -213,6 +217,22 @@ func (t *ChromeTrace) Emit(e Event) {
 	if e.Phase == PhaseInstant {
 		b = append(b, `","s":"t`...) // instant scope: thread
 	}
+	if e.Phase == PhaseFlowStart || e.Phase == PhaseFlowEnd {
+		b = append(b, `","id":`...)
+		b = strconv.AppendUint(b, e.Flow, 10)
+		if e.Phase == PhaseFlowEnd {
+			b = append(b, `,"bp":"e"`...) // bind to enclosing slice
+		}
+		b = append(b, `,"ts":`...)
+		b = strconv.AppendInt(b, e.TS/1000, 10)
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendInt(b, int64(e.PID), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.PID), 10)
+		b = append(b, `,"args":{}}`...)
+		_, t.err = t.w.Write(b)
+		return
+	}
 	b = append(b, `","ts":`...)
 	b = strconv.AppendInt(b, e.TS/1000, 10) // microseconds
 	b = append(b, `,"pid":`...)
@@ -242,6 +262,32 @@ func (t *ChromeTrace) Emit(e Event) {
 		b = append(b, `"val":`...)
 		b = strconv.AppendUint(b, e.Val, 10)
 	}
+	b = append(b, "}}"...)
+	_, t.err = t.w.Write(b)
+}
+
+// Meta writes a trace_event metadata record, naming the track for pid.
+// Used by the fleet merger to label one track per machine.
+func (t *ChromeTrace) Meta(name string, pid int, value string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.done {
+		return
+	}
+	var buf [192]byte
+	b := buf[:0]
+	if t.first {
+		b = append(b, "[\n"...)
+		t.first = false
+	} else {
+		b = append(b, ",\n"...)
+	}
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = strconv.AppendQuote(b, value)
 	b = append(b, "}}"...)
 	_, t.err = t.w.Write(b)
 }
@@ -291,6 +337,10 @@ func (t *Text) Emit(e Event) {
 		ph = " begin"
 	case PhaseEnd:
 		ph = " end"
+	case PhaseFlowStart:
+		ph = " flow_start"
+	case PhaseFlowEnd:
+		ph = " flow_end"
 	}
 	fmt.Fprintf(t.w, "%10dns %s: %s%s pid=%d", e.TS, e.Subsys, e.Name, ph, e.PID)
 	if e.Mod != "" {

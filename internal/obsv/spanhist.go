@@ -1,0 +1,70 @@
+package obsv
+
+import "sync"
+
+// SpanDurations is a sink that derives duration histograms from B/E event
+// pairs: a span emitted as subsys "kern", name "run" feeds the registry
+// histogram "kern.run_ns" with its nanosecond duration. Call sites need no
+// changes — any span bracketed by the tracer is captured — and because
+// this is an ordinary sink the zero-alloc disabled path of the tracer is
+// untouched: when no sink is attached nothing here runs.
+//
+// Nesting of same-named spans within one PID is handled with a stack, so
+// recursive or re-entrant spans pair innermost-first.
+type SpanDurations struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	open  map[spanKey][]int64   // begin timestamps, innermost last
+	hists map[string]*Histogram // "subsys.name_ns" → histogram, cached
+}
+
+type spanKey struct {
+	subsys string
+	name   string
+	pid    int
+}
+
+// NewSpanDurations returns a sink feeding span durations into r.
+func NewSpanDurations(r *Registry) *SpanDurations {
+	return &SpanDurations{
+		reg:   r,
+		open:  map[spanKey][]int64{},
+		hists: map[string]*Histogram{},
+	}
+}
+
+// Emit implements Sink.
+func (d *SpanDurations) Emit(e Event) {
+	if e.Phase != PhaseBegin && e.Phase != PhaseEnd {
+		return
+	}
+	k := spanKey{subsys: e.Subsys, name: e.Name, pid: e.PID}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e.Phase == PhaseBegin {
+		d.open[k] = append(d.open[k], e.TS)
+		return
+	}
+	stack := d.open[k]
+	if len(stack) == 0 {
+		return // unmatched End: tolerate, e.g. sink attached mid-span
+	}
+	begin := stack[len(stack)-1]
+	if len(stack) == 1 {
+		delete(d.open, k)
+	} else {
+		d.open[k] = stack[:len(stack)-1]
+	}
+	name := e.Subsys + "." + e.Name + "_ns"
+	h, ok := d.hists[name]
+	if !ok {
+		h = d.reg.Histogram(name)
+		d.hists[name] = h
+	}
+	dur := e.TS - begin
+	if dur < 0 {
+		dur = 0
+	}
+	h.Observe(uint64(dur))
+}

@@ -13,9 +13,11 @@ type Phase byte
 
 // Phases.
 const (
-	PhaseInstant Phase = 'i'
-	PhaseBegin   Phase = 'B'
-	PhaseEnd     Phase = 'E'
+	PhaseInstant   Phase = 'i'
+	PhaseBegin     Phase = 'B'
+	PhaseEnd       Phase = 'E'
+	PhaseFlowStart Phase = 's'
+	PhaseFlowEnd   Phase = 'f'
 )
 
 func (p Phase) String() string {
@@ -26,6 +28,10 @@ func (p Phase) String() string {
 		return "begin"
 	case PhaseEnd:
 		return "end"
+	case PhaseFlowStart:
+		return "flow_start"
+	case PhaseFlowEnd:
+		return "flow_end"
 	}
 	return "phase(?)"
 }
@@ -37,13 +43,14 @@ func (p Phase) String() string {
 // reloc count).
 type Event struct {
 	TS     int64  // nanoseconds on the tracer's clock
-	Subsys string // "kern", "vm", "addrspace", "ldl", "shmfs", "shalloc"
+	Subsys string // "kern", "vm", "addrspace", "ldl", "shmfs", "shalloc", "netshm"
 	Name   string
 	Phase  Phase
 	PID    int
 	Mod    string
 	Addr   uint32
 	Val    uint64
+	Flow   uint64 // correlation id tying a PhaseFlowStart to its PhaseFlowEnd
 }
 
 // Sink receives events from a Tracer. Implementations must be safe for
@@ -142,6 +149,27 @@ func (t *Tracer) Emit(e Event) {
 	for _, s := range t.sinks {
 		s.Emit(e)
 	}
+}
+
+// FlowID derives a stable correlation id for a causal flow (e.g. one
+// netshm replication generation) from a name and a sequence number:
+// FNV-1a of the name XORed with the sequence. Never zero, so sinks can
+// treat Flow == 0 as "no flow".
+func FlowID(name string, seq uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= seq
+	if h == 0 {
+		h = offset64
+	}
+	return h
 }
 
 // Span is an in-flight begin/end pair. The zero Span (from a disabled

@@ -167,6 +167,9 @@ func (h *Heap) Alloc(n uint32) (uint32, error) {
 	if n < minPayload {
 		n = minPayload
 	}
+	sp := h.tracer.Begin("shalloc", "alloc", h.pid, "")
+	granted := uint64(0)
+	defer func() { sp.End(granted) }()
 	var prev uint32 // address of the free-list link pointing at cur (0 = head)
 	cur, err := h.m.LoadWord(h.base + hdrFreeHead)
 	if err != nil {
@@ -214,8 +217,9 @@ func (h *Heap) Alloc(n uint32) (uint32, error) {
 				return 0, err
 			}
 			h.ctrAlloc.Inc()
+			granted = uint64(sz)
 			if h.tracer.Enabled() {
-				h.tracer.Emit(obsv.Event{Subsys: "shalloc", Name: "alloc", PID: h.pid, Addr: cur + blockHdr, Val: uint64(sz)})
+				h.tracer.Emit(obsv.Event{Subsys: "shalloc", Name: "alloc_at", PID: h.pid, Addr: cur + blockHdr, Val: uint64(sz)})
 			}
 			return cur + blockHdr, nil
 		}

@@ -816,6 +816,8 @@ func (fs *FS) SetSize(p string, size uint32) error {
 // size bytes first so that all needed frames exist. The caller maps these
 // frames into an address space; the frames remain owned by the file.
 func (fs *FS) Frames(p string, size uint32, uid int, write bool) ([]*mem.Frame, Stat, error) {
+	sp := fs.tracer.Begin("shmfs", "frames", 0, Clean(p))
+	defer sp.End(0)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	nd, err := fs.walk(p, true, 0)

@@ -1,0 +1,29 @@
+package symtab
+
+import "hemlock/internal/objfile"
+
+// ProfileSymbols exposes the segment's table regions as pseudo-symbols
+// for the guest profiler's symbolizer: an address sampled inside the
+// tables segment resolves to the region it landed in — "(transitions)",
+// "(actions)", "(names)" — instead of a bare offset, so a profile of the
+// compiler shows which shared table it was walking. base is the segment's
+// globally-agreed address (the root pointer location).
+func (st *SegTables) ProfileSymbols(base uint32) []objfile.ImageSym {
+	syms := []objfile.ImageSym{
+		{Name: "(root)", Addr: base},
+		{Name: "(descriptor)", Addr: st.desc},
+	}
+	for _, r := range []struct {
+		off  uint32
+		name string
+	}{
+		{descTrans, "(transitions)"},
+		{descActions, "(actions)"},
+		{descNames, "(names)"},
+	} {
+		if p, err := st.m.LoadWord(st.desc + r.off); err == nil && p != 0 {
+			syms = append(syms, objfile.ImageSym{Name: r.name, Addr: p})
+		}
+	}
+	return syms
+}

@@ -1,0 +1,34 @@
+package symtab
+
+import "testing"
+
+func TestProfileSymbols(t *testing.T) {
+	tbl := Generate(25, 8, 3)
+	as, base, size := segMem(t)
+	if _, err := WriteSegment(as, base, size, tbl); err != nil {
+		t.Fatal(err)
+	}
+	st, err := AttachSegment(as, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := st.ProfileSymbols(base)
+	byName := map[string]uint32{}
+	for _, s := range syms {
+		byName[s.Name] = s.Addr
+	}
+	for _, want := range []string{"(root)", "(descriptor)", "(transitions)", "(actions)", "(names)"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("no %s pseudo-symbol in %v", want, syms)
+		}
+	}
+	if byName["(root)"] != base {
+		t.Fatalf("(root) at %#x, want %#x", byName["(root)"], base)
+	}
+	// Every table region lives inside the segment, after the descriptor.
+	for _, name := range []string{"(transitions)", "(actions)", "(names)"} {
+		if a := byName[name]; a <= base || a >= base+size {
+			t.Fatalf("%s at %#x outside segment [%#x,%#x)", name, a, base, base+size)
+		}
+	}
+}

@@ -377,6 +377,7 @@ outer:
 	for {
 		c.Steps += retired
 		retired = 0
+		c.sample(0)
 		if left == 0 {
 			c.FlushObsv()
 			return EventStep, nil
@@ -627,6 +628,7 @@ outer:
 			}
 			c.stats.BlockHits++
 			b = nb
+			c.sample(retired)
 		}
 	}
 }

@@ -1,0 +1,24 @@
+package vm
+
+// Sampler receives guest-PC samples from the interpreter at batch and
+// block boundaries: each call reports the PC about to execute and the
+// cumulative retired-instruction count, so a sampler can attribute the
+// steps since the previous call to the previous PC. The hook costs one
+// nil check per block boundary when no sampler is installed and must not
+// allocate on the interpreter side (see TestSampleHookAllocs).
+type Sampler interface {
+	Sample(pc uint32, steps uint64)
+}
+
+// SetSampler installs (or, with nil, removes) the guest-PC sampler.
+func (c *CPU) SetSampler(s Sampler) {
+	c.sampler = s
+}
+
+// sample reports the current PC and retired count to the sampler, if any.
+// extra is the count retired since the last fold into c.Steps.
+func (c *CPU) sample(extra uint64) {
+	if c.sampler != nil {
+		c.sampler.Sample(c.PC, c.Steps+extra)
+	}
+}

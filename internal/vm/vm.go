@@ -200,6 +200,11 @@ type CPU struct {
 	// (SetBlockEngine, or HEMLOCK_BLOCK_ENGINE=0 at process level).
 	blocksOff bool
 
+	// sampler, when installed via SetSampler, receives guest-PC samples at
+	// batch and block boundaries. Nil (the default) costs one comparison
+	// per boundary.
+	sampler Sampler
+
 	dtlb [tlbSize]tlbEnt
 	itlb [tlbSize]tlbEnt
 	ic   [icSize]*icPage
@@ -557,6 +562,7 @@ func (c *CPU) RunBatch(max uint64) (Event, error) {
 // fetch through the I-TLB + predecoded icache, execute, repeat. The block
 // engine delegates budget tails to it so a batch never over-retires.
 func (c *CPU) runBatchSlow(max uint64) (Event, error) {
+	c.sample(0)
 	for n := uint64(0); n < max; n++ {
 		in, err := c.fetch(c.PC)
 		if err != nil {
@@ -606,5 +612,6 @@ func (c *CPU) Snapshot() CPU {
 		CtrBlockInval: c.CtrBlockInval,
 		CtrFusedOps:   c.CtrFusedOps,
 		blocksOff:     c.blocksOff,
+		sampler:       c.sampler,
 	}
 }
