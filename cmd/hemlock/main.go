@@ -16,6 +16,9 @@
 //	hemlock layout <image>                        print the address map (Figure 3)
 //	hemlock fsck                                  check & peruse all segments
 //	hemlock fleet [-n 8] [-loss 20] [-rounds 3]   run an rwho fleet over netshm
+//	hemlock serve [-addr host:port] [-demo]       HTTP daemon over the persistent world
+//	hemlock load [-addr URL] [-clients N]         drive load, print the latency table
+//	hemlock doctor                                self-check segments, heaps and images
 //
 // Every subcommand accepts -img <file> (default hemlock.img) and
 // -trace <file>, which captures every kernel/VM/linker event: JSON Lines
@@ -48,7 +51,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] [-profile launch|guest [-profile-out file]] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck|fleet> ...")
+	fmt.Fprintln(os.Stderr, "usage: hemlock [-img file] [-trace file] [-profile launch|guest [-profile-out file]] <mkfs|cp|cat|as|lds|run|stats|ls|stat|rm|nm|dis|layout|fsck|fleet|serve|load|doctor> ...")
 	os.Exit(2)
 }
 
@@ -279,6 +282,20 @@ parsed:
 		}
 	case "fsck":
 		if err := cmdFsck(s, out); err != nil {
+			return err
+		}
+	case "serve":
+		if err := cmdServe(s, rest, out); err != nil {
+			return err
+		}
+		dirty = true // the daemon's world persists across restarts
+	case "load":
+		if err := cmdLoad(s, rest, out); err != nil {
+			return err
+		}
+		dirty = true // in-process runs launch programs into the image
+	case "doctor":
+		if err := cmdDoctor(s, rest, out); err != nil {
 			return err
 		}
 	default:

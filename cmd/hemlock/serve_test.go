@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCLILoadInProcess runs the load subcommand's in-process mode against
+// a fresh image: it installs the kv demo, launches the resident agent,
+// fires the mix and prints the latency table.
+func TestCLILoadInProcess(t *testing.T) {
+	dir := t.TempDir()
+	cli(t, dir, "mkfs")
+	out := cli(t, dir, "load", "-clients", "4", "-requests", "25", "-mix", "mixed")
+	for _, want := range []string{"100 requests", "p50", "p95", "p99", "0 errors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("load output missing %q:\n%s", want, out)
+		}
+	}
+	// The in-process run persisted its world: the demo image is now on
+	// the disk image, and a follow-up doctor run finds a healthy machine.
+	out = cli(t, dir, "doctor")
+	if !strings.Contains(out, "healthy") {
+		t.Fatalf("doctor output:\n%s", out)
+	}
+}
+
+// TestCLIDoctorCritical exercises the failure path: a deliberately
+// slot-exhausted segment makes doctor print a CRIT finding and exit
+// non-zero.
+func TestCLIDoctorCritical(t *testing.T) {
+	dir := t.TempDir()
+	cli(t, dir, "mkfs")
+	// Grow a segment to the full 1 MiB inode slot.
+	big := writeHostFile(t, dir, "big.bin", strings.Repeat("x", 1<<20))
+	cli(t, dir, "cp", big, "/fat")
+	err := cliErr(t, dir, "doctor")
+	if !strings.Contains(err.Error(), "critical") {
+		t.Fatalf("doctor error: %v", err)
+	}
+}
+
+func TestCLIBadMix(t *testing.T) {
+	dir := t.TempDir()
+	cli(t, dir, "mkfs")
+	if err := cliErr(t, dir, "load", "-mix", "bogus"); !strings.Contains(err.Error(), "unknown mix") {
+		t.Fatalf("err = %v", err)
+	}
+}

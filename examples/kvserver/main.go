@@ -12,20 +12,86 @@
 //     the paper proposes in section 6, with the request record in shared
 //     memory — one cheap crossing, no marshalling;
 //
-//  3. classical message-passing RPC: linearise, copy in, copy out, parse.
+//  3. classical message-passing RPC: linearise, copy in, copy out, parse;
+//
+//  4. the hemlock serve HTTP API: a daemon owns a persistent machine whose
+//     resident agent keeps the table in a shared segment, and remote
+//     clients launch programs, call exported functions and read shared
+//     variables over TCP — message passing on the outside, shared memory
+//     on the inside.
 //
 //     go run ./examples/kvserver
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
 	"time"
 
 	"hemlock/internal/baseline"
+	"hemlock/internal/core"
 	"hemlock/internal/kern"
+	"hemlock/internal/server"
 	"hemlock/internal/svc"
 )
+
+// startDaemon boots a fresh machine with the kv demo installed, a parked
+// resident agent (crt0/ldl start-up done, main never run, so its exports
+// stay callable), and the HTTP daemon on an ephemeral port. The returned
+// shutdown delivers the same fake SIGTERM the signal handler would see
+// and waits for the drain.
+func startDaemon() (base string, shutdown func() error, err error) {
+	sys := core.NewSystem()
+	if _, err := server.InstallDemo(sys); err != nil {
+		return "", nil, err
+	}
+	srv := server.New(sys, server.Config{})
+	if _, err := srv.Launch(&server.LaunchRequest{Name: "agent", Exe: server.DemoExe}, 0); err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ln, sigs) }()
+	shutdown = func() error {
+		sigs <- syscall.SIGTERM
+		return <-done
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// postJSON posts a request body and returns the raw response body.
+func postJSON(base, path string, req any) ([]byte, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, fmt.Errorf("%s: %s: %s", path, resp.Status, body)
+	}
+	return body, nil
+}
 
 const ops = 2000
 
@@ -39,8 +105,8 @@ func main() {
 	}
 
 	// The server process owns the table.
-	server := k.Spawn(0)
-	tab, err := svc.CreateTable(k, server, "/srv/kv", 1024)
+	owner := k.Spawn(0)
+	tab, err := svc.CreateTable(k, owner, "/srv/kv", 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,6 +179,47 @@ func main() {
 	}
 	rpcDur := time.Since(t0) / ops
 
+	// Style 4: the HTTP daemon. Launch a program, put through an exported
+	// call, then read the same value back both via a call and straight out
+	// of the shared segment with a var read.
+	base, shutdown, err := startDaemon()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := postJSON(base, "/api/launch", &server.LaunchRequest{Exe: server.DemoExe, Run: true}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := postJSON(base, "/api/call", &server.CallRequest{
+		Program: "agent", Fn: "kv_put", Args: []uint32{7, 49}}); err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	for i := 0; i < ops; i++ {
+		body, err := postJSON(base, "/api/call", &server.CallRequest{
+			Program: "agent", Fn: "kv_get", Args: []uint32{7}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cr server.CallResponse
+		if err := json.Unmarshal(body, &cr); err != nil || cr.Ret != 49 {
+			log.Fatalf("http get: %s, %v", body, err)
+		}
+	}
+	httpDur := time.Since(t0) / ops
+	resp, err := http.Get(base + "/api/var?program=agent&name=kv_table&off=28")
+	if err != nil {
+		log.Fatal(err)
+	}
+	varBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vr server.VarResponse
+	if err := json.Unmarshal(varBody, &vr); err != nil || vr.Value != 49 {
+		log.Fatalf("http var read: %s, %v", varBody, err)
+	}
+	if err := shutdown(); err != nil {
+		log.Fatal(err)
+	}
+
 	// A write through the PD service is immediately visible to the direct
 	// client: one table, three doors.
 	if err := pd.Put(9999, 123); err != nil {
@@ -126,6 +233,7 @@ func main() {
 	fmt.Printf("  shared data, spin lock:   %v\n", direct)
 	fmt.Printf("  protection-domain call:   %v (%.1fx direct)\n", pdDur, float64(pdDur)/float64(direct))
 	fmt.Printf("  message-passing RPC:      %v (%.1fx direct)\n", rpcDur, float64(rpcDur)/float64(direct))
+	fmt.Printf("  HTTP call into daemon:    %v (%.1fx direct)\n", httpDur, float64(httpDur)/float64(direct))
 	fmt.Println("\n(the paper: boundaries become acceptable when crossing is cheap —")
 	fmt.Println(" and even more so when sharing means not crossing at all)")
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hemlock/internal/server"
+)
+
+// TestHTTPAPIEndToEnd drives the daemon the way main's fourth style does
+// — launch, call, shared-var read over real TCP — and asserts the actual
+// response bodies, not just decoded fields.
+func TestHTTPAPIEndToEnd(t *testing.T) {
+	base, shutdown, err := startDaemon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// Launch: a fresh program boots from the shared demo image and runs
+	// its main to completion.
+	body, err := postJSON(base, "/api/launch", &server.LaunchRequest{
+		Name: "worker", Exe: server.DemoExe, Run: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"program":"worker"`, `"exited":true`, `"exit_code":0`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("launch body missing %s: %s", want, body)
+		}
+	}
+
+	// Call: kv_put returns the slot's previous value, kv_get the stored one.
+	body, err = postJSON(base, "/api/call", &server.CallRequest{
+		Program: "agent", Fn: "kv_put", Args: []uint32{3, 1234}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"ret":0`) {
+		t.Fatalf("kv_put body: %s", body)
+	}
+	body, err = postJSON(base, "/api/call", &server.CallRequest{
+		Program: "agent", Fn: "kv_get", Args: []uint32{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"ret":1234`) {
+		t.Fatalf("kv_get body: %s", body)
+	}
+
+	// Shared-var read: the same 1234 sits in the kv_table segment at
+	// slot 3 (byte offset 12), visible without calling any guest code.
+	resp, err := http.Get(base + "/api/var?program=agent&name=kv_table&off=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("var read: %s: %s", resp.Status, body)
+	}
+	for _, want := range []string{`"name":"kv_table"`, `"value":1234`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("var body missing %s: %s", want, body)
+		}
+	}
+	var vr server.VarResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Off != 12 || vr.Addr == 0 {
+		t.Fatalf("var response: %+v", vr)
+	}
+}

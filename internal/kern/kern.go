@@ -171,6 +171,7 @@ type Process struct {
 
 	brk      uint32 // heap break
 	privBase uint32 // bump allocator for dynamic private module instances
+	callStub uint32 // CallFunction's return-stub page (0 until first call)
 
 	mappedSlots map[int]bool // shared-fs inodes currently mapped
 
@@ -371,6 +372,7 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	child.CPU.AS = child.AS
 	child.brk = parent.brk
 	child.privBase = parent.privBase
+	child.callStub = parent.callStub // stub page is in the cloned private range
 	for ino := range parent.mappedSlots {
 		child.mappedSlots[ino] = true
 	}

@@ -1,0 +1,100 @@
+package load
+
+import (
+	"net"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/server"
+)
+
+func newDemoServer(t *testing.T) *server.Server {
+	t.Helper()
+	sys := core.NewSystem()
+	if _, err := server.InstallDemo(sys); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(sys, server.Config{})
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.Launch(&server.LaunchRequest{Name: "agent", Exe: server.DemoExe}, 0); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLoadInProcess10k is the acceptance run: ≥10,000 mixed requests
+// against one daemon, zero errors, and a latency table with percentiles.
+func TestLoadInProcess10k(t *testing.T) {
+	clients, requests := 16, 625 // 10,000 requests
+	if testing.Short() {
+		clients, requests = 8, 25
+	}
+	s := newDemoServer(t)
+	rep, err := Run(NewDirect(s), Config{Clients: clients, Requests: requests, Mix: MixMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != clients*requests {
+		t.Fatalf("requests = %d, want %d", rep.Requests, clients*requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors; first: %s", rep.Errors, rep.FirstErr)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %f", rep.Throughput)
+	}
+	table := rep.Table()
+	for _, want := range []string{"p50", "p95", "p99", "call", "launch", "var_read", "var_write"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	var calls uint64
+	for _, o := range rep.Ops {
+		calls += o.Count
+	}
+	if calls != uint64(rep.Requests) {
+		t.Fatalf("op counts sum to %d, want %d", calls, rep.Requests)
+	}
+}
+
+// TestLoadOverTCP drives the same mix through real sockets against a
+// daemon running under its own signal-driven lifecycle.
+func TestLoadOverTCP(t *testing.T) {
+	s := newDemoServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ln, sigs) }()
+
+	rep, err := Run(NewHTTP("http://"+ln.Addr().String(), nil),
+		Config{Clients: 4, Requests: 25, Mix: MixCallHeavy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors; first: %s", rep.Errors, rep.FirstErr)
+	}
+
+	sigs <- syscall.SIGTERM
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"launch", "call", "var", "mixed", ""} {
+		if _, err := MixByName(name); err != nil {
+			t.Fatalf("MixByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MixByName("bogus"); err == nil {
+		t.Fatal("MixByName(bogus) succeeded")
+	}
+}

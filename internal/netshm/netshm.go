@@ -399,6 +399,81 @@ func (n *Node) Segments() []string {
 	return out
 }
 
+// SegInfo is one machine's view of one replicated segment, as reported by
+// Info — the doctor's raw material for staleness and divergence checks.
+type SegInfo struct {
+	Path    string
+	Base    uint32
+	Size    uint32
+	Home    string
+	IsHome  bool
+	Gen     uint64 // applied generation
+	Highest uint64 // highest generation heard of
+}
+
+// Stale reports whether this replica knows it lags the home.
+func (si SegInfo) Stale() bool { return !si.IsHome && si.Highest > si.Gen }
+
+// Info returns this machine's protocol view of the segment at path.
+func (n *Node) Info(path string) (SegInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return SegInfo{}, fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	return SegInfo{Path: s.path, Base: s.base, Size: s.size, Home: s.home,
+		IsHome: s.isHome, Gen: s.gen, Highest: s.highest}, nil
+}
+
+// Digest returns an FNV-1a hash of the segment's local content (the bytes
+// every local mapping sees). Two converged machines must agree on it; a
+// disagreement after quiesce means replication delivered divergent bytes —
+// the doctor's divergence check compares digests across the fleet.
+func (n *Node) Digest(path string) (uint64, error) {
+	n.mu.Lock()
+	s, ok := n.segs[path]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSeg, path)
+	}
+	size := s.size
+	n.mu.Unlock()
+	if st, err := n.sys.FS.StatPath(path); err == nil && st.Size > size {
+		size = st.Size
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	buf := make([]byte, PageSize)
+	for off := uint32(0); off < size; off += PageSize {
+		want := size - off
+		if want > PageSize {
+			want = PageSize
+		}
+		nr, err := n.sys.FS.ReadAt(path, off, buf[:want], 0)
+		if err != nil {
+			return 0, err
+		}
+		for _, b := range buf[:nr] {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		// Short reads past EOF hash as absent; the size header below keeps
+		// digests of different sizes distinct.
+		if uint32(nr) < want {
+			break
+		}
+	}
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(size >> (8 * i)))
+		h *= prime64
+	}
+	return h, nil
+}
+
 // pullLocked starts (or re-arms) an anti-entropy round for a stale
 // replica segment.
 func (n *Node) pullLocked(s *seg) {

@@ -1,0 +1,109 @@
+package server
+
+// The demo world: a small key-value program used by the serve quickstart,
+// the load generator's self-test, the kvserver example, and the CI smoke
+// run. It exercises both call paths the daemon serves: main reaches
+// kv_bump through a jump-table stub (first call traps to ldl and patches
+// the stub), while kv_get/kv_put live in the dynamic-public module and
+// resolve through its exports once it is linked in.
+
+import (
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+)
+
+// Demo world constants.
+const (
+	DemoExe   = "/bin/kvmain" // HEMX image InstallDemo saves
+	DemoSlots = 1024          // kv_table entries (one word each)
+)
+
+const demoKVSrc = `
+        .text
+        .globl  kv_get
+kv_get:                         # $a0 = slot -> value
+        la      $t0, kv_table
+        sll     $t1, $a0, 2
+        addu    $t0, $t0, $t1
+        lw      $v0, 0($t0)
+        jr      $ra
+
+        .globl  kv_put
+kv_put:                         # $a0 = slot, $a1 = value -> old value
+        la      $t0, kv_table
+        sll     $t1, $a0, 2
+        addu    $t0, $t0, $t1
+        lw      $v0, 0($t0)
+        sw      $a1, 0($t0)
+        la      $t2, kv_hits
+        lw      $t3, 0($t2)
+        addiu   $t3, $t3, 1
+        sw      $t3, 0($t2)
+        jr      $ra
+
+        .globl  kv_bump
+kv_bump:                        # -> new hit count
+        la      $t2, kv_hits
+        lw      $v0, 0($t2)
+        addiu   $v0, $v0, 1
+        sw      $v0, 0($t2)
+        jr      $ra
+
+        .data
+        .globl  kv_table
+kv_table:
+        .space  4096
+        .globl  kv_hits
+kv_hits:
+        .word   0
+`
+
+const demoMainSrc = `
+        .text
+        .globl  main
+        .extern kv_bump
+        .extern kv_get
+        .extern kv_put
+main:   move    $s1, $ra
+        jal     kv_bump         # through the jump-table stub: first call links the module
+        move    $ra, $s1
+        li      $v0, 0
+        jr      $ra
+        # Never executed: these references exist so the jump-table carries
+        # stubs for the whole kv API, callable on a parked process that has
+        # not run main.
+refs:   jal     kv_get
+        jal     kv_put
+        jr      $ra
+`
+
+// InstallDemo assembles the demo key-value world into sys — a
+// dynamic-public kv module and a main that touches it through a jump-table
+// stub — and saves the linked executable at DemoExe. It is idempotent per
+// fresh system; call it once after boot.
+func InstallDemo(sys *core.System) (string, error) {
+	if _, err := sys.Asm("/lib/kv.o", demoKVSrc); err != nil {
+		return "", err
+	}
+	if _, err := sys.Asm("/bin/kvmain.o", demoMainSrc); err != nil {
+		return "", err
+	}
+	res, err := sys.Link(&lds.Options{
+		Output: "kvmain",
+		Modules: []lds.Input{
+			{Name: "kvmain.o", Class: objfile.StaticPrivate},
+			{Name: "kv.o", Class: objfile.DynamicPublic},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+		JumpTables:  true,
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := sys.SaveExecutable(DemoExe, res.Image); err != nil {
+		return "", err
+	}
+	return DemoExe, nil
+}

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hemlock/internal/core"
+	"hemlock/internal/vm"
+)
+
+// newDemoServer boots a world with the demo kv program installed and
+// launches the resident agent parked (main never runs; clients drive it
+// entirely through calls), returning the server plus the agent's handle.
+func newDemoServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	sys := core.NewSystem()
+	if _, err := InstallDemo(sys); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Config{})
+	t.Cleanup(func() { s.Close() })
+	resp, err := s.Launch(&LaunchRequest{Name: "agent", Exe: DemoExe}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Exited {
+		t.Fatalf("parked agent exited: %+v", resp)
+	}
+	return s, resp.Program
+}
+
+func postJSON(t *testing.T, h http.Handler, url string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr, rr.Body.Bytes()
+}
+
+func getURL(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr, rr.Body.Bytes()
+}
+
+func TestServeEndpoints(t *testing.T) {
+	s, agent := newDemoServer(t)
+	h := s.Handler()
+
+	// Call: kv_put stores into the shared table and returns the old value.
+	rr, body := postJSON(t, h, "/api/call", CallRequest{Program: agent, Fn: "kv_put", Args: []uint32{7, 1234}})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("call kv_put: %d %s", rr.Code, body)
+	}
+	var call CallResponse
+	if err := json.Unmarshal(body, &call); err != nil {
+		t.Fatal(err)
+	}
+	if call.Ret != 0 {
+		t.Fatalf("kv_put old value = %d, want 0", call.Ret)
+	}
+
+	// Call: kv_get reads it back.
+	rr, body = postJSON(t, h, "/api/call", CallRequest{Program: agent, Fn: "kv_get", Args: []uint32{7}})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("call kv_get: %d %s", rr.Code, body)
+	}
+	if err := json.Unmarshal(body, &call); err != nil {
+		t.Fatal(err)
+	}
+	if call.Ret != 1234 {
+		t.Fatalf("kv_get(7) = %d, want 1234", call.Ret)
+	}
+
+	// Var read: kv_hits counts the kv_put (the agent's main never ran).
+	rr, body = getURL(t, h, "/api/var?program="+agent+"&name=kv_hits")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("var read: %d %s", rr.Code, body)
+	}
+	var vr VarResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Value != 1 {
+		t.Fatalf("kv_hits = %d, want 1", vr.Value)
+	}
+
+	// Var write: store straight into the shared table, read back via call.
+	rr, body = postJSON(t, h, "/api/var", VarWriteRequest{Program: agent, Name: "kv_table", Off: 9 * 4, Value: 777})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("var write: %d %s", rr.Code, body)
+	}
+	rr, body = postJSON(t, h, "/api/call", CallRequest{Program: agent, Fn: "kv_get", Args: []uint32{9}})
+	if err := json.Unmarshal(body, &call); err != nil {
+		t.Fatalf("kv_get(9): %d %s", rr.Code, body)
+	}
+	if call.Ret != 777 {
+		t.Fatalf("kv_get(9) = %d, want 777", call.Ret)
+	}
+
+	// Launch a second program over HTTP; its main bumps kv_hits too.
+	rr, body = postJSON(t, h, "/api/launch", LaunchRequest{Exe: DemoExe, Run: true})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("launch: %d %s", rr.Code, body)
+	}
+	var lr LaunchResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Program == "" || !lr.Exited || lr.ExitCode != 0 {
+		t.Fatalf("launch response: %+v", lr)
+	}
+
+	// Info lists both programs and reports file-system usage.
+	rr, body = getURL(t, h, "/api/info")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("info: %d %s", rr.Code, body)
+	}
+	var info InfoResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Programs) != 2 || info.FS.Files == 0 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	// Metrics carries the server counters and per-op histograms.
+	rr, body = getURL(t, h, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rr.Code)
+	}
+	var snap struct {
+		Counters   map[string]uint64          `json:"counters"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.requests"] == 0 {
+		t.Fatalf("no server.requests counter in metrics: %s", body)
+	}
+	if _, ok := snap.Histograms["server.call_ns"]; !ok {
+		t.Fatalf("no server.call_ns histogram in metrics")
+	}
+	if rr, body = getURL(t, h, "/metrics?format=text"); rr.Code != http.StatusOK || !bytes.Contains(body, []byte("server.requests")) {
+		t.Fatalf("text metrics: %d %s", rr.Code, body)
+	}
+
+	// Healthz.
+	if rr, _ = getURL(t, h, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rr.Code)
+	}
+
+	// Errors map to 404: unknown program, unknown function.
+	if rr, _ = postJSON(t, h, "/api/call", CallRequest{Program: "nope", Fn: "kv_get"}); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown program: %d", rr.Code)
+	}
+	if rr, _ = postJSON(t, h, "/api/call", CallRequest{Program: agent, Fn: "nope"}); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown function: %d", rr.Code)
+	}
+}
+
+// TestCallThroughPLTStub verifies the daemon reaches a never-called
+// function through the image's jump-table stub: the first call traps to
+// ldl, patches the stub, and still returns the right value.
+func TestCallThroughPLTStub(t *testing.T) {
+	sys := core.NewSystem()
+	if _, err := InstallDemo(sys); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Config{})
+	t.Cleanup(func() { s.Close() })
+	// Launch WITHOUT running main: the kv module is not linked in yet, so
+	// kv_bump is reachable only through its PLT stub.
+	if _, err := s.Launch(&LaunchRequest{Name: "agent", Exe: DemoExe}, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Call(&CallRequest{Program: "agent", Fn: "kv_bump"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ret != 1 {
+		t.Fatalf("kv_bump via stub = %d, want 1", resp.Ret)
+	}
+	// Second call goes through the patched trampoline.
+	if resp, err = s.Call(&CallRequest{Program: "agent", Fn: "kv_bump"}, 0); err != nil || resp.Ret != 2 {
+		t.Fatalf("kv_bump #2 = %+v, %v", resp, err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	s, _ := newDemoServer(t)
+	// Occupy the world owner with a slow op, then watch a short-deadline
+	// request fail without ever reaching the kernel.
+	block := make(chan struct{})
+	go s.do("slow", time.Second, func() error { <-block; return nil })
+	time.Sleep(10 * time.Millisecond) // let the slow op start
+	err := s.do("fast", 30*time.Millisecond, func() error { return nil })
+	close(block)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestGracefulShutdown drives Run with a fake signal channel: in-flight
+// requests drain, the daemon exits cleanly, and the world loop is stopped.
+func TestGracefulShutdown(t *testing.T) {
+	s, agent := newDemoServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ln, sigs) }()
+
+	base := "http://" + ln.Addr().String()
+	body, _ := json.Marshal(CallRequest{Program: agent, Fn: "kv_bump"})
+	resp, err := http.Post(base+"/api/call", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("call over TCP: %d", resp.StatusCode)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after signal")
+	}
+	// The world loop is stopped: new work is refused.
+	if err := s.do("late", 50*time.Millisecond, func() error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown op: %v, want ErrClosed", err)
+	}
+}
+
+// workload is the deterministic op mix one worker performs; every
+// operation commutes with every other worker's (distinct table slots,
+// monotonic shared counters), so the quiesced world state is independent
+// of request interleaving.
+func workload(s *Server, agent string, worker, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if _, err := s.Launch(&LaunchRequest{Exe: DemoExe, Run: true}, 0); err != nil {
+			return fmt.Errorf("worker %d launch: %w", worker, err)
+		}
+		slot := uint32(worker)
+		val := uint32(worker*1000 + i)
+		if _, err := s.Call(&CallRequest{Program: agent, Fn: "kv_put", Args: []uint32{slot, val}}, 0); err != nil {
+			return fmt.Errorf("worker %d kv_put: %w", worker, err)
+		}
+		if _, err := s.Call(&CallRequest{Program: agent, Fn: "kv_get", Args: []uint32{slot}}, 0); err != nil {
+			return fmt.Errorf("worker %d kv_get: %w", worker, err)
+		}
+		off := uint32(256+worker) * 4
+		if _, err := s.WriteVar(&VarWriteRequest{Program: agent, Name: "kv_table", Off: off, Value: val}, 0); err != nil {
+			return fmt.Errorf("worker %d var write: %w", worker, err)
+		}
+		if _, err := s.ReadVar(agent, "kv_hits", 0, 0); err != nil {
+			return fmt.Errorf("worker %d var read: %w", worker, err)
+		}
+	}
+	return nil
+}
+
+// quiesceHash normalises the agent's registers with one deterministic call
+// and hashes its CPU + address space.
+func quiesceHash(t *testing.T, s *Server, agent string) uint64 {
+	t.Helper()
+	if _, err := s.Call(&CallRequest{Program: agent, Fn: "kv_get", Args: []uint32{0}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.program(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.StateHash(pg.P.CPU)
+}
+
+// TestConcurrentClientsStateHash is the race-detector workout: ≥16
+// goroutines mix launch/call/var-write against one server, and the
+// quiesced world must hash identically to the same ops run serially.
+func TestConcurrentClientsStateHash(t *testing.T) {
+	const workers = 16
+	rounds := 8
+	if testing.Short() {
+		rounds = 2
+	}
+
+	serial, agentA := newDemoServer(t)
+	for w := 0; w < workers; w++ {
+		if err := workload(serial, agentA, w, rounds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := quiesceHash(t, serial, agentA)
+
+	concurrent, agentB := newDemoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := workload(concurrent, agentB, w, rounds); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got := quiesceHash(t, concurrent, agentB)
+	if got != want {
+		t.Fatalf("StateHash after concurrent ops = %016x, serial = %016x", got, want)
+	}
+
+	// The shared hit counter saw every launch's bump and every kv_put.
+	vr, err := concurrent.ReadVar(agentB, "kv_hits", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := uint32(workers * rounds * 2)
+	if vr.Value != wantHits {
+		t.Fatalf("kv_hits = %d, want %d", vr.Value, wantHits)
+	}
+}

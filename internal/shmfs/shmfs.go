@@ -1020,6 +1020,52 @@ func (fs *FS) InodesInUse() int {
 	return fs.nAlloc
 }
 
+// Usage summarises file-system occupancy: the raw material for the doctor's
+// exhaustion checks and the daemon's /metrics gauges.
+type Usage struct {
+	InodesInUse int    // allocated inodes of any type
+	InodesTotal int    // always NumInodes
+	Files       int    // regular files
+	Dirs        int    // directories (including /)
+	Symlinks    int    // symbolic links
+	Bytes       uint64 // sum of regular-file sizes
+	LargestFile uint32 // size of the fullest slot
+	LargestIno  int    // its inode (-1 when there are no files)
+}
+
+// SlotFill reports how full the fullest slot is, in [0,1].
+func (u Usage) SlotFill() float64 { return float64(u.LargestFile) / float64(MaxFile) }
+
+// InodeFill reports the allocated fraction of the inode table, in [0,1].
+func (u Usage) InodeFill() float64 { return float64(u.InodesInUse) / float64(u.InodesTotal) }
+
+// Usage scans the inode table and returns occupancy totals.
+func (fs *FS) Usage() Usage {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	u := Usage{InodesTotal: NumInodes, LargestIno: -1}
+	for _, nd := range fs.inodes {
+		if nd == nil {
+			continue
+		}
+		u.InodesInUse++
+		switch nd.typ {
+		case TypeFile:
+			u.Files++
+			u.Bytes += uint64(nd.size)
+			if nd.size >= u.LargestFile && (nd.size > u.LargestFile || u.LargestIno < 0) {
+				u.LargestFile = nd.size
+				u.LargestIno = nd.ino
+			}
+		case TypeDir:
+			u.Dirs++
+		case TypeSymlink:
+			u.Symlinks++
+		}
+	}
+	return u
+}
+
 // WalkFiles calls fn for every regular file in the file system (the
 // "ability to peruse all of the segments in existence" that the paper calls
 // crucial for manual garbage collection). Walk order is deterministic.
