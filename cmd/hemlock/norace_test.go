@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled into the test
+// binary. See race_test.go.
+const raceEnabled = false

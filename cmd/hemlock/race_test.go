@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled into the test
+// binary. Timing-sensitive assertions consult it: under the detector every
+// tracer sink emission is ~10x slower, so measurement-overhead budgets
+// calibrated for plain builds do not hold.
+const raceEnabled = true

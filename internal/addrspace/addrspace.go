@@ -108,10 +108,16 @@ func IsFault(err error) (*Fault, bool) {
 	return f, ok
 }
 
-// pte is a page table entry.
+// pte is a page table entry. prot is the logical protection — what the
+// process asked for and what ProtAt/VisitPages report. cow marks a frame
+// that may be shared with another space via CloneRangeCoW: the page must be
+// re-backed by a private frame before any store lands, but its logical
+// protection is unchanged, so copy-on-write is invisible to everything that
+// inspects the space (including the differential harness's StateHash).
 type pte struct {
 	frame *mem.Frame
 	prot  Prot
+	cow   bool
 }
 
 // Space is a simulated 32-bit virtual address space. All methods are safe
@@ -334,6 +340,28 @@ func (s *Space) Translate(addr uint32, a Access) (Entry, *Fault) {
 	if e.prot&a.Need() == 0 {
 		return Entry{}, &Fault{Addr: addr, Access: a}
 	}
+	if e.cow {
+		// A write must land in a private frame; resolve now and re-read
+		// the entry so the caller caches the private translation. For
+		// reads and fetches the shared frame is fine, but the cached
+		// entry must not advertise write capability — a later store
+		// through it would bypass the copy — so mask ProtWrite and let
+		// the store path come back through here.
+		if a == AccessWrite {
+			if _, flt := s.resolveCoW(addr, a); flt != nil {
+				return Entry{}, flt
+			}
+			s.mu.RLock()
+			e, ok = s.pages[vpn(addr)]
+			g = s.gen.Load()
+			s.mu.RUnlock()
+			if !ok {
+				return Entry{}, &Fault{Addr: addr, Access: a, Unmapped: true}
+			}
+			return Entry{Frame: e.frame, Prot: e.prot, Gen: g}, nil
+		}
+		return Entry{Frame: e.frame, Prot: e.prot &^ ProtWrite, Gen: g}, nil
+	}
 	return Entry{Frame: e.frame, Prot: e.prot, Gen: g}, nil
 }
 
@@ -349,7 +377,148 @@ func (s *Space) translate(addr uint32, a Access) (*mem.Frame, uint32, *Fault) {
 	if e.prot&a.Need() == 0 {
 		return nil, 0, &Fault{Addr: addr, Access: a}
 	}
+	if e.cow && a == AccessWrite {
+		f, flt := s.resolveCoW(addr, a)
+		if flt != nil {
+			return nil, 0, flt
+		}
+		return f, addr & (mem.PageSize - 1), nil
+	}
 	return e.frame, addr & (mem.PageSize - 1), nil
+}
+
+// resolveCoW re-backs the page containing addr with a frame owned solely by
+// this space, in preparation for a store. If the shared frame's refcount has
+// already dropped to one (every other clone exited), the page is simply
+// claimed; otherwise the frame is copied. Either way the cow flag clears and
+// the generation bumps so every cached translation of the old frame dies.
+func (s *Space) resolveCoW(addr uint32, a Access) (*mem.Frame, *Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := vpn(addr)
+	e, ok := s.pages[p]
+	if !ok {
+		return nil, &Fault{Addr: addr, Access: a, Unmapped: true}
+	}
+	if !e.cow { // raced with another resolver; its copy is ours
+		return e.frame, nil
+	}
+	if e.frame.Refs() == 1 {
+		e.cow = false
+		s.pages[p] = e
+		s.gen.Add(1)
+		return e.frame, nil
+	}
+	f, err := e.frame.Copy()
+	if err != nil {
+		// Physical frames exhausted at store time. Surface it as a write
+		// fault: the simulated kernel has no better recourse than a signal.
+		return nil, &Fault{Addr: addr, Access: a}
+	}
+	e.frame.Release()
+	e.frame, e.cow = f, false
+	s.pages[p] = e
+	s.gen.Add(1)
+	return f, nil
+}
+
+// CloneRangeCoW installs every mapped page of s in [start, end) into dst by
+// sharing the frame copy-on-write: both spaces keep the page's logical
+// protection, both mark it cow, and whichever side stores first re-backs its
+// own copy. This is the O(pages-touched) half of fork that makes zygote
+// launches cheap — a clone costs one refcount and one page-table entry per
+// page instead of a frame copy. Both generations bump: the source's cached
+// write-capable translations must die the moment its frames become shared.
+func (s *Space) CloneRangeCoW(dst *Space, start, end uint32) {
+	type ent struct {
+		vpn uint32
+		e   pte
+	}
+	s.mu.Lock()
+	ents := make([]ent, 0, len(s.pages))
+	for p, e := range s.pages {
+		a := p << mem.PageShift
+		if a >= start && a < end {
+			if !e.cow {
+				e.cow = true
+				s.pages[p] = e
+			}
+			e.frame.Retain()
+			ents = append(ents, ent{p, e})
+		}
+	}
+	if len(ents) > 0 {
+		s.gen.Add(1)
+	}
+	s.mu.Unlock()
+	if len(ents) == 0 {
+		return
+	}
+	dst.mu.Lock()
+	for _, it := range ents {
+		dst.pages[it.vpn] = it.e
+	}
+	dst.gen.Add(1)
+	dst.mu.Unlock()
+}
+
+// ForkInto is the fused fork clone: one pass over s's page table installs
+// every user page into dst, copy-on-write for the private windows
+// ([0, shBase) and [shLimit, kBase)) and shared outright for the public
+// window ([shBase, shLimit)). It is semantically CloneRangeCoW twice plus
+// ShareRange once, but a single traversal with a pre-sized destination
+// table — the difference between a warm zygote launch and three map walks.
+func (s *Space) ForkInto(dst *Space, shBase, shLimit, kBase uint32) {
+	type ent struct {
+		vpn uint32
+		e   pte
+	}
+	s.mu.Lock()
+	ents := make([]ent, 0, len(s.pages))
+	marked := false
+	for p, e := range s.pages {
+		a := p << mem.PageShift
+		switch {
+		case a < shBase || (a >= shLimit && a < kBase):
+			// Private: share the frame copy-on-write on both sides.
+			if !e.cow {
+				e.cow = true
+				s.pages[p] = e
+				marked = true
+			}
+		case a >= shBase && a < shLimit:
+			// Public: both spaces address the same frame directly.
+			e.cow = false
+		default:
+			continue // kernel window: never cloned
+		}
+		e.frame.Retain()
+		ents = append(ents, ent{p, e})
+	}
+	if marked {
+		s.gen.Add(1)
+	}
+	s.mu.Unlock()
+	if len(ents) == 0 {
+		return
+	}
+	dst.mu.Lock()
+	if len(dst.pages) == 0 {
+		dst.pages = make(map[uint32]pte, len(ents))
+	}
+	for _, it := range ents {
+		dst.pages[it.vpn] = it.e
+	}
+	dst.gen.Add(1)
+	dst.mu.Unlock()
+}
+
+// PageIsCoW reports whether the page containing addr is currently marked
+// copy-on-write (for tests).
+func (s *Space) PageIsCoW(addr uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pages[vpn(addr)].cow
 }
 
 // Read copies len(buf) bytes starting at addr into buf. On a fault it
@@ -568,10 +737,10 @@ func (s *Space) Release() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	released := uint64(len(s.pages))
-	for p, e := range s.pages {
+	for _, e := range s.pages {
 		e.frame.Release()
-		delete(s.pages, p)
 	}
+	clear(s.pages)
 	s.gen.Add(1)
 	s.ctrUnmap.Add(released)
 	if released > 0 && s.tracer.Enabled() {

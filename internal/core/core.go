@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"hemlock/internal/isa"
 	"hemlock/internal/kern"
@@ -29,9 +30,22 @@ type System struct {
 }
 
 // NewSystem boots a fresh machine with an empty shared file system.
+// Stable linking — the persistent link cache and zygote launches — is on by
+// default; set HEMLOCK_LINKCACHE=0 / HEMLOCK_ZYGOTE=0 to opt out.
 func NewSystem() *System {
 	k := kern.New()
-	return &System{K: k, FS: k.FS, LD: lds.New(k.FS), W: ldl.NewWorld(k)}
+	s := &System{K: k, FS: k.FS, LD: lds.New(k.FS), W: ldl.NewWorld(k)}
+	s.W.SetStableLinking(envOn("HEMLOCK_LINKCACHE"), envOn("HEMLOCK_ZYGOTE"))
+	return s
+}
+
+// envOn reads an on-by-default feature toggle from the environment.
+func envOn(name string) bool {
+	switch os.Getenv(name) {
+	case "0", "off", "false", "no":
+		return false
+	}
+	return true
 }
 
 // Load boots a machine from a disk image previously written by Save.
@@ -42,7 +56,18 @@ func Load(r io.Reader) (*System, error) {
 		return nil, err
 	}
 	k := kern.NewWithFS(fs, phys)
-	return &System{K: k, FS: fs, LD: lds.New(fs), W: ldl.NewWorld(k)}, nil
+	s := &System{K: k, FS: fs, LD: lds.New(fs), W: ldl.NewWorld(k)}
+	s.W.SetStableLinking(envOn("HEMLOCK_LINKCACHE"), envOn("HEMLOCK_ZYGOTE"))
+	return s, nil
+}
+
+// SetStableLinking flips the link cache and zygote registry at run time.
+// Disabling zygotes drops every parked template.
+func (s *System) SetStableLinking(cache, zygote bool) {
+	s.W.SetStableLinking(cache, zygote)
+	if !zygote {
+		s.K.DropAllZygotes()
+	}
 }
 
 // Save writes the machine's shared file system to a disk image.
@@ -57,8 +82,16 @@ func (s *System) Obs() *obsv.Obs { return s.K.Obs }
 // ResetWorld discards the kernel-resident dynamic-linker state, as a
 // reboot would: public modules stay on disk, but their link status is
 // re-derived from the templates on next use. The lazy-vs-eager experiment
-// uses this to measure cold-start linking repeatedly.
-func (s *System) ResetWorld() { s.W = ldl.NewWorld(s.K) }
+// uses this to measure cold-start linking repeatedly. Zygote templates are
+// kernel-resident state and do not survive the reboot; link-cache files do
+// (they live on the shared file system), so post-reset launches may still
+// replay.
+func (s *System) ResetWorld() {
+	s.K.DropAllZygotes()
+	cache, zygote := s.W.CacheEnabled, s.W.ZygoteEnabled
+	s.W = ldl.NewWorld(s.K)
+	s.W.SetStableLinking(cache, zygote)
+}
 
 // ---- building ---------------------------------------------------------------
 
@@ -148,7 +181,31 @@ type Program struct {
 
 // Launch spawns a process for uid with the given environment, execs the
 // image, and runs the crt0/ldl start-up sequence.
+//
+// Under stable linking a repeat launch short-circuits: if a zygote template
+// is parked under this launch's content-hash key and the key's link-cache
+// entry is still valid, the process is CoW-cloned from the fully linked
+// template — no exec, no linking. Cold launches park themselves as the
+// template for the next identical launch.
 func (s *System) Launch(im *objfile.Image, uid int, env map[string]string) (*Program, error) {
+	var key string
+	if s.W.ZygoteEnabled {
+		key = s.W.LaunchKey(im, uid, env)
+		if s.K.HasZygote(key) && s.W.CacheValid(key) {
+			sp := s.K.Obs.Tracer().Begin("kern", "launch", 0, im.Name)
+			zsp := s.K.Obs.Tracer().Begin("link", "zygote_clone", 0, im.Name)
+			p, ok := s.K.CloneZygote(key)
+			zsp.End(0)
+			sp.End(0)
+			if ok {
+				if pr, prOK := ldl.ProcOf(p); prOK {
+					s.W.CreditZygoteLaunch(key)
+					return &Program{Sys: s, P: p, LDL: pr}, nil
+				}
+				// No linker state cloned (should not happen); fall cold.
+			}
+		}
+	}
 	p := s.K.Spawn(uid)
 	sp := s.K.Obs.Tracer().Begin("kern", "launch", p.PID, im.Name)
 	defer sp.End(0)
@@ -161,6 +218,11 @@ func (s *System) Launch(im *objfile.Image, uid int, env map[string]string) (*Pro
 	pr, err := s.W.Start(p, im)
 	if err != nil {
 		return nil, err
+	}
+	if s.W.ZygoteEnabled {
+		rsp := s.K.Obs.Tracer().Begin("link", "zygote_register", p.PID, im.Name)
+		s.K.RegisterZygote(key, p)
+		rsp.End(0)
 	}
 	return &Program{Sys: s, P: p, LDL: pr}, nil
 }

@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hemlock/internal/core"
+	"hemlock/internal/lds"
+	"hemlock/internal/objfile"
+	"hemlock/internal/vm"
+)
+
+// The cold-vs-warm-vs-zygote differential mode of the link/load explorer:
+// one seeded launch schedule is replayed against three machines that differ
+// only in the stable-linking configuration —
+//
+//	cold    link cache off, zygotes off (every launch relinks from scratch)
+//	warm    link cache on,  zygotes off (repeat launches replay recorded
+//	        resolutions)
+//	zygote  link cache on,  zygotes on  (repeat launches CoW-clone the
+//	        parked template)
+//
+// After every launch the three processes must agree on the whole-memory
+// vm.StateHash of the freshly linked address space, on every public
+// symbol's address (same-VA across machines, not just across processes),
+// and — after running — on the exit code. The schedule also mutates a
+// module template in place, which must invalidate the cache on the warm
+// and zygote machines and still converge with the cold machine on the
+// next launch. Per machine, PLT resolution counts stay monotone and
+// ImageRelocsLeft stays non-negative.
+
+const ldiffPlayerSrc = `
+        .text
+        .globl  main
+        .extern svc_add
+        .extern val_v
+        .extern pub_n
+main:   addiu   $sp, $sp, -8
+        sw      $ra, 0($sp)
+        li      $a0, 30
+        li      $a1, 5
+        jal     svc_add
+        jal     svc_add
+        move    $t5, $v0
+        la      $t0, val_v
+        lw      $t6, 0($t0)
+        la      $t0, pub_n
+        lw      $t1, 0($t0)
+        addiu   $t1, $t1, 1
+        sw      $t1, 0($t0)
+        addu    $v0, $t5, $t6
+        addu    $v0, $v0, $t1
+        lw      $ra, 0($sp)
+        addiu   $sp, $sp, 8
+        jr      $ra
+`
+
+const ldiffSvcSrc = `
+        .text
+        .globl  svc_add
+svc_add:
+        addu    $v0, $a0, $a1
+        jr      $ra
+`
+
+const ldiffCntSrc = `
+        .data
+        .globl  pub_n
+pub_n:  .word   0
+`
+
+// ldiffMachine is one of the three configurations under comparison.
+type ldiffMachine struct {
+	name    string
+	sys     *core.System
+	res     *lds.Result
+	lastPLT int
+}
+
+func ldiffValSrc(v int) string {
+	return fmt.Sprintf(".data\n.globl val_v\nval_v: .word %d\n", v)
+}
+
+func newLdiffMachine(s *Scenario, seed int64, name string, cache, zyg bool, val int) *ldiffMachine {
+	sys := core.NewSystem()
+	sys.SetStableLinking(cache, zyg)
+	for _, m := range []struct{ path, src string }{
+		{"/lib/svc.o", ldiffSvcSrc},
+		{"/lib/cnt.o", ldiffCntSrc},
+		{"/lib/val.o", ldiffValSrc(val)},
+		{"/bin/player.o", ldiffPlayerSrc},
+	} {
+		if _, err := sys.Asm(m.path, m.src); err != nil {
+			s.Failf("launchdiff seed=%d: asm %s on %s: %v", seed, m.path, name, err)
+		}
+	}
+	res, err := sys.Link(&lds.Options{
+		Output: "player",
+		Modules: []lds.Input{
+			{Name: "player.o", Class: objfile.StaticPrivate},
+			{Name: "svc.o", Class: objfile.DynamicPublic},
+			{Name: "cnt.o", Class: objfile.DynamicPublic},
+			{Name: "val.o", Class: objfile.DynamicPrivate},
+		},
+		LinkDir:     "/bin",
+		DefaultPath: []string{"/lib"},
+		JumpTables:  true,
+	})
+	if err != nil {
+		s.Failf("launchdiff seed=%d: link on %s: %v", seed, name, err)
+	}
+	return &ldiffMachine{name: name, sys: sys, res: res}
+}
+
+func (m *ldiffMachine) counter(name string) uint64 {
+	return m.sys.Obs().R.Snapshot().Counters[name]
+}
+
+func (m *ldiffMachine) checkInvariants(s *Scenario, seed int64, round int) {
+	st := m.sys.W.Stats
+	if st.ImageRelocsLeft < 0 {
+		s.Failf("launchdiff seed=%d round=%d: %s ImageRelocsLeft = %d (negative)",
+			seed, round, m.name, st.ImageRelocsLeft)
+	}
+	if st.PLTResolves < m.lastPLT {
+		s.Failf("launchdiff seed=%d round=%d: %s PLTResolves went backwards: %d -> %d",
+			seed, round, m.name, m.lastPLT, st.PLTResolves)
+	}
+	m.lastPLT = st.PLTResolves
+}
+
+// LaunchDiffOne replays one seeded launch-and-mutate schedule on the cold,
+// warm, and zygote machines and fails the scenario on any divergence. The
+// failure message names diffSeed (the FuzzLaunchDiff input).
+func LaunchDiffOne(s *Scenario, diffSeed int64, rounds int) {
+	rng := rand.New(rand.NewSource(diffSeed))
+	val := rng.Intn(64)
+	machines := []*ldiffMachine{
+		newLdiffMachine(s, diffSeed, "cold", false, false, val),
+		newLdiffMachine(s, diffSeed, "warm", true, false, val),
+		newLdiffMachine(s, diffSeed, "zygote", true, true, val),
+	}
+	cold, warm, zyg := machines[0], machines[1], machines[2]
+
+	ctrRounds := s.Reg.Counter("harness.launchdiff.rounds")
+	ctrMut := s.Reg.Counter("harness.launchdiff.mutations")
+	repeats := 0 // launches that repeated an unchanged module set
+	mutations := 0
+	count := 0 // model of pub_n
+	for round := 0; round < rounds; round++ {
+		// Sometimes mutate the private value module in place, on all
+		// three machines: the warm and zygote machines must invalidate
+		// their cache entry and converge with the cold relink.
+		if round > 0 && rng.Intn(3) == 0 {
+			val = rng.Intn(64)
+			for _, m := range machines {
+				if _, err := m.sys.Asm("/lib/val.o", ldiffValSrc(val)); err != nil {
+					s.Failf("launchdiff seed=%d round=%d: mutate val.o on %s: %v",
+						diffSeed, round, m.name, err)
+				}
+			}
+			mutations++
+			ctrMut.Inc()
+		} else if round > 0 {
+			repeats++
+		}
+
+		// Launch on every machine, force the lazy links with language-level
+		// accesses, and compare the fully linked state.
+		pgs := make([]*core.Program, len(machines))
+		for i, m := range machines {
+			pg, err := m.sys.Launch(m.res.Image, 0, nil)
+			if err != nil {
+				s.Failf("launchdiff seed=%d round=%d: launch on %s: %v", diffSeed, round, m.name, err)
+			}
+			pgs[i] = pg
+		}
+		var addrs [3]map[string]uint32
+		for i, pg := range pgs {
+			addrs[i] = map[string]uint32{}
+			for _, sym := range []string{"svc_add", "pub_n", "val_v"} {
+				v, err := pg.Var(sym)
+				if err != nil {
+					s.Failf("launchdiff seed=%d round=%d: resolve %s on %s: %v",
+						diffSeed, round, sym, machines[i].name, err)
+				}
+				addrs[i][sym] = v.Addr
+				if _, err := v.Load(); err != nil {
+					s.Failf("launchdiff seed=%d round=%d: load %s on %s: %v",
+						diffSeed, round, sym, machines[i].name, err)
+				}
+			}
+		}
+		for i := 1; i < len(pgs); i++ {
+			for sym, a := range addrs[0] {
+				if addrs[i][sym] != a {
+					s.Failf("launchdiff seed=%d round=%d: %s at 0x%08x on %s but 0x%08x on cold",
+						diffSeed, round, sym, addrs[i][sym], machines[i].name, a)
+				}
+			}
+		}
+		h0 := vm.StateHash(pgs[0].P.CPU)
+		for i := 1; i < len(pgs); i++ {
+			if h := vm.StateHash(pgs[i].P.CPU); h != h0 {
+				s.Failf("launchdiff seed=%d round=%d: linked state diverged: %s hash=%016x cold hash=%016x\n%s state:\n%s\ncold state:\n%s",
+					diffSeed, round, machines[i].name, h, h0,
+					machines[i].name, vm.DumpState(pgs[i].P.CPU), vm.DumpState(pgs[0].P.CPU))
+			}
+		}
+
+		// Run to completion: exit codes must agree with the model and with
+		// each other.
+		count++
+		want := 35 + val + count
+		for i, pg := range pgs {
+			if err := pg.Run(1_000_000); err != nil {
+				s.Failf("launchdiff seed=%d round=%d: run on %s: %v", diffSeed, round, machines[i].name, err)
+			}
+			if pg.P.ExitCode != want {
+				s.Failf("launchdiff seed=%d round=%d: %s exited %d, want %d (val=%d count=%d)",
+					diffSeed, round, machines[i].name, pg.P.ExitCode, want, val, count)
+			}
+		}
+		for _, m := range machines {
+			m.checkInvariants(s, diffSeed, round)
+		}
+		ctrRounds.Inc()
+	}
+
+	// The fast paths must actually have engaged, or the differential
+	// silently compared three cold machines.
+	if cold.counter("ldl.linkcache_hit") != 0 {
+		s.Failf("launchdiff seed=%d: cold machine recorded a cache hit", diffSeed)
+	}
+	if repeats > 0 {
+		if warm.counter("ldl.linkcache_hit") == 0 {
+			s.Failf("launchdiff seed=%d: %d repeat launches but no cache hit on warm machine", diffSeed, repeats)
+		}
+		if zyg.counter("kern.zygote_clone") == 0 {
+			s.Failf("launchdiff seed=%d: %d repeat launches but no zygote clone", diffSeed, repeats)
+		}
+	}
+	if mutations > 0 {
+		for _, m := range []*ldiffMachine{warm, zyg} {
+			if m.counter("ldl.linkcache_invalidate") == 0 {
+				s.Failf("launchdiff seed=%d: %d mutations but no cache invalidation on %s machine",
+					diffSeed, mutations, m.name)
+			}
+		}
+	}
+}

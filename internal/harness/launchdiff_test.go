@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestLaunchDiff drives seeded launch-and-mutate schedules over the three
+// stable-linking configurations (cold / warm cache / zygote) and fails on
+// any divergence in linked-state hash, symbol addresses, or exit codes.
+func TestLaunchDiff(t *testing.T) {
+	s := NewScenario(t, "launchdiff", 8)
+	n := s.Scale(8, 3)
+	for i := 0; i < n; i++ {
+		LaunchDiffOne(s, s.Rand.Int63(), 8)
+	}
+	c := s.Reg.Snapshot().Counters
+	if c["harness.launchdiff.rounds"] == 0 {
+		s.Failf("launchdiff performed no rounds")
+	}
+	if c["harness.launchdiff.mutations"] == 0 {
+		s.Failf("launchdiff schedules never mutated a module (explorer narrower than it claims)")
+	}
+	s.Logf("%d schedules: %d rounds, %d in-place mutations",
+		n, c["harness.launchdiff.rounds"], c["harness.launchdiff.mutations"])
+}
+
+// FuzzLaunchDiff lets the fuzzer pick the schedule seed directly.
+func FuzzLaunchDiff(f *testing.F) {
+	for _, seed := range []int64{0, 2, 11, 1 << 33} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		LaunchDiffOne(WithSeed(t, "launchdiff-fuzz", seed), seed, 6)
+	})
+}

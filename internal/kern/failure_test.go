@@ -24,7 +24,7 @@ func newTinyKernel(t *testing.T, frames int) *Kernel {
 }
 
 func TestExecFailsCleanlyWhenOutOfMemory(t *testing.T) {
-	k := newTinyKernel(t, 8) // far too small for image + stack
+	k := newTinyKernel(t, 2) // far too small for image + eager stack
 	p := k.Spawn(0)
 	im := buildImage(t, ".text\n halt\n")
 	err := p.Exec(im)
@@ -104,15 +104,40 @@ func TestExitReclaimsEverything(t *testing.T) {
 }
 
 func TestForkUnderMemoryPressure(t *testing.T) {
+	// Fork is copy-on-write: it shares the parent's frames, so it cannot
+	// fail for lack of memory up front. Pressure surfaces at store time
+	// instead — once the pool drains, resolving a page's private copy
+	// fails and the store faults.
 	k := newTinyKernel(t, 70)
 	parent := k.Spawn(0)
 	im := buildImage(t, ".text\n halt\n")
 	if err := parent.Exec(im); err != nil {
 		t.Fatalf("parent exec: %v", err)
 	}
-	// The stack alone is 64 pages; a fork cannot fit.
-	if _, err := k.Fork(parent); !errors.Is(err, mem.ErrOutOfMemory) {
-		t.Fatalf("fork under pressure: %v", err)
+	// A sizeable private heap region: fork shares it CoW, and the child's
+	// stores below each need a fresh frame for the private copy.
+	const heapPages = 40
+	heapBase := layout.PrivDataBase + 0x100000
+	if err := parent.AS.MapAnon(heapBase, heapPages*mem.PageSize, addrspace.ProtRW); err != nil {
+		t.Fatalf("map heap: %v", err)
+	}
+	child, err := k.Fork(parent)
+	if err != nil {
+		t.Fatalf("CoW fork under pressure: %v", err)
+	}
+	faulted := false
+	for addr := heapBase; addr < heapBase+heapPages*mem.PageSize; addr += mem.PageSize {
+		if err := child.AS.StoreWord(addr, 1); err != nil {
+			f, ok := addrspace.IsFault(err)
+			if !ok || f.Unmapped || f.Access != addrspace.AccessWrite {
+				t.Fatalf("unexpected store error: %v", err)
+			}
+			faulted = true
+			break
+		}
+	}
+	if !faulted {
+		t.Fatal("expected a store to fault once the frame pool drained")
 	}
 }
 

@@ -55,25 +55,36 @@ type Kernel struct {
 	Obs *obsv.Obs
 
 	// Pre-fetched instrument handles so the hot paths are bare atomics.
-	ctrSyscalls *obsv.Counter
-	ctrFaults   *obsv.Counter
-	ctrSteps    *obsv.Counter
-	ctrForks    *obsv.Counter
-	ctrExits    *obsv.Counter
-	ctrVMTraps  *obsv.Counter
-	ctrTLBHit   *obsv.Counter
-	ctrTLBMiss  *obsv.Counter
-	ctrICFill   *obsv.Counter
-	ctrICInval  *obsv.Counter
-	ctrBlkBuild *obsv.Counter
-	ctrBlkHit   *obsv.Counter
-	ctrBlkInval *obsv.Counter
-	ctrFusedOps *obsv.Counter
-	ctrASMaps   *obsv.Counter
-	ctrASUnmaps *obsv.Counter
-	hRunSteps   *obsv.Histogram
+	ctrSyscalls  *obsv.Counter
+	ctrFaults    *obsv.Counter
+	ctrSteps     *obsv.Counter
+	ctrForks     *obsv.Counter
+	ctrExits     *obsv.Counter
+	ctrVMTraps   *obsv.Counter
+	ctrTLBHit    *obsv.Counter
+	ctrTLBMiss   *obsv.Counter
+	ctrICFill    *obsv.Counter
+	ctrICInval   *obsv.Counter
+	ctrBlkBuild  *obsv.Counter
+	ctrBlkHit    *obsv.Counter
+	ctrBlkInval  *obsv.Counter
+	ctrFusedOps  *obsv.Counter
+	ctrASMaps    *obsv.Counter
+	ctrStackGrow *obsv.Counter
+	ctrASUnmaps  *obsv.Counter
+	ctrZygReg    *obsv.Counter
+	ctrZygClone  *obsv.Counter
+	hRunSteps    *obsv.Histogram
 
 	pdServices []*pdService
+
+	// Zygote registry: parked, fully linked template processes keyed by
+	// launch content hash (see zygote.go). Templates live outside the
+	// process table and the normal PID sequence.
+	zmu      sync.Mutex
+	zygotes  map[string]*zygote
+	zorder   []string // registration order, for capacity eviction
+	nextZPID int
 }
 
 // New boots a kernel with a fresh shared file system.
@@ -99,24 +110,29 @@ func newKernel(fs *shmfs.FS, phys *mem.Physical) *Kernel {
 	o := obsv.New()
 	k := &Kernel{
 		Phys: phys, FS: fs, procs: map[int]*Process{}, nextPID: 1,
-		Obs:         o,
-		ctrSyscalls: o.R.Counter("kern.syscalls"),
-		ctrFaults:   o.R.Counter("kern.faults"),
-		ctrSteps:    o.R.Counter("kern.steps"),
-		ctrForks:    o.R.Counter("kern.forks"),
-		ctrExits:    o.R.Counter("kern.exits"),
-		ctrVMTraps:  o.R.Counter("vm.traps"),
-		ctrTLBHit:   o.R.Counter("vm.tlb_hit"),
-		ctrTLBMiss:  o.R.Counter("vm.tlb_miss"),
-		ctrICFill:   o.R.Counter("vm.icache_fill"),
-		ctrICInval:  o.R.Counter("vm.icache_invalidate"),
-		ctrBlkBuild: o.R.Counter("vm.block_build"),
-		ctrBlkHit:   o.R.Counter("vm.block_hit"),
-		ctrBlkInval: o.R.Counter("vm.block_invalidate"),
-		ctrFusedOps: o.R.Counter("vm.fused_ops"),
-		ctrASMaps:   o.R.Counter("addrspace.pages_mapped"),
-		ctrASUnmaps: o.R.Counter("addrspace.pages_unmapped"),
-		hRunSteps:   o.R.Histogram("kern.run_steps"),
+		Obs:          o,
+		ctrSyscalls:  o.R.Counter("kern.syscalls"),
+		ctrFaults:    o.R.Counter("kern.faults"),
+		ctrSteps:     o.R.Counter("kern.steps"),
+		ctrForks:     o.R.Counter("kern.forks"),
+		ctrExits:     o.R.Counter("kern.exits"),
+		ctrStackGrow: o.R.Counter("kern.stack_grow"),
+		ctrVMTraps:   o.R.Counter("vm.traps"),
+		ctrTLBHit:    o.R.Counter("vm.tlb_hit"),
+		ctrTLBMiss:   o.R.Counter("vm.tlb_miss"),
+		ctrICFill:    o.R.Counter("vm.icache_fill"),
+		ctrICInval:   o.R.Counter("vm.icache_invalidate"),
+		ctrBlkBuild:  o.R.Counter("vm.block_build"),
+		ctrBlkHit:    o.R.Counter("vm.block_hit"),
+		ctrBlkInval:  o.R.Counter("vm.block_invalidate"),
+		ctrFusedOps:  o.R.Counter("vm.fused_ops"),
+		ctrASMaps:    o.R.Counter("addrspace.pages_mapped"),
+		ctrASUnmaps:  o.R.Counter("addrspace.pages_unmapped"),
+		ctrZygReg:    o.R.Counter("kern.zygote_register"),
+		ctrZygClone:  o.R.Counter("kern.zygote_clone"),
+		hRunSteps:    o.R.Histogram("kern.run_steps"),
+		zygotes:      map[string]*zygote{},
+		nextZPID:     zygotePIDBase,
 	}
 	phys.RegisterObsv(o.R)
 	fs.Observe(o.T, o.R.Counter("shmfs.creates"), o.R.Counter("shmfs.opens"))
@@ -278,12 +294,14 @@ func (p *Process) Exec(im *objfile.Image) error {
 			return fmt.Errorf("kern: exec %s image: %w", im.Name, err)
 		}
 	}
-	// Stack.
-	stackBase := layout.StackTop - layout.DefaultStackSize
-	if err := p.AS.MapAnon(stackBase, layout.DefaultStackSize, addrspace.ProtRW); err != nil {
+	// Stack: map only the eager top of the window; the rest is demand-zero
+	// (HandleFault grows it), so launch cost tracks pages used, not the
+	// full 256 KB window.
+	stackBase := layout.StackTop - layout.StackEagerSize
+	if err := p.AS.MapAnon(stackBase, layout.StackEagerSize, addrspace.ProtRW); err != nil {
 		return fmt.Errorf("kern: exec %s stack: %w", im.Name, err)
 	}
-	mapSpan.End(uint64(addrspace.PageCount(hi-lo) + addrspace.PageCount(layout.DefaultStackSize)))
+	mapSpan.End(uint64(addrspace.PageCount(hi-lo) + addrspace.PageCount(layout.StackEagerSize)))
 	writeSpan := t.Begin("kern", "write_image", p.PID, im.Name)
 	if len(im.Text) > 0 {
 		if _, err := p.AS.Write(im.TextBase, im.Text); err != nil {
@@ -351,25 +369,30 @@ func (p *Process) AllocPrivate(size uint32) (uint32, error) {
 // counters and registers.
 func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	child := k.Spawn(parent.UID)
+	k.forkInto(parent, child)
+	k.ctrForks.Inc()
+	if t := k.Obs.Tracer(); t.Enabled() {
+		t.Emit(obsv.Event{Subsys: "kern", Name: "fork", PID: parent.PID, Val: uint64(child.PID)})
+	}
+	return child, nil
+}
+
+// forkInto populates a freshly spawned child with a copy of parent's state.
+// The private halves of the address space clone copy-on-write: the child
+// costs one page-table entry and one refcount per page, and whichever side
+// stores to a page first pays for its own copy. The public window is shared
+// outright, per the paper.
+func (k *Kernel) forkInto(parent, child *Process) {
 	child.PPID = parent.PID
 	child.CWD = parent.CWD
 	for key, v := range parent.Env {
 		child.Env[key] = v
 	}
-	// Private below the shared region.
-	if err := parent.AS.CloneRange(child.AS, 0, layout.SharedBase); err != nil {
-		return nil, err
-	}
-	// Private above it (the stack).
-	if err := parent.AS.CloneRange(child.AS, layout.SharedLimit, layout.KernelBase); err != nil {
-		return nil, err
-	}
-	// Public: share the frames.
-	parent.AS.ShareRange(child.AS, layout.SharedBase, layout.SharedLimit)
-	// Identical CPU state.
-	cpu := parent.CPU.Snapshot()
-	child.CPU = &cpu
-	child.CPU.AS = child.AS
+	// One pass over the parent's page table: private windows clone
+	// copy-on-write, the public window shares frames outright.
+	parent.AS.ForkInto(child.AS, layout.SharedBase, layout.SharedLimit, layout.KernelBase)
+	// Identical CPU state, reusing the CPU Spawn allocated for the child.
+	child.CPU.AdoptArchState(parent.CPU)
 	child.brk = parent.brk
 	child.privBase = parent.privBase
 	child.callStub = parent.callStub // stub page is in the cloned private range
@@ -383,11 +406,6 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	if parent.CloneRuntime != nil {
 		parent.CloneRuntime(parent, child)
 	}
-	k.ctrForks.Inc()
-	if t := k.Obs.Tracer(); t.Enabled() {
-		t.Emit(obsv.Event{Subsys: "kern", Name: "fork", PID: parent.PID, Val: uint64(child.PID)})
-	}
-	return child, nil
 }
 
 // Exit terminates the process, reclaiming its private segments. Segments
@@ -400,6 +418,7 @@ func (p *Process) Exit(code int) {
 	}
 	p.Exited = true
 	p.ExitCode = code
+	p.CPU.ReleaseCaches()
 	p.AS.Release()
 	p.K.mu.Lock()
 	delete(p.K.procs, p.PID)
@@ -423,6 +442,15 @@ func (k *Kernel) HandleFault(p *Process, f *addrspace.Fault) error {
 	k.ctrFaults.Inc()
 	if t := k.Obs.Tracer(); t.Enabled() {
 		t.Emit(obsv.Event{Subsys: "kern", Name: "fault", PID: p.PID, Addr: f.Addr, Val: uint64(f.Access)})
+	}
+	// Demand-zero stack growth: an unmapped page inside the stack window is
+	// the kernel's to resolve, before any user-level handler sees it.
+	if f.Unmapped && f.Addr >= layout.StackTop-layout.DefaultStackSize && f.Addr < layout.StackTop {
+		if err := p.AS.MapAnon(addrspace.PageBase(f.Addr), mem.PageSize, addrspace.ProtRW); err != nil {
+			return fmt.Errorf("%w: %v (stack growth failed: %v, pid %d)", ErrUnhandled, f, err, p.PID)
+		}
+		k.ctrStackGrow.Inc()
+		return nil
 	}
 	if p.Handler != nil {
 		err := p.Handler(p, f)

@@ -1,0 +1,160 @@
+package kern
+
+import (
+	"testing"
+)
+
+// zygoteTestImage increments a counter in bss, writes to the stack, and
+// exits with the counter value — enough to prove clones are isolated.
+const zygoteTestSrc = `
+.text
+	li $t0, 41
+	addiu $t0, $t0, 1
+	li $v0, 1
+	move $a0, $t0
+	syscall
+`
+
+func TestZygoteCloneMatchesColdLaunch(t *testing.T) {
+	k := New()
+	im := buildImage(t, zygoteTestSrc)
+
+	// Cold launch, parked at entry (not yet run): register as template.
+	cold := k.Spawn(7)
+	if err := cold.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	cold.Setenv("HOME", "/")
+	k.RegisterZygote("key1", cold)
+	if !k.HasZygote("key1") {
+		t.Fatal("template not registered")
+	}
+
+	// The cold process still runs to completion.
+	if _, err := k.Run(cold, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Exited || cold.ExitCode != 42 {
+		t.Fatalf("cold: exited=%v code=%d", cold.Exited, cold.ExitCode)
+	}
+
+	// Clones run the same program from the same snapshot, independently.
+	for i := 0; i < 3; i++ {
+		c, ok := k.CloneZygote("key1")
+		if !ok {
+			t.Fatal("clone failed")
+		}
+		if c.UID != 7 || c.Getenv("HOME") != "/" {
+			t.Fatalf("clone identity: uid=%d env=%q", c.UID, c.Getenv("HOME"))
+		}
+		if _, err := k.Run(c, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Exited || c.ExitCode != 42 {
+			t.Fatalf("clone %d: exited=%v code=%d", i, c.Exited, c.ExitCode)
+		}
+	}
+	zs := k.Zygotes()
+	if len(zs) != 1 || zs[0].Clones != 3 {
+		t.Fatalf("registry stats: %+v", zs)
+	}
+}
+
+func TestZygotePIDSequenceMatchesColdWorld(t *testing.T) {
+	// Templates must not consume PIDs from the normal sequence: a world
+	// that registers zygotes hands out exactly the same PIDs as one that
+	// launches everything cold (guests can call getpid).
+	k := New()
+	im := buildImage(t, zygoteTestSrc)
+	p1 := k.Spawn(0)
+	if err := p1.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterZygote("k", p1)
+	p2, ok := k.CloneZygote("k")
+	if !ok {
+		t.Fatal("clone failed")
+	}
+	if p2.PID != p1.PID+1 {
+		t.Fatalf("clone PID = %d, want %d (template must not burn a PID)", p2.PID, p1.PID+1)
+	}
+	if p2.PPID != 0 {
+		t.Fatalf("clone PPID = %d, want 0", p2.PPID)
+	}
+	// The hidden template is not in the process table.
+	for _, p := range k.Processes() {
+		if p.PID >= zygotePIDBase {
+			t.Fatalf("template PID %d leaked into the process table", p.PID)
+		}
+	}
+}
+
+func TestZygoteDropReleasesFrames(t *testing.T) {
+	k := New()
+	im := buildImage(t, zygoteTestSrc)
+	base := k.Phys.Stats().Live
+	p := k.Spawn(0)
+	if err := p.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterZygote("k", p)
+	if _, err := k.Run(p, 1000); err != nil { // cold proc exits, releases its AS
+		t.Fatal(err)
+	}
+	if !k.HasZygote("k") {
+		t.Fatal("missing template")
+	}
+	k.DropZygote("k")
+	if k.HasZygote("k") {
+		t.Fatal("template survived drop")
+	}
+	if live := k.Phys.Stats().Live; live != base {
+		t.Fatalf("live frames = %d after drop, want %d", live, base)
+	}
+	// Idempotent.
+	k.DropZygote("k")
+	k.DropAllZygotes()
+}
+
+func TestZygoteCapacityEviction(t *testing.T) {
+	k := New()
+	im := buildImage(t, zygoteTestSrc)
+	p := k.Spawn(0)
+	if err := p.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < MaxZygotes+5; i++ {
+		k.RegisterZygote(string(rune('a'+i%26))+string(rune('0'+i/26)), p)
+	}
+	if n := len(k.Zygotes()); n != MaxZygotes {
+		t.Fatalf("registry size = %d, want %d", n, MaxZygotes)
+	}
+	// Oldest evicted.
+	if k.HasZygote("a0") {
+		t.Fatal("oldest template should have been evicted")
+	}
+}
+
+func TestZygoteCloneStackIsolation(t *testing.T) {
+	// A clone's stack writes must not leak into the template (or siblings):
+	// the CoW pages resolve privately.
+	k := New()
+	im := buildImage(t, zygoteTestSrc)
+	p := k.Spawn(0)
+	if err := p.Exec(im); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterZygote("k", p)
+	c1, _ := k.CloneZygote("k")
+	c2, _ := k.CloneZygote("k")
+	sp := c1.CPU.Regs[29] - 64
+	if err := c1.AS.StoreWord(sp, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	if w, err := c2.AS.LoadWord(sp); err != nil || w != 0 {
+		t.Fatalf("sibling saw %08x (err %v), want 0", w, err)
+	}
+	if w, err := p.AS.LoadWord(sp); err != nil || w != 0 {
+		t.Fatalf("cold parent saw %08x (err %v), want 0", w, err)
+	}
+}

@@ -26,8 +26,15 @@ const (
 	KernelBase    uint32 = 0x80000000
 )
 
-// DefaultStackSize is the initial stack mapping for a new process.
+// DefaultStackSize is the stack window of a new process: faults anywhere in
+// [StackTop-DefaultStackSize, StackTop) grow the stack by mapping the page
+// demand-zero. Only StackEagerSize of it is mapped at exec time, so launch
+// (and a zygote clone, which pays per mapped page) does not touch the 60+
+// pages a typical program never reaches.
 const DefaultStackSize uint32 = 256 * 1024
+
+// StackEagerSize is the portion of the stack window mapped eagerly at exec.
+const StackEagerSize uint32 = 16 * 1024
 
 // Public reports whether addr lies in the public portion of the address
 // space (the shared file system region): it is interpreted identically in

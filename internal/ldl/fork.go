@@ -21,8 +21,21 @@ func (pr *Proc) CloneFor(child *kern.Process) *Proc {
 		userHandler: pr.userHandler,
 		plt:         pr.plt, // stub names are immutable
 	}
+	// Children and zygote clones replay from the parent's cache entry (the
+	// live recording, if the parent is the recorder) but never record: one
+	// writer per key.
+	cl.ckey = pr.ckey
+	if pr.centry != nil {
+		cl.centry = pr.centry
+	} else {
+		cl.centry = pr.crec
+	}
 	// The child starts with its own copy of the pending image relocations.
-	pr.W.addImageRelocs(len(cl.imagePend))
+	// Hidden zygote templates don't count: they are parked snapshots, not
+	// running processes (their clones count when they are made).
+	if !child.Hidden() {
+		pr.W.addImageRelocs(len(cl.imagePend))
+	}
 	remap := map[*Instance]*Instance{nil: nil}
 	cl.root = &Instance{Name: pr.root.Name, searchPath: pr.root.searchPath}
 	remap[pr.root] = cl.root

@@ -116,6 +116,29 @@ type World struct {
 	ctrPtrMaps *obsv.Counter
 	ctrPLT     *obsv.Counter
 	gImageLeft *obsv.Gauge
+
+	// Stable linking (linkcache.go). CacheEnabled turns on the persistent
+	// content-hash link cache under /var/ldl/cache; ZygoteEnabled lets
+	// launches be satisfied by CoW-cloning a parked template (core checks
+	// it — zygotes are keyed and validated by the same cache entries, so
+	// ZygoteEnabled implies CacheEnabled). Both default off: a bare World
+	// behaves exactly as it always has.
+	CacheEnabled  bool
+	ZygoteEnabled bool
+
+	cmu       sync.Mutex
+	keyMemo   map[*objfile.Image]uint64 // image content hash, by identity
+	objMemo   map[string]objMemoEntry   // decoded templates, by path
+	entryMemo map[string]*cacheEntry    // decoded cache entries, by key
+	memoCV    map[string]uint64         // cache-file fingerprint at decode
+
+	ctrCHit, ctrCMiss, ctrCInval *obsv.Counter
+	gCacheBytes                  *obsv.Gauge
+}
+
+type objMemoEntry struct {
+	cv  uint64
+	obj *objfile.Object
 }
 
 func (w *World) tracef(format string, args ...interface{}) {
@@ -152,13 +175,21 @@ func NewWorld(k *kern.Kernel) *World {
 	r := k.Obs.Registry()
 	return &World{
 		K: k, LD: lds.New(k.FS), public: map[string]*shared{},
-		ctrMapped:  r.Counter("ldl.modules_mapped"),
-		ctrCreated: r.Counter("ldl.modules_created"),
-		ctrLazy:    r.Counter("ldl.lazy_links"),
-		ctrRelocs:  r.Counter("ldl.relocs_applied"),
-		ctrPtrMaps: r.Counter("ldl.pointer_maps"),
-		ctrPLT:     r.Counter("ldl.plt_resolves"),
-		gImageLeft: r.Gauge("ldl.image_relocs_left"),
+		ctrMapped:   r.Counter("ldl.modules_mapped"),
+		ctrCreated:  r.Counter("ldl.modules_created"),
+		ctrLazy:     r.Counter("ldl.lazy_links"),
+		ctrRelocs:   r.Counter("ldl.relocs_applied"),
+		ctrPtrMaps:  r.Counter("ldl.pointer_maps"),
+		ctrPLT:      r.Counter("ldl.plt_resolves"),
+		gImageLeft:  r.Gauge("ldl.image_relocs_left"),
+		keyMemo:     map[*objfile.Image]uint64{},
+		objMemo:     map[string]objMemoEntry{},
+		entryMemo:   map[string]*cacheEntry{},
+		memoCV:      map[string]uint64{},
+		ctrCHit:     r.Counter("ldl.linkcache_hit"),
+		ctrCMiss:    r.Counter("ldl.linkcache_miss"),
+		ctrCInval:   r.Counter("ldl.linkcache_invalidate"),
+		gCacheBytes: r.Gauge("ldl.linkcache_bytes"),
 	}
 }
 
@@ -217,6 +248,22 @@ type Proc struct {
 	trampNext   uint32
 	userHandler kern.FaultHandler
 	plt         map[uint32]string // stub address -> function name
+
+	// Stable-linking state (linkcache.go). ckey is the launch content-hash
+	// key ("" when the cache is off). centry is the validated cache entry
+	// this process replays from; crec is the entry it is recording into (a
+	// process never does both). cev is the currently open recorded event;
+	// suppressImage short-circuits resolveImageRelocs while the "start"
+	// event replay subsumes it. statRelocs/statLazy mirror this process's
+	// own contributions to the world Stats, for event delta capture.
+	ckey          string
+	centry        *cacheEntry
+	crec          *cacheEntry
+	cev           *openEvent
+	cdeps         map[string]bool
+	suppressImage bool
+	statRelocs    int
+	statLazy      int
 }
 
 // Start runs ldl for a process that has just exec'd im: the work the
@@ -226,6 +273,18 @@ func (w *World) Start(p *kern.Process, im *objfile.Image) (*Proc, error) {
 	startSpan := w.tracer().Begin("ldl", "start", p.PID, im.Name)
 	defer startSpan.End(0)
 	pr := &Proc{W: w, P: p, Image: im, table: linker.NewTable(), trampNext: im.TrampBase}
+	if w.CacheEnabled {
+		pr.ckey = w.LaunchKey(im, p.UID, p.Env)
+		probeSpan := w.tracer().Begin("link", "cache_probe", p.PID, im.Name)
+		entry := w.probeCache(pr.ckey)
+		probeSpan.End(0)
+		if entry != nil {
+			pr.centry = entry
+		} else {
+			pr.crec = newCacheEntry(pr.ckey)
+			pr.cdeps = map[string]bool{}
+		}
+	}
 	defSpan := w.tracer().Begin("ldl", "sym_define", p.PID, im.Name)
 	for _, s := range im.Symbols {
 		if err := pr.table.Define(s.Name, s.Addr, s.Size); err != nil {
@@ -249,6 +308,16 @@ func (w *World) Start(p *kern.Process, im *objfile.Image) (*Proc, error) {
 		}
 	}
 
+	// On a validated cache hit, the recorded "start" event subsumes every
+	// image-relocation pass below: modules are still located and mapped
+	// (laziness and world bookkeeping must be real), but resolution becomes
+	// one bulk patch application at the end.
+	startEv := pr.lookupEvent(eventStart)
+	if startEv != nil {
+		pr.suppressImage = true
+	}
+	pr.beginEvent(eventStart, nil)
+
 	// Map static public modules, creating any that do not yet exist.
 	for _, sp := range im.Dyn.StaticPublic {
 		if _, err := pr.bringInPublic(sp.Name, objfile.StaticPublic, sp.Template, pr.root); err != nil {
@@ -264,8 +333,23 @@ func (w *World) Start(p *kern.Process, im *objfile.Image) (*Proc, error) {
 	// Resolve undefined references from the main load image, including
 	// references to symbols whose location was not known at static link
 	// time.
-	if err := pr.resolveImageRelocs(); err != nil {
-		return nil, err
+	if startEv != nil {
+		pr.suppressImage = false
+		ok, err := pr.replayStart(startEv)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// World state diverged from the recording; resolve cold.
+			if err := pr.resolveImageRelocs(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := pr.resolveImageRelocs(); err != nil {
+			return nil, err
+		}
+		pr.endEvent(nil)
 	}
 	return pr, nil
 }
@@ -347,6 +431,7 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 	w := pr.W
 	sp := w.tracer().Begin("ldl", "bring_in_public", pr.P.PID, name)
 	defer sp.End(0)
+	pr.noteDep(tmplPath)
 	instPath := lds.InstancePath(tmplPath)
 
 	// Creation of shared segments is synchronized with file locking.
@@ -453,6 +538,7 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string, parent *Instance) (*Instance, error) {
 	sp := pr.W.tracer().Begin("ldl", "bring_in_private", pr.P.PID, name)
 	defer sp.End(0)
+	pr.noteDep(tmplPath)
 	obj, err := pr.loadTemplate(tmplPath)
 	if err != nil {
 		return nil, err
@@ -529,11 +615,37 @@ func (pr *Proc) bringInPrivate(name string, class objfile.Class, tmplPath string
 func (pr *Proc) loadTemplate(path string) (*objfile.Object, error) {
 	sp := pr.W.tracer().Begin("ldl", "load_template", pr.P.PID, path)
 	defer sp.End(0)
-	data, err := pr.W.K.FS.ReadFile(path, pr.P.UID)
+	w := pr.W
+	// Decoded templates are immutable (Place never mutates its input), so
+	// under stable linking they are memoized by path + content fingerprint:
+	// repeat launches skip the read+decode entirely.
+	var cv uint64
+	haveCV := false
+	if w.CacheEnabled {
+		if v, err := w.K.FS.ContentVersion(path); err == nil {
+			cv, haveCV = v, true
+			w.cmu.Lock()
+			if e, ok := w.objMemo[path]; ok && e.cv == cv {
+				w.cmu.Unlock()
+				return e.obj, nil
+			}
+			w.cmu.Unlock()
+		}
+	}
+	data, err := w.K.FS.ReadFile(path, pr.P.UID)
 	if err != nil {
 		return nil, err
 	}
-	return objfile.DecodeBytes(data)
+	obj, err := objfile.DecodeBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if haveCV {
+		w.cmu.Lock()
+		w.objMemo[path] = objMemoEntry{cv: cv, obj: obj}
+		w.cmu.Unlock()
+	}
+	return obj, nil
 }
 
 func maxu32(a, b uint32) uint32 {
@@ -595,6 +707,22 @@ func (pr *Proc) LinkModule(in *Instance) error {
 	}
 	sp := pr.W.tracer().Begin("ldl", "link_module", pr.P.PID, in.Name)
 	defer sp.End(0)
+
+	// On a warm launch, a recorded link event turns the whole resolve-and-
+	// patch loop below into one bulk application of pre-resolved words.
+	evKey := linkEventKey(in)
+	if ev := pr.lookupEvent(evKey); ev != nil {
+		ok, err := pr.replayLink(in, ev)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return pr.enable(in)
+		}
+		// World state diverged from the recording; link cold (unrecorded).
+	}
+
+	pr.beginEvent(evKey, pr.pendingOf(in))
 	if err := pr.loadDeps(in); err != nil {
 		return err
 	}
@@ -610,7 +738,8 @@ func (pr *Proc) LinkModule(in *Instance) error {
 			}
 			return addr, ok
 		}
-		pat := &filePatcher{fs: pr.W.K.FS, path: in.Path, base: in.Base, uid: pr.P.UID}
+		var pat linker.Patcher = &filePatcher{fs: pr.W.K.FS, path: in.Path, base: in.Base, uid: pr.P.UID}
+		pat = pr.recordingPatcher(pat, true)
 		left, err := in.placed.ApplyRelocs(in.sh.pending, guard, pat)
 		if err != nil {
 			return err
@@ -618,12 +747,7 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		applied := len(in.sh.pending) - len(left)
 		in.sh.pending = left
 		in.sh.linked = len(left) == 0
-		pr.W.mu.Lock()
-		pr.W.Stats.RelocsApplied += applied
-		pr.W.Stats.LazyLinks++
-		pr.W.ctrRelocs.Add(uint64(applied))
-		pr.W.ctrLazy.Inc()
-		pr.W.mu.Unlock()
+		pr.addLinkStats(applied, 1)
 		pr.W.tracef("ldl: linked public %s: %d reloc(s), %d pending", in.Path, applied, len(left))
 		pr.W.emit(obsv.Event{Name: "lazy_link", PID: pr.P.PID, Mod: in.Path, Addr: in.Base, Val: uint64(applied)})
 	} else {
@@ -632,19 +756,14 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		if err := pr.P.AS.Protect(in.Base, in.Size, addrspace.ProtRW); err != nil {
 			return err
 		}
-		left, err := in.placed.ApplyRelocs(in.pending, resolver, pr.P.AS)
+		left, err := in.placed.ApplyRelocs(in.pending, resolver, pr.recordingPatcher(pr.P.AS, false))
 		if err != nil {
 			return err
 		}
 		applied := len(in.pending) - len(left)
 		in.pending = left
 		in.linked = len(left) == 0
-		pr.W.mu.Lock()
-		pr.W.Stats.RelocsApplied += applied
-		pr.W.Stats.LazyLinks++
-		pr.W.ctrRelocs.Add(uint64(applied))
-		pr.W.ctrLazy.Inc()
-		pr.W.mu.Unlock()
+		pr.addLinkStats(applied, 1)
 		pr.W.tracef("ldl: linked private %s: %d reloc(s), %d pending", in.Name, applied, len(left))
 		pr.W.emit(obsv.Event{Name: "lazy_link", PID: pr.P.PID, Mod: in.Name, Addr: in.Base, Val: uint64(applied)})
 	}
@@ -652,7 +771,32 @@ func (pr *Proc) LinkModule(in *Instance) error {
 	if err := pr.resolveImageRelocs(); err != nil {
 		return err
 	}
+	pr.endEvent(pr.pendingOf(in))
 	return pr.enable(in)
+}
+
+// pendingOf returns the module's current pending-relocation list (shared
+// state for public modules, per-process for private ones).
+func (pr *Proc) pendingOf(in *Instance) []objfile.Reloc {
+	if in.sh != nil {
+		return in.sh.pending
+	}
+	return in.pending
+}
+
+// addLinkStats bumps the world link counters and this process's own
+// mirrors (the mirrors feed cache-event delta capture).
+func (pr *Proc) addLinkStats(relocs, lazy int) {
+	pr.W.mu.Lock()
+	pr.W.Stats.RelocsApplied += relocs
+	pr.W.Stats.LazyLinks += lazy
+	pr.W.ctrRelocs.Add(uint64(relocs))
+	if lazy > 0 {
+		pr.W.ctrLazy.Add(uint64(lazy))
+	}
+	pr.W.mu.Unlock()
+	pr.statRelocs += relocs
+	pr.statLazy += lazy
 }
 
 // enable restores access to a module's pages after linking.
@@ -691,8 +835,14 @@ func (fp *filePatcher) StoreWord(addr, val uint32) error {
 // are now resolvable (root scope). Others stay pending; a later LinkModule
 // may satisfy them.
 func (pr *Proc) resolveImageRelocs() error {
+	if pr.suppressImage {
+		// The launch is replaying a recorded "start" event, which subsumes
+		// every image-relocation pass made while modules come in.
+		return nil
+	}
 	sp := pr.W.tracer().Begin("ldl", "resolve_image", pr.P.PID, "")
 	defer sp.End(uint64(len(pr.imagePend)))
+	pat := pr.recordingPatcher(pr.P.AS, false)
 	var left []objfile.ImageReloc
 	for _, r := range pr.imagePend {
 		addr, ok := pr.resolveScoped(pr.root, r.Name)
@@ -700,13 +850,14 @@ func (pr *Proc) resolveImageRelocs() error {
 			left = append(left, r)
 			continue
 		}
-		if err := pr.applyImageReloc(r, addr); err != nil {
+		if err := pr.applyImageReloc(pat, r, addr); err != nil {
 			return err
 		}
 		pr.W.mu.Lock()
 		pr.W.Stats.RelocsApplied++
 		pr.W.ctrRelocs.Inc()
 		pr.W.mu.Unlock()
+		pr.statRelocs++
 	}
 	// Shrink the pending aggregate by the number of relocations this pass
 	// applied. (ImageRelocsLeft used to be overwritten with len(left),
@@ -716,48 +867,50 @@ func (pr *Proc) resolveImageRelocs() error {
 	return nil
 }
 
-// applyImageReloc patches one retained relocation in the running image.
-func (pr *Proc) applyImageReloc(r objfile.ImageReloc, symAddr uint32) error {
+// applyImageReloc patches one retained relocation in the running image
+// through pat (the process address space, possibly wrapped for cache
+// recording).
+func (pr *Proc) applyImageReloc(pat linker.Patcher, r objfile.ImageReloc, symAddr uint32) error {
 	target := symAddr + uint32(r.Addend)
-	w, err := pr.P.AS.LoadWord(r.Addr)
+	w, err := pat.LoadWord(r.Addr)
 	if err != nil {
 		return err
 	}
 	switch r.Type {
 	case objfile.RelWord32:
-		return pr.P.AS.StoreWord(r.Addr, target)
+		return pat.StoreWord(r.Addr, target)
 	case objfile.RelHi16:
-		return pr.P.AS.StoreWord(r.Addr, isa.PatchImm16(w, isa.Hi16(target)))
+		return pat.StoreWord(r.Addr, isa.PatchImm16(w, isa.Hi16(target)))
 	case objfile.RelLo16:
-		return pr.P.AS.StoreWord(r.Addr, isa.PatchImm16(w, isa.Lo16(target)))
+		return pat.StoreWord(r.Addr, isa.PatchImm16(w, isa.Lo16(target)))
 	case objfile.RelJump26:
 		if !isa.JumpReach(r.Addr, target) {
-			tramp, err := pr.imageTrampoline(target)
+			tramp, err := pr.imageTrampoline(pat, target)
 			if err != nil {
 				return err
 			}
 			target = tramp
 		}
-		return pr.P.AS.StoreWord(r.Addr, isa.PatchJump26(w, target))
+		return pat.StoreWord(r.Addr, isa.PatchJump26(w, target))
 	case objfile.RelBranch16:
 		off, ok := isa.BranchOffset(r.Addr, target)
 		if !ok {
 			return fmt.Errorf("ldl: branch from 0x%08x to 0x%08x out of range", r.Addr, target)
 		}
-		return pr.P.AS.StoreWord(r.Addr, isa.PatchImm16(w, off))
+		return pat.StoreWord(r.Addr, isa.PatchImm16(w, off))
 	}
 	return fmt.Errorf("ldl: unsupported retained relocation %v", r.Type)
 }
 
 // imageTrampoline allocates a fragment in the image's reserved trampoline
 // area.
-func (pr *Proc) imageTrampoline(target uint32) (uint32, error) {
+func (pr *Proc) imageTrampoline(pat linker.Patcher, target uint32) (uint32, error) {
 	if pr.trampNext+isa.TrampolineSize > pr.Image.TrampBase+pr.Image.TrampSize {
 		return 0, ErrNoTrampoline
 	}
 	addr := pr.trampNext
 	for i, w := range isa.TrampolineWords(target, false) {
-		if err := pr.P.AS.StoreWord(addr+uint32(i)*4, w); err != nil {
+		if err := pat.StoreWord(addr+uint32(i)*4, w); err != nil {
 			return 0, err
 		}
 	}

@@ -142,6 +142,15 @@ func (f *Frame) NoteStore() { f.ver.Add(1) }
 // Version returns the frame's store-version counter.
 func (f *Frame) Version() uint64 { return f.ver.Load() }
 
+// RestoreVersion sets the store-version counter to a value recorded by an
+// earlier run. Only boot-time loaders (shmfs image restore) may call it,
+// and only on frames no CPU has cached translations against: file
+// fingerprints (shmfs.ContentVersion) are built from these counters, so a
+// reboot must bring them back or every fingerprint recorded before the
+// reboot — the link cache's invalidation manifest among them — would look
+// stale.
+func (f *Frame) RestoreVersion(v uint64) { f.ver.Store(v) }
+
 // Stats describes pool usage.
 type Stats struct {
 	Live   int    // frames currently referenced

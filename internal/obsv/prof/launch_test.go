@@ -95,6 +95,10 @@ func TestLaunchProfileInterleavedPIDs(t *testing.T) {
 // wall time to named phases.
 func TestLaunchProfileRealLaunch(t *testing.T) {
 	s := core.NewSystem()
+	// Profile the cold launch pipeline: with stable linking on, every
+	// launch after the first is a ~10µs zygote clone whose only phase is
+	// link.zygote_clone — a different (and separately tested) shape.
+	s.SetStableLinking(false, false)
 	if _, err := s.Asm("/lib/counter.o", `
         .data
         .globl  hits
@@ -169,6 +173,68 @@ main:   la      $t0, hits
 		if !byName[want] {
 			t.Fatalf("no %s phase in:\n%s", want, r.Table())
 		}
+	}
+}
+
+// TestLaunchProfileStableLinkingPhases profiles launches with stable
+// linking enabled: the cold launch must attribute its cache probe and
+// zygote registration, and every repeat launch must show up as a
+// link.zygote_clone — so `-profile launch` explains where warm launches
+// spend their time, not just cold ones.
+func TestLaunchProfileStableLinkingPhases(t *testing.T) {
+	s := core.NewSystem()
+	s.SetStableLinking(true, true)
+	if _, err := s.Asm("/bin/solo.o", ".text\n.globl main\nmain: li $v0,3\n jr $ra\n"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Link(&lds.Options{
+		Output:  "a.out",
+		Modules: []lds.Input{{Name: "solo.o", Class: objfile.StaticPrivate}},
+		LinkDir: "/bin",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const launches = 6 // 1 cold + 5 zygote clones
+	lp := prof.NewLaunchProfile()
+	s.Obs().T.Attach(lp)
+	for i := 0; i < launches; i++ {
+		pg, err := s.Launch(res.Image, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pg.Run(100_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Obs().T.Detach(lp)
+	r := lp.Report()
+	if r.Launches != launches {
+		t.Fatalf("launches = %d, want %d", r.Launches, launches)
+	}
+	byName := map[string]prof.PhaseStat{}
+	for _, p := range r.Phases {
+		byName[p.Name] = p
+	}
+	// Cold-only phases ran exactly once: the other five launches skipped
+	// exec and linking entirely.
+	for _, want := range []string{"kern.exec", "link.cache_probe", "link.zygote_register"} {
+		if p := byName[want]; p.Count != 1 {
+			t.Fatalf("%s count = %d, want 1 (cold launch only):\n%s", want, p.Count, r.Table())
+		}
+	}
+	clone := byName["link.zygote_clone"]
+	if clone.Count != launches-1 {
+		t.Fatalf("link.zygote_clone count = %d, want %d:\n%s", clone.Count, launches-1, r.Table())
+	}
+	if clone.Total <= 0 {
+		t.Fatalf("link.zygote_clone total = %dns:\n%s", clone.Total, r.Table())
+	}
+	// A warm launch is a few µs of clone work under a kern.launch root, so
+	// span bookkeeping is proportionally much larger than on a cold launch;
+	// require attribution to carry most of the time, not the cold gate's 95%.
+	if c := r.Coverage(); c < 0.5 {
+		t.Fatalf("stable-linking launch coverage %.1f%% < 50%%:\n%s", 100*c, r.Table())
 	}
 }
 

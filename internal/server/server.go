@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"hemlock/internal/core"
+	"hemlock/internal/kern"
 	"hemlock/internal/lds"
 	"hemlock/internal/objfile"
 	"hemlock/internal/obsv"
@@ -285,10 +286,13 @@ type VarWriteRequest struct {
 	Value   uint32 `json:"value"`
 }
 
-// InfoResponse summarises the world.
+// InfoResponse summarises the world. Zygotes lists the parked launch
+// templates (content-hash key, hidden template PID, resident pages, and
+// how many launches each has served by CoW clone).
 type InfoResponse struct {
-	Programs []string    `json:"programs"`
-	FS       shmfs.Usage `json:"fs"`
+	Programs []string          `json:"programs"`
+	FS       shmfs.Usage       `json:"fs"`
+	Zygotes  []kern.ZygoteInfo `json:"zygotes,omitempty"`
 }
 
 type errResponse struct {
@@ -502,13 +506,15 @@ func (s *Server) Info(timeout time.Duration) (*InfoResponse, error) {
 	s.mu.Unlock()
 	sort.Strings(names)
 	var usage shmfs.Usage
+	var zygotes []kern.ZygoteInfo
 	if err := s.do("info", timeout, func() error {
 		usage = s.sys.FS.Usage()
+		zygotes = s.sys.K.Zygotes()
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	return &InfoResponse{Programs: names, FS: usage}, nil
+	return &InfoResponse{Programs: names, FS: usage, Zygotes: zygotes}, nil
 }
 
 // ---- HTTP plumbing -----------------------------------------------------------

@@ -140,6 +140,21 @@ func TestServeEndpoints(t *testing.T) {
 	if len(info.Programs) != 2 || info.FS.Files == 0 {
 		t.Fatalf("info: %+v", info)
 	}
+	// Stable linking is on by default: both HTTP launches of DemoExe share
+	// one parked zygote template, and the second launch was a CoW clone.
+	if len(info.Zygotes) == 0 {
+		t.Fatalf("info reports no zygote templates: %+v", info)
+	}
+	var clones uint64
+	for _, z := range info.Zygotes {
+		if z.Key == "" || z.Pages == 0 {
+			t.Fatalf("malformed zygote entry: %+v", z)
+		}
+		clones += z.Clones
+	}
+	if clones == 0 {
+		t.Fatalf("repeat launch of %s did not clone a zygote: %+v", DemoExe, info.Zygotes)
+	}
 
 	// Metrics carries the server counters and per-op histograms.
 	rr, body = getURL(t, h, "/metrics")

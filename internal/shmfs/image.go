@@ -19,15 +19,23 @@ import (
 //
 //	magic "HSFS" | version u32 | inode count u32
 //	per inode: ino u32 | type u8 | mode u16 | uid u32 | mtime u64
-//	           file: size u32 | data bytes
+//	           file: size u32 | (frame store-version u64 | data bytes)*
 //	           dir : entry count u32 | (name, ino u32)*
 //	           sym : target string
 //
 // Strings are u16 length + bytes.
+//
+// Version 2 added the per-frame store-version counters. They are what
+// ContentVersion fingerprints are built from, so a reboot must restore
+// them: the link cache's invalidation manifests record fingerprints taken
+// before the save, and losing the counters would make every entry look
+// mutated-in-place. Version 1 images (no counters) still load; their
+// counters restart at zero, so caches recorded before the save invalidate
+// once and re-record.
 
 const (
 	imageMagic   = "HSFS"
-	imageVersion = 1
+	imageVersion = 2
 )
 
 func writeString(w io.Writer, s string) error {
@@ -98,6 +106,9 @@ func (fs *FS) Save(w io.Writer) error {
 				if remain < n {
 					n = remain
 				}
+				if err := binary.Write(bw, binary.BigEndian, nd.frames[fi].Version()); err != nil {
+					return err
+				}
 				if _, err := bw.Write(nd.frames[fi].Data[:n]); err != nil {
 					return err
 				}
@@ -145,7 +156,7 @@ func Load(r io.Reader, phys *mem.Physical) (*FS, error) {
 	if err := binary.Read(br, binary.BigEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != imageVersion {
+	if version < 1 || version > imageVersion {
 		return nil, fmt.Errorf("shmfs: unsupported image version %d", version)
 	}
 	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
@@ -197,6 +208,13 @@ func Load(r io.Reader, phys *mem.Physical) (*FS, error) {
 				n := uint32(mem.PageSize)
 				if remain < n {
 					n = remain
+				}
+				if version >= 2 {
+					var fver uint64
+					if err := binary.Read(br, binary.BigEndian, &fver); err != nil {
+						return nil, err
+					}
+					nd.frames[fi].RestoreVersion(fver)
 				}
 				if _, err := io.ReadFull(br, nd.frames[fi].Data[:n]); err != nil {
 					return nil, err

@@ -442,6 +442,48 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestContentVersionSurvivesSaveLoad pins the reboot contract the link
+// cache depends on: a file's fingerprint before Save equals its
+// fingerprint after Load, and a genuinely mutated file still reads as
+// changed. Fingerprints mix the per-frame store-version counters, so the
+// image must carry them (format v2) — without that, every cache manifest
+// recorded before a reboot would look mutated-in-place.
+func TestContentVersionSurvivesSaveLoad(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/lib", DefaultDirMode, 0)
+	fs.Create("/lib/mod.o", DefaultFileMode, 0)
+	// Write twice so the frame counters are not trivially 1.
+	fs.WriteFile("/lib/mod.o", bytes.Repeat([]byte{0x11}, 5000), DefaultFileMode, 0)
+	fs.WriteFile("/lib/mod.o", bytes.Repeat([]byte{0x22}, 5000), DefaultFileMode, 0)
+	before, err := fs.ContentVersion("/lib/mod.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Load(&buf, mem.NewPhysical(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := fs2.ContentVersion("/lib/mod.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("fingerprint changed across save/load: %016x -> %016x", before, after)
+	}
+	// Mutation on the rebooted machine still moves the fingerprint.
+	if _, err := fs2.WriteAt("/lib/mod.o", 0, []byte{0x33}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fs2.ContentVersion("/lib/mod.o"); v == before {
+		t.Fatal("fingerprint did not move after an in-place write")
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("NOTANIMAGE")), mem.NewPhysical(0)); err == nil {
 		t.Fatal("garbage image accepted")

@@ -32,14 +32,14 @@ func benchCPU(tb testing.TB) *vm.CPU {
 		tb.Fatal(err)
 	}
 	loop := []uint32{
-		isa.EncodeI(isa.OpADDIU, 9, 9, 1),            // addiu t1, t1, 1
-		isa.EncodeR(isa.FnXOR, 10, 9, 8, 0),          // xor   t2, t1, t0
-		isa.EncodeR(isa.FnSLTU, 11, 10, 8, 0),        // sltu  t3, t2, t0
-		isa.EncodeI(isa.OpSW, 9, 15, 0),              // sw    t1, 0(t7)
-		isa.EncodeI(isa.OpLW, 12, 15, 0),             // lw    t4, 0(t7)
-		isa.EncodeR(isa.FnADDU, 13, 12, 10, 0),       // addu  t5, t4, t2
-		isa.EncodeR(isa.FnSRL, 14, 0, 13, 3),         // srl   t6, t5, 3
-		isa.EncodeJ(isa.OpJ, benchTextBase),          // j     loop
+		isa.EncodeI(isa.OpADDIU, 9, 9, 1),      // addiu t1, t1, 1
+		isa.EncodeR(isa.FnXOR, 10, 9, 8, 0),    // xor   t2, t1, t0
+		isa.EncodeR(isa.FnSLTU, 11, 10, 8, 0),  // sltu  t3, t2, t0
+		isa.EncodeI(isa.OpSW, 9, 15, 0),        // sw    t1, 0(t7)
+		isa.EncodeI(isa.OpLW, 12, 15, 0),       // lw    t4, 0(t7)
+		isa.EncodeR(isa.FnADDU, 13, 12, 10, 0), // addu  t5, t4, t2
+		isa.EncodeR(isa.FnSRL, 14, 0, 13, 3),   // srl   t6, t5, 3
+		isa.EncodeJ(isa.OpJ, benchTextBase),    // j     loop
 	}
 	for i, w := range loop {
 		if err := as.StoreWord(benchTextBase+uint32(4*i), w); err != nil {

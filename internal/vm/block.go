@@ -53,6 +53,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"sync"
 
 	"hemlock/internal/addrspace"
 	"hemlock/internal/isa"
@@ -168,15 +169,32 @@ func (b *block) valid(gen uint64) bool {
 	return b.gen == gen && b.fver == b.frame.Version()
 }
 
+// bcPool recycles block-cache arrays across CPUs: a short-lived process (a
+// zygote clone, say) would otherwise allocate and garbage 4 KB per launch.
+var bcPool = sync.Pool{New: func() any { return new([bcSize]*block) }}
+
 // SetBlockEngine switches this CPU between the block-translation engine
 // and the per-instruction PR-3 path for batched execution (Step always
 // uses the per-instruction path). Turning it off drops the block cache.
 func (c *CPU) SetBlockEngine(on bool) {
 	c.blocksOff = !on
 	if !on {
-		c.bc = [bcSize]*block{}
+		c.releaseBlockCache()
 	}
 }
+
+// releaseBlockCache returns the block-cache array to the pool. The kernel
+// calls it (via ReleaseCaches) when the process exits.
+func (c *CPU) releaseBlockCache() {
+	if c.bc != nil {
+		bcPool.Put(c.bc)
+		c.bc = nil
+	}
+}
+
+// ReleaseCaches hands the CPU's pooled cache storage back for reuse. Only
+// call when the CPU will not run again.
+func (c *CPU) ReleaseCaches() { c.releaseBlockCache() }
 
 // BlockEngineOn reports whether batched execution uses the block engine.
 func (c *CPU) BlockEngineOn() bool { return !c.blocksOff }
@@ -194,6 +212,11 @@ func illegalErr(w uint32) error {
 // blockAt returns a valid block starting at pc, probing the direct-mapped
 // cache and (re)building on miss or staleness.
 func (c *CPU) blockAt(pc uint32) (*block, error) {
+	if c.bc == nil {
+		bc := bcPool.Get().(*[bcSize]*block)
+		*bc = [bcSize]*block{} // a pooled array holds another CPU's blocks
+		c.bc = bc
+	}
 	slot := &c.bc[(pc>>2)&(bcSize-1)]
 	if b := *slot; b != nil && b.pc == pc && b.valid(c.AS.Gen()) {
 		c.stats.BlockHits++

@@ -119,9 +119,9 @@ func TestSelfModifyingTextNextFetch(t *testing.T) {
 	c.PC = benchTextBase
 	c.Regs[8] = isa.EncodeJ(isa.OpJ, escape) // t0: the replacement J word
 	c.Regs[9] = benchTextBase                // t1: victim address
-	stepOK(t, c) // victim executes (and is predecoded)
-	stepOK(t, c) // store patches the victim in live text
-	stepOK(t, c) // jump back
+	stepOK(t, c)                             // victim executes (and is predecoded)
+	stepOK(t, c)                             // store patches the victim in live text
+	stepOK(t, c)                             // jump back
 	if c.PC != benchTextBase {
 		t.Fatalf("pc = 0x%08x, want victim address", c.PC)
 	}

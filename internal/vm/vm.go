@@ -208,7 +208,11 @@ type CPU struct {
 	dtlb [tlbSize]tlbEnt
 	itlb [tlbSize]tlbEnt
 	ic   [icSize]*icPage
-	bc   [bcSize]*block
+
+	// bc is the basic-block cache, allocated on first use: the 4 KB
+	// pointer array would otherwise dominate the size of a CPU that never
+	// runs (zygote clones pay one CPU allocation per launch).
+	bc *[bcSize]*block
 }
 
 // New returns a CPU bound to the given address space.
@@ -256,7 +260,7 @@ func (c *CPU) FlushCaches() {
 	c.dtlb = [tlbSize]tlbEnt{}
 	c.itlb = [tlbSize]tlbEnt{}
 	c.ic = [icSize]*icPage{}
-	c.bc = [bcSize]*block{}
+	c.bc = nil
 }
 
 // dentry returns a valid D-TLB entry for addr with the needed right,
@@ -589,6 +593,21 @@ func (c *CPU) Run(maxSteps uint64) (Event, error) {
 		return ev, err
 	}
 	return EventStep, fmt.Errorf("vm: exceeded %d steps at pc 0x%08x", maxSteps, c.PC)
+}
+
+// AdoptArchState copies from's architectural state — registers, PC,
+// retired-instruction and trap counts, block-engine mode, sampler — into c,
+// keeping c's own address space, wired counters and (cold) caches. fork
+// uses it to reuse the CPU Spawn already allocated instead of paying for a
+// second ~8 KB CPU per clone; cache state is deliberately not copied for
+// the same reason Snapshot omits it.
+func (c *CPU) AdoptArchState(from *CPU) {
+	c.Regs = from.Regs
+	c.PC = from.PC
+	c.Steps = from.Steps
+	c.Traps = from.Traps
+	c.blocksOff = from.blocksOff
+	c.sampler = from.sampler
 }
 
 // Snapshot returns a copy of the architectural state (for fork). Cache

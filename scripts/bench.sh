@@ -29,7 +29,7 @@ out=BENCH_"$n".json
 # estimate without making CI runs painful.
 {
   go test -run=NONE -bench='BenchmarkDispatch' -benchtime="$benchtime" -count=3 ./internal/vm/
-  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase' -benchtime="$benchtime" -count=3 .
+  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase|LaunchWarm' -benchtime="$benchtime" -count=3 .
 } | tee "$raw"
 
 {

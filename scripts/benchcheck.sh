@@ -6,17 +6,32 @@
 # Usage:
 #   scripts/benchcheck.sh <baseline.json> <candidate.json> [threshold_pct]
 #
-# For every benchmark name present in both files the best (minimum)
-# ns_per_op of the samples is compared; min-of-N is robust against a noisy
-# neighbour inflating one sample. Every delta is reported. The gate FAILS
-# (exit 1) if a gated benchmark — name containing "Dispatch", "CallNear",
-# or "CallFarTrampoline" — is slower than the baseline by more than
-# threshold_pct (default 20), or if a gated name present in one file is
-# MISSING from the other (a renamed or deleted gated benchmark must fail
-# loudly, not silently shrink the gate). The interpreter fast path and the
-# cross-segment call paths are the perf contracts this repo tracks hardest;
-# the other macro benchmarks are reported for the record but are too
-# system-noisy to gate merges on.
+# Two gates, tuned to what each can measure reliably:
+#
+# 1. Cross-file: for every benchmark name present in both files the best
+#    (minimum) ns_per_op of the samples is compared; min-of-N is robust
+#    against a noisy neighbour inflating one sample. Every delta is
+#    reported. The gate FAILS (exit 1) if a gated benchmark — name
+#    containing "Dispatch", "CallNear", or "CallFarTrampoline" — is slower
+#    than the baseline by more than threshold_pct (default 20), or if a
+#    gated name present in one file is MISSING from the other (a renamed
+#    or deleted gated benchmark must fail loudly, not silently shrink the
+#    gate).
+#
+# 2. Within-candidate ratio: the stable-linking launch benchmarks are
+#    gated against their cold counterparts measured in the SAME run, so
+#    machine-speed differences between the committed baseline and the CI
+#    runner cancel out. Table1_<class>Repeat (zygote clone) must come in
+#    under 50% of Table1_<class> cold, and LaunchWarm (cache replay, full
+#    exec) under 90% of Table1_DynamicPublic cold. If the warm paths
+#    silently fall back to a cold relink the ratio collapses to ~100% and
+#    the gate fails — on any machine, at any load. Missing repeat names
+#    fail too.
+#
+# The interpreter fast path, the cross-segment call paths, and the
+# stable-linking repeat-launch paths are the perf contracts this repo
+# tracks hardest; the other macro benchmarks are reported for the record
+# but are too system-noisy to gate merges on.
 set -eu
 
 base=${1:?usage: scripts/benchcheck.sh <baseline.json> <candidate.json> [threshold_pct]}
@@ -31,6 +46,22 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
     if (match(line, /"ns_per_op": [0-9.eE+-]+/) == 0) return 0
     ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
     return 1
+  }
+  # One within-candidate ratio check: warm must be under limit * cold.
+  function ratio_gate(warm, cold, limit) {
+    if (!(warm in c)) {
+      printf "benchcheck: ratio-gated benchmark %s missing from %s\n", warm, candfile
+      return 1
+    }
+    if (!(cold in c)) {
+      printf "benchcheck: cold counterpart %s missing from %s\n", cold, candfile
+      return 1
+    }
+    r = c[warm] / c[cold]
+    mark = ""
+    if (r > limit) { mark = "  << WARM PATH REGRESSION" }
+    printf "%-34s %12.2f / %10.2f  =%5.0f%% (max %3.0f%%)%s\n", warm, c[warm], c[cold], r * 100, limit * 100, mark
+    return mark != "" ? 1 : 0
   }
   FNR == 1 { file++ }
   {
@@ -67,6 +98,17 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
       printf "benchcheck: gated benchmark %s missing from %s\n", name, basefile; fail = 1
     }
     if (n == 0) { print "benchcheck: no common benchmark names — nothing compared"; exit 1 }
+
+    # Stable-linking launch gates: warm vs cold within the candidate run.
+    printf "\nwarm-launch ratio gate (within %s)\n", candfile
+    printf "%-34s %12s / %10s\n", "name", "warm ns/op", "cold ns/op"
+    split("StaticPrivate DynamicPrivate StaticPublic DynamicPublic", classes, " ")
+    for (i in classes) {
+      cl = classes[i]
+      fail += ratio_gate("BenchmarkTable1_" cl "Repeat", "BenchmarkTable1_" cl, 0.5)
+    }
+    fail += ratio_gate("BenchmarkLaunchWarm", "BenchmarkTable1_DynamicPublic", 0.9)
+
     if (fail) { print "benchcheck: FAIL — gated benchmark regressed or missing"; exit 1 }
     print "benchcheck: ok"
   }

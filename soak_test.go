@@ -159,13 +159,16 @@ main:
 		s.Failf("after reboot count = %d, want %d", pg.P.ExitCode, runs+1)
 	}
 
-	// Resource accounting on the original machine: exit everyone, then
-	// live frames must be exactly the file-backed ones.
+	// Resource accounting on the original machine: exit everyone and drop
+	// the parked zygote templates (they deliberately retain the linked
+	// address space for O(1) repeat launches), then live frames must be
+	// exactly the file-backed ones.
 	watcher.P.Exit(0)
 	child.P.Exit(0)
 	for _, p := range sys.K.Processes() {
 		p.Exit(0)
 	}
+	sys.K.DropAllZygotes()
 	var fileFrames int
 	sys.FS.WalkFiles(func(p string, st shmfs.Stat) error {
 		fileFrames += int((st.Size + 4095) / 4096)
