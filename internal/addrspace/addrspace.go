@@ -11,7 +11,6 @@
 package addrspace
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -561,7 +560,7 @@ func (s *Space) LoadWord(addr uint32) (uint32, error) {
 	if flt != nil {
 		return 0, flt
 	}
-	return binary.BigEndian.Uint32(f.Data[off:]), nil
+	return f.LoadWordBE(off), nil
 }
 
 // StoreWord stores a big-endian 32-bit word. addr must be 4-byte aligned.
@@ -573,8 +572,7 @@ func (s *Space) StoreWord(addr, val uint32) error {
 	if flt != nil {
 		return flt
 	}
-	f.NoteStore()
-	binary.BigEndian.PutUint32(f.Data[off:], val)
+	f.StoreWordBE(off, val)
 	return nil
 }
 
@@ -587,7 +585,7 @@ func (s *Space) FetchWord(addr uint32) (uint32, error) {
 	if flt != nil {
 		return 0, flt
 	}
-	return binary.BigEndian.Uint32(f.Data[off:]), nil
+	return f.LoadWordBE(off), nil
 }
 
 // LoadByte loads one byte with read permission.

@@ -191,6 +191,12 @@ func (s *System) Launch(im *objfile.Image, uid int, env map[string]string) (*Pro
 	var key string
 	if s.W.ZygoteEnabled {
 		key = s.W.LaunchKey(im, uid, env)
+		// Singleflight: concurrent identical launches (the serve daemon
+		// under load, an SMP workload fanning out) serialize on the key.
+		// The first one in links cold and parks the zygote; everyone who
+		// waited clones it. Exactly one cold link per key.
+		unlock := s.W.LockLaunch(key)
+		defer unlock()
 		if s.K.HasZygote(key) && s.W.CacheValid(key) {
 			sp := s.K.Obs.Tracer().Begin("kern", "launch", 0, im.Name)
 			zsp := s.K.Obs.Tracer().Begin("link", "zygote_clone", 0, im.Name)

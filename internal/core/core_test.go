@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"hemlock/internal/lds"
@@ -267,5 +268,61 @@ msg:    .ascii  "ok!"
 	}
 	if pg.Output() != "ok!" {
 		t.Fatalf("output = %q", pg.Output())
+	}
+}
+
+// TestConcurrentIdenticalLaunches: 8 goroutines launch the same image at
+// once. The launch singleflight must make exactly one of them link cold
+// and register the zygote template; the other seven clone it. Without the
+// gate every racer links cold — under the single-run-loop assumption that
+// could not happen, under true SMP it is the serve daemon's steady state.
+func TestConcurrentIdenticalLaunches(t *testing.T) {
+	const racers = 8
+	s := NewSystem()
+	im := linkCounter(t, s)
+	var wg sync.WaitGroup
+	pgs := make([]*Program, racers)
+	errs := make([]error, racers)
+	wg.Add(racers)
+	for i := 0; i < racers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			pgs[i], errs[i] = s.Launch(im, 0, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("launch %d: %v", i, errs[i])
+		}
+	}
+	snap := s.Obs().R.Snapshot()
+	if got := snap.Counters["kern.zygote_register"]; got != 1 {
+		t.Fatalf("zygote_register = %d, want exactly 1 cold link", got)
+	}
+	if got := snap.Counters["kern.zygote_clone"]; got != racers-1 {
+		t.Fatalf("zygote_clone = %d, want %d", got, racers-1)
+	}
+	if got := snap.Counters["ldl.modules_created"]; got != 1 {
+		t.Fatalf("modules_created = %d, want 1", got)
+	}
+	// Every launch is a working process: the shared module resolves and
+	// the shared word is one fleet-wide copy.
+	v0, err := pgs[0].Var("hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v0.Store(77); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < racers; i++ {
+		v, err := pgs[i].Var("hits")
+		if err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+		got, err := v.Load()
+		if err != nil || got != 77 {
+			t.Fatalf("launch %d: hits = %d, %v (shared word not shared)", i, got, err)
+		}
 	}
 }

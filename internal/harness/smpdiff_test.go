@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestSMPDiff is the SMP acceptance gate: across generated workloads and
+// seeded deterministic schedules, at least 500 scheduler runs must
+// quiesce with identical exit codes and bit-identical shared-state
+// hashes, with zero divergences. Under -short the sweep shrinks but the
+// three-way structure (reference / free-running / deterministic) is
+// preserved for every workload.
+func TestSMPDiff(t *testing.T) {
+	s := NewScenario(t, "smpdiff", 9)
+	workloads := s.Scale(25, 4)
+	nSched := s.Scale(20, 3)
+	for i := 0; i < workloads; i++ {
+		SMPDiffOne(s, s.Rand.Int63(), nSched)
+	}
+	c := s.Reg.Snapshot().Counters
+	if !testing.Short() {
+		if c["harness.smpdiff.schedules"] < 500 {
+			s.Failf("ran only %d schedules, want >= 500", c["harness.smpdiff.schedules"])
+		}
+	}
+	if c["harness.smpdiff.divergences"] != 0 {
+		s.Failf("%d divergences", c["harness.smpdiff.divergences"])
+	}
+	s.Logf("%d workloads, %d schedules, no divergences",
+		c["harness.smpdiff.workloads"], c["harness.smpdiff.schedules"])
+}
+
+// TestSMPDiffFamiliesExercised guards the workload generator: a modest
+// sweep must draw from all three families (spin-lock counters,
+// producer/consumer ring, cross-CPU code patch), or the differential
+// coverage silently narrows.
+func TestSMPDiffFamiliesExercised(t *testing.T) {
+	s := NewScenario(t, "smpdiff-mix", 10)
+	seen := map[string]bool{}
+	for i := 0; i < 24; i++ {
+		wl := genSMPWorkload(s.Rand)
+		for _, fam := range []string{"spin", "prodcons", "patch"} {
+			if len(wl.name) >= len(fam) && wl.name[:len(fam)] == fam {
+				seen[fam] = true
+			}
+		}
+	}
+	for _, fam := range []string{"spin", "prodcons", "patch"} {
+		if !seen[fam] {
+			s.Failf("family %q never generated in 24 draws", fam)
+		}
+	}
+}
+
+// FuzzSMPDiff lets the fuzzer drive both the workload seed and one
+// deterministic schedule seed. The committed corpus pins one seed per
+// workload family plus boundary values; `go test -fuzz FuzzSMPDiff`
+// explores beyond them.
+func FuzzSMPDiff(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 9, 42, 1 << 40, -7} {
+		f.Add(seed, seed*3+1)
+	}
+	f.Fuzz(func(t *testing.T, wlSeed, schedSeed int64) {
+		s := WithSeed(t, "smpdiff-fuzz", wlSeed)
+		old := *smpDetSeed
+		if schedSeed != 0 {
+			*smpDetSeed = schedSeed
+		}
+		defer func() { *smpDetSeed = old }()
+		SMPDiffOne(s, wlSeed, 1)
+	})
+}

@@ -1,76 +1,95 @@
 package kern
 
-import "sync"
+import (
+	"fmt"
+
+	"hemlock/internal/addrspace"
+	"hemlock/internal/mem"
+)
 
 // Atomic operations on simulated memory. The paper points out that shared
 // memory obliges processes to synchronise explicitly, citing user-space
 // spin locks; real hardware provides an atomic primitive (test-and-set on
 // the Sequent, LL/SC on later MIPS). The simulation provides the
-// equivalent here: word-sized atomics executed under a kernel-wide lock,
-// with full fault handling, so user-space locks can be built in shared
-// segments. The atomicMu critical sections also give the host language the
-// happens-before edges that make data guarded by such locks safe to access
-// from concurrent goroutines driving different processes.
+// equivalent here: word-sized atomics executed as host atomics directly on
+// the backing frame word, with full fault handling, so user-space locks
+// can be built in shared segments.
+//
+// These used to run under a kernel-wide mutex, which serialized every
+// atomic in the fleet. With true SMP the mutex is gone: each operation is
+// one host atomic on the frame word (mem.Frame.SwapWordBE and friends), so
+// N guest CPUs spinning on N different locks never contend in the kernel,
+// and the host atomic supplies exactly the acquire/release ordering — the
+// happens-before edge — that makes data guarded by a guest spin lock safe
+// to access from the concurrent goroutines driving guest CPUs under the
+// Go memory model. See docs/SMP.md for the full guest→host ordering map.
 
-var atomicMu sync.Mutex
+// atomicFrame translates addr for the given access with fault handling and
+// returns the backing frame. Atomics require word alignment: real
+// test-and-set does, and the atomicity guarantee only holds within one
+// frame word.
+func (p *Process) atomicFrame(addr uint32, access addrspace.Access) (*mem.Frame, error) {
+	if addr&3 != 0 {
+		return nil, fmt.Errorf("kern: unaligned atomic at 0x%08x", addr)
+	}
+	var f *mem.Frame
+	err := p.retrying(func() error {
+		e, flt := p.AS.Translate(addr, access)
+		if flt != nil {
+			return flt
+		}
+		f = e.Frame
+		return nil
+	})
+	return f, err
+}
 
 // TestAndSet atomically reads the word at addr and sets it to 1, returning
 // the previous value.
 func (p *Process) TestAndSet(addr uint32) (uint32, error) {
-	atomicMu.Lock()
-	defer atomicMu.Unlock()
-	old, err := p.LoadWord(addr)
+	f, err := p.atomicFrame(addr, addrspace.AccessWrite)
 	if err != nil {
 		return 0, err
 	}
-	if err := p.StoreWord(addr, 1); err != nil {
-		return 0, err
-	}
-	return old, nil
+	return f.SwapWordBE(addr&(mem.PageSize-1), 1), nil
 }
 
-// AtomicStore stores val at addr with the same ordering as TestAndSet
-// (used to release locks built on it).
+// AtomicStore stores val at addr with release ordering (used to drop locks
+// built on TestAndSet).
 func (p *Process) AtomicStore(addr, val uint32) error {
-	atomicMu.Lock()
-	defer atomicMu.Unlock()
-	return p.StoreWord(addr, val)
+	f, err := p.atomicFrame(addr, addrspace.AccessWrite)
+	if err != nil {
+		return err
+	}
+	f.StoreWordBE(addr&(mem.PageSize-1), val)
+	return nil
 }
 
 // AtomicLoad loads the word at addr with acquire ordering.
 func (p *Process) AtomicLoad(addr uint32) (uint32, error) {
-	atomicMu.Lock()
-	defer atomicMu.Unlock()
-	return p.LoadWord(addr)
+	f, err := p.atomicFrame(addr, addrspace.AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	return f.LoadWordBE(addr & (mem.PageSize - 1)), nil
 }
 
 // AtomicAdd atomically adds delta to the word at addr and returns the new
 // value.
 func (p *Process) AtomicAdd(addr, delta uint32) (uint32, error) {
-	atomicMu.Lock()
-	defer atomicMu.Unlock()
-	v, err := p.LoadWord(addr)
+	f, err := p.atomicFrame(addr, addrspace.AccessWrite)
 	if err != nil {
 		return 0, err
 	}
-	v += delta
-	if err := p.StoreWord(addr, v); err != nil {
-		return 0, err
-	}
-	return v, nil
+	return f.AddWordBE(addr&(mem.PageSize-1), delta), nil
 }
 
 // CompareAndSwap atomically replaces old with new at addr, reporting
 // whether the swap happened.
 func (p *Process) CompareAndSwap(addr, old, new uint32) (bool, error) {
-	atomicMu.Lock()
-	defer atomicMu.Unlock()
-	v, err := p.LoadWord(addr)
+	f, err := p.atomicFrame(addr, addrspace.AccessWrite)
 	if err != nil {
 		return false, err
 	}
-	if v != old {
-		return false, nil
-	}
-	return true, p.StoreWord(addr, new)
+	return f.CompareAndSwapWordBE(addr&(mem.PageSize-1), old, new), nil
 }

@@ -30,30 +30,44 @@ const (
 	SysLinkModule = 15 // link_module(path, class) -> module base (dlopen, but scoped and lazy)
 	SysSymAddr    = 16 // sym_addr(name) -> address (dlsym, against the full root scope)
 	SysFork       = 17 // fork() -> child pid (0 in the child)
+
+	// Guest atomics (23–26): the hardware synchronisation primitive the
+	// paper's user-space spin locks assume. Exposed as kernel calls rather
+	// than instructions to keep the R3K-lite ISA untouched; each is one
+	// host atomic on the backing frame word (see atomic.go), so they scale
+	// across true-SMP guest CPUs instead of serialising the fleet.
+	SysTAS         = 23 // tas(addr) -> previous word, word at addr set to 1
+	SysAtomicStore = 24 // atomic_store(addr, val)    [release: lock drop]
+	SysAtomicAdd   = 25 // atomic_add(addr, delta) -> new value
+	SysAtomicLoad  = 26 // atomic_load(addr) -> word  [acquire]
 )
 
 // sysNames maps syscall numbers to event names for the tracer. Indexing is
 // an array lookup so the trace path allocates nothing.
 var sysNames = [...]string{
-	SysExit:       "exit",
-	SysWrite:      "write",
-	SysGetPID:     "getpid",
-	SysOpen:       "open",
-	SysClose:      "close",
-	SysRead:       "read",
-	SysSbrk:       "sbrk",
-	SysAddrToPath: "shm_addr_to_path",
-	SysOpenAddr:   "open_by_addr",
-	SysPathToAddr: "shm_path_to_addr",
-	SysStatSize:   "stat_size",
-	SysUnlink:     "unlink",
-	SysMapShared:  "map_shared",
-	SysLinkModule: "link_module",
-	SysSymAddr:    "sym_addr",
-	SysFork:       "fork",
-	SysPDServe:    "pd_serve",
-	SysPDCall:     "pd_call",
-	SysPDReturn:   "pd_return",
+	SysExit:        "exit",
+	SysWrite:       "write",
+	SysGetPID:      "getpid",
+	SysOpen:        "open",
+	SysClose:       "close",
+	SysRead:        "read",
+	SysSbrk:        "sbrk",
+	SysAddrToPath:  "shm_addr_to_path",
+	SysOpenAddr:    "open_by_addr",
+	SysPathToAddr:  "shm_path_to_addr",
+	SysStatSize:    "stat_size",
+	SysUnlink:      "unlink",
+	SysMapShared:   "map_shared",
+	SysLinkModule:  "link_module",
+	SysSymAddr:     "sym_addr",
+	SysFork:        "fork",
+	SysPDServe:     "pd_serve",
+	SysPDCall:      "pd_call",
+	SysPDReturn:    "pd_return",
+	SysTAS:         "tas",
+	SysAtomicStore: "atomic_store",
+	SysAtomicAdd:   "atomic_add",
+	SysAtomicLoad:  "atomic_load",
 }
 
 func sysName(num uint32) string {
@@ -221,6 +235,14 @@ func (k *Kernel) Syscall(p *Process) error {
 			}
 			ret = addr
 		}
+	case SysTAS:
+		ret, err = p.TestAndSet(a0)
+	case SysAtomicStore:
+		err = p.AtomicStore(a0, a1)
+	case SysAtomicAdd:
+		ret, err = p.AtomicAdd(a0, a1)
+	case SysAtomicLoad:
+		ret, err = p.AtomicLoad(a0)
 	case SysPDServe:
 		ret = uint32(k.registerPDEntry(p, a0))
 	case SysPDCall:
@@ -312,6 +334,20 @@ func (k *Kernel) Run(p *Process, maxSteps uint64) (uint64, error) {
 }
 
 func (k *Kernel) runLoop(p *Process, maxSteps uint64) (uint64, error) {
+	n, done, err := k.runSlice(p, maxSteps)
+	if err != nil || done {
+		return n, err
+	}
+	return n, fmt.Errorf("kern: pid %d exceeded %d steps", p.PID, maxSteps)
+}
+
+// runSlice is the resumable core of the run loop: it drives the CPU for at
+// most budget retired instructions and returns how many ran and whether the
+// process is finished (exited or already exited on entry). Exhausting the
+// budget with the process still runnable is NOT an error here — the SMP
+// scheduler calls runSlice repeatedly, one preemption quantum at a time,
+// interleaving other processes between slices.
+func (k *Kernel) runSlice(p *Process, budget uint64) (uint64, bool, error) {
 	start := p.CPU.Steps
 	// Batched fast path: with tracing disabled there is nothing to observe
 	// between instructions, so hand the CPU its whole remaining budget and
@@ -319,14 +355,14 @@ func (k *Kernel) runLoop(p *Process, maxSteps uint64) (uint64, error) {
 	// enabled, single-step so future per-step instrumentation (and the
 	// tracer's view of fault ordering) stays exact.
 	batched := !k.Obs.Tracer().Enabled()
-	for p.CPU.Steps-start < maxSteps {
+	for p.CPU.Steps-start < budget {
 		if p.Exited {
-			return p.CPU.Steps - start, nil
+			return p.CPU.Steps - start, true, nil
 		}
 		var ev vm.Event
 		var err error
 		if batched {
-			ev, err = p.CPU.RunBatch(maxSteps - (p.CPU.Steps - start))
+			ev, err = p.CPU.RunBatch(budget - (p.CPU.Steps - start))
 			if ev == vm.EventStep && err == nil {
 				continue // budget exhausted; loop condition reports it
 			}
@@ -336,32 +372,32 @@ func (k *Kernel) runLoop(p *Process, maxSteps uint64) (uint64, error) {
 		if err != nil {
 			f, ok := vm.FaultOf(err)
 			if !ok {
-				return p.CPU.Steps - start, err
+				return p.CPU.Steps - start, false, err
 			}
 			if herr := k.HandleFault(p, f); herr != nil {
-				return p.CPU.Steps - start, fmt.Errorf("pid %d at pc 0x%08x: %w", p.PID, p.CPU.PC, herr)
+				return p.CPU.Steps - start, false, fmt.Errorf("pid %d at pc 0x%08x: %w", p.PID, p.CPU.PC, herr)
 			}
 			continue // restart the faulting instruction
 		}
 		switch ev {
 		case vm.EventHalt:
 			p.Exit(0)
-			return p.CPU.Steps - start, nil
+			return p.CPU.Steps - start, true, nil
 		case vm.EventSyscall:
 			if err := k.Syscall(p); err != nil {
-				return p.CPU.Steps - start, err
+				return p.CPU.Steps - start, false, err
 			}
 		case vm.EventBreak:
 			if p.BreakHandler != nil {
 				if err := p.BreakHandler(p); err != nil {
-					return p.CPU.Steps - start, err
+					return p.CPU.Steps - start, false, err
 				}
 				continue
 			}
-			return p.CPU.Steps - start, fmt.Errorf("kern: pid %d hit break at 0x%08x", p.PID, p.CPU.PC)
+			return p.CPU.Steps - start, false, fmt.Errorf("kern: pid %d hit break at 0x%08x", p.PID, p.CPU.PC)
 		}
 	}
-	return p.CPU.Steps - start, fmt.Errorf("kern: pid %d exceeded %d steps", p.PID, maxSteps)
+	return p.CPU.Steps - start, p.Exited, nil
 }
 
 // Regions returns the process's mapped regions (a /proc-style view used by

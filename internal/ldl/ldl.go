@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hemlock/internal/addrspace"
 	"hemlock/internal/isa"
@@ -81,10 +82,17 @@ type Stats struct {
 
 // shared is the kernel-wide state of one public module instance.
 type shared struct {
-	path    string
-	placed  *linker.Placed
+	path   string
+	placed *linker.Placed
+
+	// lmu serializes linking of this module: two processes (on two guest
+	// CPUs) faulting into the same unlinked public module must not both
+	// run the resolve-and-patch loop — pending and the shared file are one
+	// copy fleet-wide. linked is atomic so the fast path (Linked, the
+	// bring-in protection choice) stays lock-free.
+	lmu     sync.Mutex
 	pending []objfile.Reloc
-	linked  bool
+	linked  atomic.Bool
 }
 
 // World is the kernel-wide dynamic-linker state: public modules are linked
@@ -131,6 +139,12 @@ type World struct {
 	objMemo   map[string]objMemoEntry   // decoded templates, by path
 	entryMemo map[string]*cacheEntry    // decoded cache entries, by key
 	memoCV    map[string]uint64         // cache-file fingerprint at decode
+
+	// Launch singleflight (see LockLaunch): in-flight launches by content
+	// key, so concurrent identical launches from the serve daemon or an
+	// SMP workload produce exactly one cold link.
+	lgmu     sync.Mutex
+	inflight map[string]chan struct{}
 
 	ctrCHit, ctrCMiss, ctrCInval *obsv.Counter
 	gCacheBytes                  *obsv.Gauge
@@ -186,6 +200,7 @@ func NewWorld(k *kern.Kernel) *World {
 		objMemo:     map[string]objMemoEntry{},
 		entryMemo:   map[string]*cacheEntry{},
 		memoCV:      map[string]uint64{},
+		inflight:    map[string]chan struct{}{},
 		ctrCHit:     r.Counter("ldl.linkcache_hit"),
 		ctrCMiss:    r.Counter("ldl.linkcache_miss"),
 		ctrCInval:   r.Counter("ldl.linkcache_invalidate"),
@@ -229,7 +244,7 @@ func (in *Instance) Symbols() []objfile.ImageSym {
 // Linked reports whether the instance has all references resolved.
 func (in *Instance) Linked() bool {
 	if in.sh != nil {
-		return in.sh.linked
+		return in.sh.linked.Load()
 	}
 	return in.linked
 }
@@ -472,12 +487,19 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 				pending = append(pending, r)
 			}
 		}
-		sh = &shared{path: instPath, placed: placed, pending: pending, linked: len(pending) == 0}
+		sh = &shared{path: instPath, placed: placed, pending: pending}
+		sh.linked.Store(len(pending) == 0)
 		w.mu.Lock()
-		w.public[instPath] = sh
-		if created {
-			w.Stats.ModulesCreated++
-			w.ctrCreated.Inc()
+		if raced, ok := w.public[instPath]; ok {
+			// Another process created the record between our lookup and
+			// now; theirs is the fleet-wide copy.
+			sh = raced
+		} else {
+			w.public[instPath] = sh
+			if created {
+				w.Stats.ModulesCreated++
+				w.ctrCreated.Inc()
+			}
 		}
 		w.mu.Unlock()
 		if created {
@@ -494,7 +516,7 @@ func (pr *Proc) bringInPublic(name string, class objfile.Class, tmplPath string,
 
 	prot := addrspace.ProtRWX
 	lazy := false
-	if !sh.linked {
+	if !sh.linked.Load() {
 		// "If any module contains undefined references ... ldl maps the
 		// module without access permissions, so that the first reference
 		// will cause a segmentation fault."
@@ -705,6 +727,16 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		// Another process linked this public module; just enable access.
 		return pr.enable(in)
 	}
+	if in.sh != nil {
+		// Serialize fleet-wide: only one process links a public module;
+		// the loser of the race sees linked==true after acquiring the
+		// lock and just enables access in its own address space.
+		in.sh.lmu.Lock()
+		defer in.sh.lmu.Unlock()
+		if in.Linked() {
+			return pr.enable(in)
+		}
+	}
 	sp := pr.W.tracer().Begin("ldl", "link_module", pr.P.PID, in.Name)
 	defer sp.End(0)
 
@@ -746,7 +778,7 @@ func (pr *Proc) LinkModule(in *Instance) error {
 		}
 		applied := len(in.sh.pending) - len(left)
 		in.sh.pending = left
-		in.sh.linked = len(left) == 0
+		in.sh.linked.Store(len(left) == 0)
 		pr.addLinkStats(applied, 1)
 		pr.W.tracef("ldl: linked public %s: %d reloc(s), %d pending", in.Path, applied, len(left))
 		pr.W.emit(obsv.Event{Name: "lazy_link", PID: pr.P.PID, Mod: in.Path, Addr: in.Base, Val: uint64(applied)})
@@ -773,6 +805,33 @@ func (pr *Proc) LinkModule(in *Instance) error {
 	}
 	pr.endEvent(pr.pendingOf(in))
 	return pr.enable(in)
+}
+
+// LockLaunch serializes launches that share a content-hash key and
+// returns the unlock. The zygote registry and the link cache were built
+// under the single-run-loop assumption: two identical launches racing down
+// the cold path would each link cold and fight over registering the
+// template. The gate makes the first one link and register; by the time a
+// waiter proceeds, the zygote is parked and it clones warm. Launches with
+// different keys never touch.
+func (w *World) LockLaunch(key string) (unlock func()) {
+	for {
+		w.lgmu.Lock()
+		ch, busy := w.inflight[key]
+		if !busy {
+			ch = make(chan struct{})
+			w.inflight[key] = ch
+			w.lgmu.Unlock()
+			return func() {
+				w.lgmu.Lock()
+				delete(w.inflight, key)
+				w.lgmu.Unlock()
+				close(ch)
+			}
+		}
+		w.lgmu.Unlock()
+		<-ch
+	}
 }
 
 // pendingOf returns the module's current pending-relocation list (shared
@@ -815,18 +874,16 @@ type filePatcher struct {
 	uid  int
 }
 
+// Patching goes through the file system's word-atomic accessors: a PLT
+// slot or text word may be patched while a sibling CPU is executing
+// through the very frame being written, and the host-atomic store means
+// that CPU decodes the old word or the new word, never a torn mix.
 func (fp *filePatcher) LoadWord(addr uint32) (uint32, error) {
-	var b [4]byte
-	if _, err := fp.fs.ReadAt(fp.path, addr-fp.base, b[:], fp.uid); err != nil {
-		return 0, err
-	}
-	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+	return fp.fs.LoadWordAt(fp.path, addr-fp.base, fp.uid)
 }
 
 func (fp *filePatcher) StoreWord(addr, val uint32) error {
-	b := [4]byte{byte(val >> 24), byte(val >> 16), byte(val >> 8), byte(val)}
-	_, err := fp.fs.WriteAt(fp.path, addr-fp.base, b[:], fp.uid)
-	return err
+	return fp.fs.StoreWordAt(fp.path, addr-fp.base, val, fp.uid)
 }
 
 // ---- image relocations -------------------------------------------------------

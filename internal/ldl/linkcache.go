@@ -685,7 +685,7 @@ func (pr *Proc) replayLink(in *Instance, ev *cacheEvent) (bool, error) {
 	}
 	if in.sh != nil {
 		in.sh.pending = left
-		in.sh.linked = len(left) == 0
+		in.sh.linked.Store(len(left) == 0)
 	} else {
 		in.pending = left
 		in.linked = len(left) == 0

@@ -12,8 +12,10 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"hemlock/internal/obsv"
 )
@@ -185,4 +187,86 @@ func (f *Frame) Copy() (*Frame, error) {
 	}
 	g.Data = f.Data
 	return g, nil
+}
+
+// ---- atomic word access -----------------------------------------------------
+//
+// With true SMP, guest CPUs on different host goroutines load and store the
+// same frames concurrently. Word-granular guest accesses therefore go
+// through host-atomic 32-bit operations on the frame word, converted
+// between guest (big-endian) and host byte order here. On little-endian
+// hosts the conversion is the same bswap binary.BigEndian performed, and an
+// aligned 32-bit atomic load/store is a plain MOV on x86/arm64 — the
+// single-CPU fast paths cost what they did before, while concurrent CPUs
+// get tear-free words and the race detector gets a sound happens-before
+// model of guest memory. Byte and bulk accesses stay plain: guests that
+// share sub-word data must synchronise around it, exactly as the paper's
+// processes must.
+
+// hostIsBig reports the host byte order, decided once at init.
+var hostIsBig = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 0
+}()
+
+// beWord converts between guest big-endian and host byte order (the
+// conversion is its own inverse).
+func beWord(v uint32) uint32 {
+	if hostIsBig {
+		return v
+	}
+	return bits.ReverseBytes32(v)
+}
+
+// wordPtr returns the aligned 32-bit host word covering frame offset off.
+// Frame.Data opens a heap-allocated struct, so it is at least 8-byte
+// aligned and every 4-aligned offset is atomically accessible.
+func (f *Frame) wordPtr(off uint32) *uint32 {
+	return (*uint32)(unsafe.Pointer(&f.Data[off&(PageSize-1)&^3]))
+}
+
+// LoadWordBE atomically loads the guest word at the aligned frame offset.
+func (f *Frame) LoadWordBE(off uint32) uint32 {
+	return beWord(atomic.LoadUint32(f.wordPtr(off)))
+}
+
+// StoreWordBE atomically stores the guest word at the aligned frame offset,
+// bumping the store-version counter first (writers bump BEFORE the bytes
+// change; see NoteStore).
+func (f *Frame) StoreWordBE(off, v uint32) {
+	f.ver.Add(1)
+	atomic.StoreUint32(f.wordPtr(off), beWord(v))
+}
+
+// SwapWordBE atomically exchanges the guest word at the aligned frame
+// offset, returning the previous value. This is the test-and-set primitive:
+// the host atomic supplies both the atomicity and the acquire/release
+// ordering guest spin locks need.
+func (f *Frame) SwapWordBE(off, v uint32) uint32 {
+	f.ver.Add(1)
+	return beWord(atomic.SwapUint32(f.wordPtr(off), beWord(v)))
+}
+
+// CompareAndSwapWordBE atomically replaces old with new at the aligned
+// frame offset, reporting whether the swap happened. The store-version
+// counter bumps even on failure — a spurious invalidation is harmless, a
+// missed one is not.
+func (f *Frame) CompareAndSwapWordBE(off, old, new uint32) bool {
+	f.ver.Add(1)
+	return atomic.CompareAndSwapUint32(f.wordPtr(off), beWord(old), beWord(new))
+}
+
+// AddWordBE atomically adds delta to the guest word at the aligned frame
+// offset and returns the new value. The add happens in guest byte order, so
+// it is a CAS loop rather than a host atomic add.
+func (f *Frame) AddWordBE(off, delta uint32) uint32 {
+	p := f.wordPtr(off)
+	for {
+		o := atomic.LoadUint32(p)
+		n := beWord(o) + delta
+		f.ver.Add(1)
+		if atomic.CompareAndSwapUint32(p, o, beWord(n)) {
+			return n
+		}
+	}
 }

@@ -144,6 +144,19 @@ presto_done:
 // LD_LIBRARY_PATH, and link the worker image. The parent itself never
 // links the shared module.
 func Setup(s *core.System, id string, maxWorkers int) (*App, error) {
+	return SetupCompute(s, id, maxWorkers, `
+        .text
+        .globl  main
+main:   li      $v0, 0
+        jr      $ra
+`)
+}
+
+// SetupCompute is Setup with a caller-supplied worker main: the parallel
+// speed-up benchmark plants a compute kernel in each child, the default
+// Setup a trivial one. The worker links the shared-data template as a
+// dynamic public module either way.
+func SetupCompute(s *core.System, id string, maxWorkers int, workerSrc string) (*App, error) {
 	app := &App{Sys: s, ID: id, Env: map[string]string{}}
 	tmplPath := "/lib/presto-shared.o"
 	if _, err := s.FS.StatPath(tmplPath); err != nil {
@@ -161,12 +174,7 @@ func Setup(s *core.System, id string, maxWorkers int) (*App, error) {
 	}
 	app.Env["LD_LIBRARY_PATH"] = app.TempDir
 
-	if _, err := s.Asm("/bin/presto-worker.o", `
-        .text
-        .globl  main
-main:   li      $v0, 0
-        jr      $ra
-`); err != nil {
+	if _, err := s.Asm("/bin/presto-worker.o", workerSrc); err != nil {
 		return nil, err
 	}
 	res, err := s.Link(&lds.Options{

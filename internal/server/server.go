@@ -4,15 +4,17 @@
 // call their exported public functions — through the very PLT/trampoline
 // path a compiled call takes — and read or write shared variables by name.
 //
-// The kernel and its address spaces are built for one driver at a time, so
-// every request that touches the world serializes onto a single
-// world-owner goroutine through a command channel. Each request carries a
+// World mutations (launch, link, variable access) serialize onto a single
+// world-owner goroutine through a command channel, which keeps the
+// daemon's observable op order deterministic. Each request carries a
 // deadline: expired commands are failed at dequeue without touching the
 // kernel, and submitters stop waiting when their deadline passes even if
 // the command is still queued (the buffered reply channel keeps the owner
-// from blocking). The daemon is therefore race-clean today, and when a
-// true-SMP kernel lands, the command loop is the one place to teach about
-// it.
+// from blocking). Guest execution, however, is no longer the owner's job:
+// the daemon attaches a kern.Scheduler (HEMLOCK_CPUS host goroutines,
+// work-stealing run queues — see docs/SMP.md) and run-to-completion
+// launches are submitted to it, so the world owner is a scheduler client
+// like any other and guest CPUs burn on their own cores.
 //
 // Every request is measured into the world's own obsv registry
 // ("server.*" counters and per-op latency histograms), which /metrics
@@ -53,6 +55,7 @@ type Config struct {
 	DefaultTimeout time.Duration // per-request deadline (default 5s)
 	MaxSteps       uint64        // CPU step budget per launch/call (default 4M)
 	ShutdownGrace  time.Duration // drain window for in-flight requests (default 10s)
+	CPUs           int           // scheduler CPUs (default HEMLOCK_CPUS / host cores)
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShutdownGrace == 0 {
 		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.CPUs == 0 {
+		c.CPUs = kern.DefaultCPUs()
 	}
 	return c
 }
@@ -80,6 +86,7 @@ type op struct {
 type Server struct {
 	sys *core.System
 	cfg Config
+	sch *kern.Scheduler // guest CPUs; launches run here, not on the world owner
 
 	ops      chan *op
 	quit     chan struct{} // closed by Close: world loop exits
@@ -112,9 +119,15 @@ func New(sys *core.System, cfg Config) *Server {
 	s.ctrErrs = r.Counter("server.errors")
 	s.ctrExp = r.Counter("server.deadline_expired")
 	s.gPrograms = r.Gauge("server.programs")
+	s.sch = kern.NewScheduler(sys.K, kern.SchedConfig{CPUs: s.cfg.CPUs})
+	sys.K.AttachScheduler(s.sch)
 	go s.worldLoop()
 	return s
 }
+
+// Scheduler exposes the daemon's guest-CPU scheduler (tests size their
+// expectations by its CPUs).
+func (s *Server) Scheduler() *kern.Scheduler { return s.sch }
 
 // Sys returns the served world (tests reach through it at quiesce).
 func (s *Server) Sys() *core.System { return s.sys }
@@ -190,6 +203,8 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	close(s.quit)
 	<-s.loopDone
+	s.sys.K.DetachScheduler()
+	s.sch.Stop()
 	return s.sys.Obs().Tracer().Close()
 }
 
@@ -355,7 +370,9 @@ func (s *Server) Launch(req *LaunchRequest, timeout time.Duration) (*LaunchRespo
 			if steps == 0 {
 				steps = s.cfg.MaxSteps
 			}
-			if err := pg.Run(steps); err != nil {
+			// Run on a scheduler CPU, not the world owner: the owner
+			// submits and waits like any other scheduler client.
+			if _, err := s.sch.Run(pg.P, steps); err != nil {
 				return err
 			}
 		}

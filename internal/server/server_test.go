@@ -365,3 +365,29 @@ func TestConcurrentClientsStateHash(t *testing.T) {
 		t.Fatalf("kv_hits = %d, want %d", vr.Value, wantHits)
 	}
 }
+
+// TestLaunchRunsOnSchedulerCPU: a run-to-completion launch must execute
+// on the daemon's guest-CPU scheduler, not inline on the world owner —
+// the scheduler's step counter is the receipt.
+func TestLaunchRunsOnSchedulerCPU(t *testing.T) {
+	sys := core.NewSystem()
+	if _, err := InstallDemo(sys); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Config{CPUs: 2})
+	t.Cleanup(func() { s.Close() })
+	if got := s.Scheduler().CPUs(); got != 2 {
+		t.Fatalf("scheduler CPUs = %d, want 2", got)
+	}
+	resp, err := s.Launch(&LaunchRequest{Name: "runner", Exe: DemoExe, Run: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Exited {
+		t.Fatalf("run launch did not exit: %+v", resp)
+	}
+	snap := sys.Obs().Registry().Snapshot()
+	if snap.Counters["kern.cpu_steps"] == 0 {
+		t.Fatal("kern.cpu_steps = 0: guest ran on the world owner, not a scheduler CPU")
+	}
+}

@@ -1223,3 +1223,63 @@ func (fs *FS) WalkFiles(fn func(path string, st Stat) error) error {
 	}
 	return nil
 }
+
+// ---- word-atomic file access -------------------------------------------------
+
+// StoreWordAt atomically stores the big-endian word at byte offset off of
+// the file at p, growing the file if needed. The dynamic linker patches
+// PLT slots and text words in shared segments through this while sibling
+// guest CPUs may be executing out of the very frame being written: the
+// host-atomic frame store (with its version bump first) guarantees a
+// concurrently fetching CPU decodes the old word or the new word — never a
+// torn mix — and re-validates on its next fetch.
+func (fs *FS) StoreWordAt(p string, off, val uint32, uid int) error {
+	if off%4 != 0 {
+		return fmt.Errorf("shmfs: unaligned word store at %d", off)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	nd, err := fs.walk(p, true, 0)
+	if err != nil {
+		return err
+	}
+	if nd.typ != TypeFile {
+		return ErrIsDir
+	}
+	if err := fs.checkPerm(nd, uid, true); err != nil {
+		return err
+	}
+	if err := fs.ensureFrames(nd, off+4); err != nil {
+		return err
+	}
+	nd.frames[off/mem.PageSize].StoreWordBE(off%mem.PageSize, val)
+	if off+4 > nd.size {
+		nd.size = off + 4
+	}
+	nd.mtime = fs.tick()
+	return nil
+}
+
+// LoadWordAt atomically loads the big-endian word at byte offset off of
+// the file at p. Reads past EOF return 0, like ReadAt.
+func (fs *FS) LoadWordAt(p string, off uint32, uid int) (uint32, error) {
+	if off%4 != 0 {
+		return 0, fmt.Errorf("shmfs: unaligned word load at %d", off)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	nd, err := fs.walk(p, true, 0)
+	if err != nil {
+		return 0, err
+	}
+	if nd.typ != TypeFile {
+		return 0, ErrIsDir
+	}
+	if err := fs.checkPerm(nd, uid, false); err != nil {
+		return 0, err
+	}
+	if off+4 > nd.size {
+		return 0, nil
+	}
+	return nd.frames[off/mem.PageSize].LoadWordBE(off % mem.PageSize), nil
+}

@@ -50,7 +50,6 @@ package vm
 // whole-memory hash.
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
 	"sync"
@@ -256,7 +255,7 @@ func (c *CPU) buildBlock(pc uint32) (*block, error) {
 	base := pc &^ uint32(mem.PageSize-1)
 	wi := (pc & (mem.PageSize - 1)) >> 2
 	word := func(i uint32) uint32 {
-		return binary.BigEndian.Uint32(ent.Frame.Data[i*4:])
+		return ent.Frame.LoadWordBE(i * 4)
 	}
 	var pre uint16 // pending run of nops, absorbed into the next op
 	ninst := 0

@@ -25,7 +25,6 @@
 package vm
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -290,7 +289,7 @@ func (c *CPU) loadWord(addr uint32) (uint32, error) {
 	if flt != nil {
 		return 0, flt
 	}
-	return binary.BigEndian.Uint32(e.frame.Data[addr&(mem.PageSize-1):]), nil
+	return e.frame.LoadWordBE(addr & (mem.PageSize - 1)), nil
 }
 
 func (c *CPU) loadByte(addr uint32) (byte, error) {
@@ -312,11 +311,13 @@ func (c *CPU) storeWord(addr, val uint32) error {
 	if flt != nil {
 		return flt
 	}
-	// Self-modifying-code protocol: bump the frame version before the
-	// bytes change, so any icache entry predecoded from this frame —
-	// ours or a sibling CPU's — fails its version check on next fetch.
-	e.frame.NoteStore()
-	binary.BigEndian.PutUint32(e.frame.Data[addr&(mem.PageSize-1):], val)
+	// Self-modifying-code protocol: StoreWordBE bumps the frame version
+	// before the bytes change, so any icache entry predecoded from this
+	// frame — ours or a sibling CPU's — fails its version check on next
+	// fetch. The store itself is host-atomic: a sibling CPU concurrently
+	// loading or fetching this word sees the old word or the new one,
+	// never a torn mix.
+	e.frame.StoreWordBE(addr&(mem.PageSize-1), val)
 	return nil
 }
 
@@ -380,7 +381,7 @@ func (c *CPU) fetch(pc uint32) (*pinst, error) {
 	}
 	wi := (pc & (mem.PageSize - 1)) >> 2
 	if pg.decoded[wi>>6]&(1<<(wi&63)) == 0 {
-		pg.code[wi] = predecode(binary.BigEndian.Uint32(e.frame.Data[pc&(mem.PageSize-1):]))
+		pg.code[wi] = predecode(e.frame.LoadWordBE(pc & (mem.PageSize - 1)))
 		pg.decoded[wi>>6] |= 1 << (wi & 63)
 	}
 	return &pg.code[wi], nil

@@ -29,7 +29,7 @@ out=BENCH_"$n".json
 # estimate without making CI runs painful.
 {
   go test -run=NONE -bench='BenchmarkDispatch' -benchtime="$benchtime" -count=3 ./internal/vm/
-  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase|LaunchWarm' -benchtime="$benchtime" -count=3 .
+  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase|LaunchWarm|PrestoParallel' -benchtime="$benchtime" -count=3 .
 } | tee "$raw"
 
 {
@@ -39,6 +39,7 @@ out=BENCH_"$n".json
   printf '  "goarch": "%s",\n' "$(go env GOARCH)"
   printf '  "go_version": "%s",\n' "$(go version | awk '{print $3}')"
   printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
   printf '  "benchtime": "%s",\n' "$benchtime"
   printf '  "results": [\n'
   awk '/^Benchmark/ {

@@ -64,6 +64,11 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
     return mark != "" ? 1 : 0
   }
   FNR == 1 { file++ }
+  # Host-core count of the candidate run: the SMP speed-up gate only
+  # means something when the runner can actually execute 4 CPUs at once.
+  file == 2 && match($0, /"host_cpus": [0-9]+/) {
+    hostcpus = substr($0, RSTART + 13, RLENGTH - 13) + 0
+  }
   {
     if (!row($0)) next
     if (file == 1) { if (!(name in b) || ns < b[name]) b[name] = ns }
@@ -108,6 +113,23 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
       fail += ratio_gate("BenchmarkTable1_" cl "Repeat", "BenchmarkTable1_" cl, 0.5)
     }
     fail += ratio_gate("BenchmarkLaunchWarm", "BenchmarkTable1_DynamicPublic", 0.9)
+
+    # SMP speed-up gate: 4 scheduler CPUs must finish the parallel Presto
+    # workload in at most half the 1-CPU time — but only on runners with
+    # at least 4 host cores, where the comparison is physical. On smaller
+    # hosts the numbers are still recorded, just not gated.
+    printf "\nSMP speed-up gate (within %s, host_cpus=%d)\n", candfile, hostcpus
+    if (hostcpus >= 4) {
+      fail += ratio_gate("BenchmarkPrestoParallel4CPU", "BenchmarkPrestoParallel1CPU", 0.5)
+    } else if ("BenchmarkPrestoParallel4CPU" in c && "BenchmarkPrestoParallel1CPU" in c) {
+      printf "%-34s %12.2f / %10.2f  =%5.0f%% (informational: host has %d core(s))\n", \
+        "BenchmarkPrestoParallel4CPU", c["BenchmarkPrestoParallel4CPU"], \
+        c["BenchmarkPrestoParallel1CPU"], \
+        c["BenchmarkPrestoParallel4CPU"] / c["BenchmarkPrestoParallel1CPU"] * 100, hostcpus
+    } else {
+      printf "benchcheck: PrestoParallel benchmarks missing from %s\n", candfile
+      fail += 1
+    }
 
     if (fail) { print "benchcheck: FAIL — gated benchmark regressed or missing"; exit 1 }
     print "benchcheck: ok"
