@@ -26,6 +26,7 @@ import (
 	"hemlock"
 	"hemlock/internal/addrspace"
 	"hemlock/internal/baseline"
+	"hemlock/internal/core"
 	"hemlock/internal/fig"
 	"hemlock/internal/kern"
 	"hemlock/internal/mem"
@@ -447,6 +448,87 @@ func BenchmarkNetShmPropagation(b *testing.B) {
 				totalTicks += ticks
 			}
 			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/write")
+		})
+	}
+}
+
+// BenchmarkNetShmScale: the fleet-scaling curve. One small (64-byte)
+// write converging across 8 → 1024 machines at a fixed 20% loss rate;
+// ticks/write is the propagation latency in virtual time, bytes/write the
+// total wire traffic per converged write (delta encoding keeps it from
+// scaling with page size; it still scales with fleet order).
+func BenchmarkNetShmScale(b *testing.B) {
+	for _, hosts := range []int{8, 64, 512, 1024} {
+		b.Run(fmt.Sprintf("fleet=%d", hosts), func(b *testing.B) {
+			net := netsim.New()
+			net.Drop = func(from, to string, seq uint64) bool { return seq%10 < 2 }
+			f := netshm.NewFleet(net, netshm.Config{})
+			for i := 0; i < hosts; i++ {
+				f.Add(fmt.Sprintf("m%04d", i), core.NewSystemLite())
+			}
+			home := f.Node("m0000")
+			if err := home.Publish("/lib/seg", make([]byte, 3*mem.PageSize)); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := f.WaitConverged("/lib/seg", 4000); !ok {
+				b.Fatal("publish did not converge")
+			}
+			data := make([]byte, 64)
+			totalTicks := 0
+			startBytes := net.Stats().BytesSent
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data[0] = byte(i)
+				if err := home.Write("/lib/seg", uint32(i%3)*mem.PageSize, data); err != nil {
+					b.Fatal(err)
+				}
+				ticks, ok := f.WaitConverged("/lib/seg", 4000)
+				if !ok {
+					b.Fatal("write did not converge")
+				}
+				totalTicks += ticks
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/write")
+			b.ReportMetric(float64(net.Stats().BytesSent-startBytes)/float64(b.N), "bytes/write")
+		})
+	}
+}
+
+// BenchmarkNetShmDeltaBytes: wire bytes per converged small write with
+// dirty-byte delta encoding on versus the full-page protocol. The
+// benchcheck gate holds delta mode to ≤25% of full-page bytes — the
+// efficiency the fleet-scale protocol depends on.
+func BenchmarkNetShmDeltaBytes(b *testing.B) {
+	for _, mode := range []string{"full", "delta"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			net := netsim.New()
+			f := netshm.NewFleet(net, netshm.Config{FullPage: mode == "full"})
+			for i := 0; i < fleetHosts; i++ {
+				f.Add(fmt.Sprintf("m%d", i), core.NewSystemLite())
+			}
+			home := f.Node("m0")
+			if err := home.Publish("/lib/seg", make([]byte, 3*mem.PageSize)); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := f.WaitConverged("/lib/seg", 400); !ok {
+				b.Fatal("publish did not converge")
+			}
+			data := make([]byte, 8)
+			startBytes := net.Stats().BytesSent
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data[0] = byte(i)
+				off := uint32(i%3)*mem.PageSize + uint32(i%317)
+				if err := home.Write("/lib/seg", off, data); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := f.WaitConverged("/lib/seg", 400); !ok {
+					b.Fatal("write did not converge")
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(net.Stats().BytesSent-startBytes)/float64(b.N), "bytes/write")
 		})
 	}
 }

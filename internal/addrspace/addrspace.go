@@ -544,8 +544,12 @@ func (s *Space) Write(addr uint32, buf []byte) (int, error) {
 		if flt != nil {
 			return done, flt
 		}
-		f.NoteStore()
-		n := copy(f.Data[off:], buf[done:])
+		n := len(buf) - done
+		if room := len(f.Data) - int(off); n > room {
+			n = room
+		}
+		f.NoteStoreRange(off, uint32(n))
+		copy(f.Data[off:], buf[done:done+n])
 		done += n
 	}
 	return done, nil
@@ -603,7 +607,7 @@ func (s *Space) StoreByte(addr uint32, val byte) error {
 	if flt != nil {
 		return flt
 	}
-	f.NoteStore()
+	f.NoteStoreRange(off, 1)
 	f.Data[off] = val
 	return nil
 }

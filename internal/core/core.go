@@ -39,6 +39,20 @@ func NewSystem() *System {
 	return s
 }
 
+// NewSystemLite boots only the shared file system of a machine — no
+// kernel, no linkers. A netshm fleet member needs nothing more (the
+// protocol reads and writes segments through FS), and skipping the kernel
+// is what makes a 1024-machine fleet cheap enough to boot in a benchmark
+// loop. Code paths that need K, LD or W must use NewSystem.
+func NewSystemLite() *System {
+	phys := mem.NewPhysical(0)
+	fs, err := shmfs.New(phys)
+	if err != nil {
+		panic(fmt.Sprintf("core: shmfs boot failed: %v", err))
+	}
+	return &System{FS: fs}
+}
+
 // envOn reads an on-by-default feature toggle from the environment.
 func envOn(name string) bool {
 	switch os.Getenv(name) {

@@ -362,16 +362,25 @@ func checkImage(fs *shmfs.FS, p string, st shmfs.Stat, publicAt map[uint32]strin
 }
 
 // CheckFleet runs the replication self-checks over a quiesced fleet:
-// replicas that know they lag their home, and — worse — replicas whose
-// bytes diverge from the home's even though the generations agree.
+// replicas that know they lag their home; replicas whose bytes diverge
+// from the home's even though the generations agree; segments no machine
+// claims the home role for (orphaned by a lost migration handshake);
+// segments more than one machine claims; replicas serving reads past
+// their lease against content that drifted; and transactional
+// version-clock divergence at an agreed (epoch, generation).
 func CheckFleet(fl *netshm.Fleet, opt Options) []Finding {
 	var out []Finding
 	type holder struct {
-		machine string
-		digest  uint64
-		isHome  bool
-		gen     uint64
+		machine    string
+		digest     uint64
+		isHome     bool
+		migrating  bool
+		epoch      uint64
+		gen        uint64
+		tv         uint64
+		leaseUntil uint64
 	}
+	now := fl.Now()
 	byPath := map[string][]holder{}
 	for _, n := range fl.Nodes() {
 		paths := n.Segments()
@@ -390,7 +399,9 @@ func CheckFleet(fl *netshm.Fleet, opt Options) []Finding {
 			if err != nil {
 				continue
 			}
-			byPath[p] = append(byPath[p], holder{machine: n.Name(), digest: d, isHome: si.IsHome, gen: si.Gen})
+			byPath[p] = append(byPath[p], holder{machine: n.Name(), digest: d,
+				isHome: si.IsHome, migrating: si.Migrating, epoch: si.Epoch,
+				gen: si.Gen, tv: si.Tv, leaseUntil: si.LeaseUntil})
 		}
 	}
 	paths := make([]string, 0, len(byPath))
@@ -401,29 +412,70 @@ func CheckFleet(fl *netshm.Fleet, opt Options) []Finding {
 	for _, p := range paths {
 		hs := byPath[p]
 		var home *holder
+		homes := 0
 		for i := range hs {
 			if hs[i].isHome {
-				home = &hs[i]
+				homes++
+				if home == nil || hs[i].epoch > home.epoch {
+					home = &hs[i]
+				}
 			}
 		}
-		if home == nil {
+		// Orphaned home: a migration handshake died on the wire and no
+		// machine will ever accept a write for this segment again.
+		if homes == 0 {
+			out = append(out, Finding{Check: "home-orphaned", Severity: Critical, Subject: p,
+				Detail: fmt.Sprintf("no machine claims the home role across %d holders; writes are impossible", len(hs))})
 			continue
 		}
+		if homes > 1 {
+			names := make([]string, 0, homes)
+			for i := range hs {
+				if hs[i].isHome {
+					names = append(names, fmt.Sprintf("%s(epoch %d)", hs[i].machine, hs[i].epoch))
+				}
+			}
+			out = append(out, Finding{Check: "home-duplicated", Severity: Critical, Subject: p,
+				Detail: fmt.Sprintf("%d machines claim the home role after quiesce: %s", homes, strings.Join(names, ", "))})
+		}
+		if home.migrating {
+			out = append(out, Finding{Check: "home-frozen", Severity: Warn, Subject: home.machine + ":" + p,
+				Detail: "a migration offer is still in flight after quiesce; writes are frozen"})
+		}
 		for _, h := range hs {
-			if h.isHome || h.digest == home.digest {
+			if h.isHome {
 				continue
 			}
-			// A replica that knows it is behind is already reported as
-			// stale; divergence at the SAME generation is the serious
-			// case — the protocol thinks it converged and it did not.
-			sev := Warn
-			if h.gen == home.gen {
-				sev = Critical
+			if h.digest != home.digest {
+				// A replica that knows it is behind is already reported as
+				// stale; divergence at the SAME generation is the serious
+				// case — the protocol thinks it converged and it did not.
+				sev := Warn
+				if h.epoch == home.epoch && h.gen == home.gen {
+					sev = Critical
+				}
+				out = append(out, Finding{Check: "replica-diverged", Severity: sev,
+					Subject: h.machine + ":" + p,
+					Detail: fmt.Sprintf("content digest %016x differs from home %s's %016x (replica epoch/gen %d/%d, home %d/%d)",
+						h.digest, home.machine, home.digest, h.epoch, h.gen, home.epoch, home.gen)})
+				// Expired-lease reads served against drifted content: the
+				// replica answers reads it can no longer vouch for.
+				if h.leaseUntil > 0 && now > h.leaseUntil {
+					out = append(out, Finding{Check: "lease-stale", Severity: Warn,
+						Subject: h.machine + ":" + p,
+						Detail: fmt.Sprintf("read lease expired at tick %d (now %d) and content differs from home %s",
+							h.leaseUntil, now, home.machine)})
+				}
 			}
-			out = append(out, Finding{Check: "replica-diverged", Severity: sev,
-				Subject: h.machine + ":" + p,
-				Detail: fmt.Sprintf("content digest %016x differs from home %s's %016x (replica gen %d, home gen %d)",
-					h.digest, home.machine, home.digest, h.gen, home.gen)})
+			// Version-clock divergence at an agreed (epoch, gen) breaks
+			// transactional validation: a txn validated here could commit
+			// against state the home never had.
+			if h.epoch == home.epoch && h.gen == home.gen && h.tv != home.tv {
+				out = append(out, Finding{Check: "txn-clock-diverged", Severity: Critical,
+					Subject: h.machine + ":" + p,
+					Detail: fmt.Sprintf("version clock %d differs from home %s's %d at epoch/gen %d/%d",
+						h.tv, home.machine, home.tv, h.epoch, h.gen)})
+			}
 		}
 	}
 	return out

@@ -2,6 +2,7 @@ package doctor
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -323,6 +324,131 @@ func TestFleetStaleAndDiverged(t *testing.T) {
 	fs = findingsOf(CheckFleet(fl, Options{}), "replica-diverged")
 	if len(fs) != 1 || fs[0].Severity != Critical || fs[0].Subject != "replica:/shared/db" {
 		t.Fatalf("diverged findings: %v", fs)
+	}
+}
+
+// TestFleetMigrationFreezeAndHeal wire-drops a home-migration offer: the
+// doctor flags the frozen home while the offer retries (writes refused),
+// and reports a clean fleet again after the home gives up, bumps past the
+// abandoned epoch, and the fleet re-converges.
+func TestFleetMigrationFreezeAndHeal(t *testing.T) {
+	net := netsim.New()
+	fl := netshm.NewFleet(net, netshm.Config{AnnounceTicks: 2, RetryTicks: 4, RetryMax: 2})
+	m0 := fl.Add("m0", core.NewSystem())
+	m1 := fl.Add("m1", core.NewSystem())
+	if err := m0.Publish("/shared/db", []byte("fleet-scale content")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fl.WaitConverged("/shared/db", 64); !ok {
+		t.Fatal("fleet did not converge")
+	}
+
+	// Drop everything addressed to the migration target: the offer (and
+	// its retries) die on the wire, so the home stays frozen.
+	drop := true
+	net.Drop = func(from, to string, seq uint64) bool { return drop && to == "m1" }
+	if err := m0.MigrateTo("/shared/db", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	fs := findingsOf(CheckFleet(fl, Options{}), "home-frozen")
+	if len(fs) != 1 || fs[0].Severity != Warn || fs[0].Subject != "m0:/shared/db" {
+		t.Fatalf("frozen findings: %v", fs)
+	}
+	if err := m0.Write("/shared/db", 0, []byte("x")); !errors.Is(err, netshm.ErrMigrating) {
+		t.Fatalf("write during migration: %v, want ErrMigrating", err)
+	}
+	_ = m1
+
+	// The offer retries exhaust and the home aborts, resuming authority.
+	aborted := false
+	for i := 0; i < 128 && !aborted; i++ {
+		fl.Tick()
+		si, err := m0.Info("/shared/db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		aborted = !si.Migrating
+	}
+	if !aborted {
+		t.Fatal("migration never aborted")
+	}
+	if si, _ := m0.Info("/shared/db"); !si.IsHome {
+		t.Fatal("home did not resume authority after abort")
+	}
+	drop = false
+	if _, ok := fl.WaitConverged("/shared/db", 256); !ok {
+		t.Fatal("fleet did not re-converge after abort")
+	}
+	if fs := CheckFleet(fl, Options{}); len(fs) != 0 {
+		t.Fatalf("healed fleet has findings:\n%s", Render(fs))
+	}
+}
+
+// TestFleetLeaseSkewAndOrphanChecks drives the remaining fleet checks: a
+// replica serving reads past its lease against drifted bytes, a skewed
+// transactional version clock at an agreed generation, and a segment no
+// machine claims the home role for.
+func TestFleetLeaseSkewAndOrphanChecks(t *testing.T) {
+	net := netsim.New()
+	fl := netshm.NewFleet(net, netshm.Config{AnnounceTicks: 2, RetryTicks: 4, RetryMax: 2, LeaseTicks: 16})
+	m0 := fl.Add("m0", core.NewSystem())
+	m1 := fl.Add("m1", core.NewSystem())
+	if err := m0.Publish("/shared/db", []byte("generation one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fl.WaitConverged("/shared/db", 64); !ok {
+		t.Fatal("fleet did not converge")
+	}
+	if si, _ := m1.Info("/shared/db"); si.LeaseUntil == 0 {
+		t.Fatal("replica never granted a read lease")
+	}
+
+	// Partition the replica, mutate at the home, and let the replica's
+	// lease run out: it keeps answering reads it can no longer vouch for.
+	drop := true
+	net.Drop = func(from, to string, seq uint64) bool { return drop && to == "m1" }
+	if err := m0.Write("/shared/db", 0, []byte("generation two")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		fl.Tick()
+	}
+	fs := findingsOf(CheckFleet(fl, Options{}), "lease-stale")
+	if len(fs) != 1 || fs[0].Severity != Warn || fs[0].Subject != "m1:/shared/db" {
+		t.Fatalf("lease findings: %v", fs)
+	}
+
+	// Heal, then skew the replica's version clock at the agreed
+	// generation: transactions validated there would be unsound.
+	drop = false
+	if _, ok := fl.WaitConverged("/shared/db", 256); !ok {
+		t.Fatal("fleet did not re-converge")
+	}
+	if fs := CheckFleet(fl, Options{}); len(fs) != 0 {
+		t.Fatalf("healed fleet has findings:\n%s", Render(fs))
+	}
+	if err := m1.SkewClock("/shared/db", 5); err != nil {
+		t.Fatal(err)
+	}
+	fs = findingsOf(CheckFleet(fl, Options{}), "txn-clock-diverged")
+	if len(fs) != 1 || fs[0].Severity != Critical || fs[0].Subject != "m1:/shared/db" {
+		t.Fatalf("clock findings: %v", fs)
+	}
+	if err := m1.SkewClock("/shared/db", -5); err != nil {
+		t.Fatal(err)
+	}
+	if fs := CheckFleet(fl, Options{}); len(fs) != 0 {
+		t.Fatalf("unskewed fleet has findings:\n%s", Render(fs))
+	}
+
+	// Finally, the home crashes and restarts without its role: nobody can
+	// ever accept a write for the segment again.
+	if err := m0.DropHomeRole("/shared/db"); err != nil {
+		t.Fatal(err)
+	}
+	fs = findingsOf(CheckFleet(fl, Options{}), "home-orphaned")
+	if len(fs) != 1 || fs[0].Severity != Critical || fs[0].Subject != "/shared/db" {
+		t.Fatalf("orphan findings: %v", fs)
 	}
 }
 

@@ -50,6 +50,10 @@ type Kernel struct {
 	// E-lazy and E-ptr experiments read it).
 	FaultCount uint64
 
+	// shmTxn backs the txn_stage/txn_commit system calls (see SetShmTxn);
+	// nil on machines without a netshm endpoint.
+	shmTxn ShmTxn
+
 	// Obs is the machine-wide observability bundle every subsystem shares:
 	// the tracer has no sinks (disabled) until something attaches one, the
 	// registry is always live.

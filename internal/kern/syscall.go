@@ -40,6 +40,15 @@ const (
 	SysAtomicStore = 24 // atomic_store(addr, val)    [release: lock drop]
 	SysAtomicAdd   = 25 // atomic_add(addr, delta) -> new value
 	SysAtomicLoad  = 26 // atomic_load(addr) -> word  [acquire]
+
+	// Transactional shared-segment writes (27–28): the guest surface of
+	// netshm's TL2-style commit protocol. A process stages word stores
+	// against replicated segment addresses, then commits them atomically —
+	// one generation on the wire, so no machine in the fleet ever observes
+	// half of the write set. Backed by the ShmTxn hook; without a netshm
+	// endpoint on this machine the calls fail with Einval.
+	SysTxnStage  = 27 // txn_stage(addr, val) — stage a word store at addr
+	SysTxnCommit = 28 // txn_commit(abort) -> 1 committed / 0 conflict; Eagain if the home is remote
 )
 
 // sysNames maps syscall numbers to event names for the tracer. Indexing is
@@ -68,6 +77,8 @@ var sysNames = [...]string{
 	SysAtomicStore: "atomic_store",
 	SysAtomicAdd:   "atomic_add",
 	SysAtomicLoad:  "atomic_load",
+	SysTxnStage:    "txn_stage",
+	SysTxnCommit:   "txn_commit",
 }
 
 func sysName(num uint32) string {
@@ -89,11 +100,37 @@ type ModuleLinker interface {
 	SymbolAddr(name string) (uint32, bool)
 }
 
+// ShmTxn is the hook a networked-shared-memory endpoint (netshm) installs
+// via SetShmTxn so the txn_stage/txn_commit system calls can reach the
+// fleet's transactional commit protocol without the kernel depending on
+// the netshm package — the same inversion ModuleLinker uses for the
+// dynamic linker.
+type ShmTxn interface {
+	// TxnStage stages a 32-bit word store at a replicated segment address
+	// for process pid.
+	TxnStage(pid int, addr, val uint32) error
+	// TxnCommit atomically commits pid's staged stores. ok=false with a
+	// nil error is a clean optimistic-concurrency conflict (the guest
+	// should re-run); an error wrapping ErrAgain means the segment's home
+	// is remote and the guest must retry another way.
+	TxnCommit(pid int) (bool, error)
+	// TxnAbort discards pid's staged stores.
+	TxnAbort(pid int)
+}
+
+// SetShmTxn installs the transactional shared-memory backend.
+func (k *Kernel) SetShmTxn(t ShmTxn) { k.shmTxn = t }
+
+// ErrAgain maps to Eagain: the operation cannot complete on this machine
+// right now (a transactional commit whose home is remote).
+var ErrAgain = errors.New("kern: resource temporarily unavailable")
+
 // Errno values returned in $v1.
 const (
 	Eok     = 0
 	Enoent  = 2
 	Ebadf   = 9
+	Eagain  = 11
 	Eaccess = 13
 	Einval  = 22
 	Enospc  = 28
@@ -111,6 +148,8 @@ func errno(err error) uint32 {
 		return Enospc
 	case errors.Is(err, ErrBadFD):
 		return Ebadf
+	case errors.Is(err, ErrAgain):
+		return Eagain
 	default:
 		return Einval
 	}
@@ -243,6 +282,27 @@ func (k *Kernel) Syscall(p *Process) error {
 		ret, err = p.AtomicAdd(a0, a1)
 	case SysAtomicLoad:
 		ret, err = p.AtomicLoad(a0)
+	case SysTxnStage:
+		if k.shmTxn == nil {
+			err = fmt.Errorf("kern: no transactional shared memory on this machine")
+			break
+		}
+		err = k.shmTxn.TxnStage(p.PID, a0, a1)
+	case SysTxnCommit:
+		if k.shmTxn == nil {
+			err = fmt.Errorf("kern: no transactional shared memory on this machine")
+			break
+		}
+		if a0 != 0 {
+			k.shmTxn.TxnAbort(p.PID)
+			ret = 1
+			break
+		}
+		var ok bool
+		ok, err = k.shmTxn.TxnCommit(p.PID)
+		if ok {
+			ret = 1
+		}
 	case SysPDServe:
 		ret = uint32(k.registerPDEntry(p, a0))
 	case SysPDCall:

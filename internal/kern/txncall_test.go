@@ -1,0 +1,109 @@
+package kern
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hemlock/internal/isa"
+)
+
+// stubShmTxn is a scripted ShmTxn backend: records stages, answers commit
+// per the script.
+type stubShmTxn struct {
+	staged   map[int][][2]uint32
+	commitOK bool
+	commit   error
+	aborted  int
+}
+
+func (s *stubShmTxn) TxnStage(pid int, addr, val uint32) error {
+	if s.staged == nil {
+		s.staged = map[int][][2]uint32{}
+	}
+	s.staged[pid] = append(s.staged[pid], [2]uint32{addr, val})
+	return nil
+}
+
+func (s *stubShmTxn) TxnCommit(pid int) (bool, error) {
+	delete(s.staged, pid)
+	return s.commitOK, s.commit
+}
+
+func (s *stubShmTxn) TxnAbort(pid int) {
+	s.aborted++
+	delete(s.staged, pid)
+}
+
+// syscall drives one system call against the process registers directly.
+func syscall(t *testing.T, k *Kernel, p *Process, num, a0, a1 uint32) (ret, errc uint32) {
+	t.Helper()
+	p.CPU.Regs[isa.RegV0] = num
+	p.CPU.Regs[isa.RegA0] = a0
+	p.CPU.Regs[isa.RegA1] = a1
+	if err := k.Syscall(p); err != nil {
+		t.Fatalf("syscall %d: %v", num, err)
+	}
+	return p.CPU.Regs[isa.RegV0], p.CPU.Regs[isa.RegV1]
+}
+
+func TestTxnSyscalls(t *testing.T) {
+	k := New()
+	p := k.Spawn(0)
+
+	// Without a backend, both calls fail cleanly.
+	if _, errc := syscall(t, k, p, SysTxnStage, 0x1000, 1); errc != Einval {
+		t.Fatalf("stage without backend: errno %d, want Einval", errc)
+	}
+	if _, errc := syscall(t, k, p, SysTxnCommit, 0, 0); errc != Einval {
+		t.Fatalf("commit without backend: errno %d, want Einval", errc)
+	}
+
+	stub := &stubShmTxn{commitOK: true}
+	k.SetShmTxn(stub)
+
+	// Stage two words, commit: the backend saw both, commit returns 1.
+	if _, errc := syscall(t, k, p, SysTxnStage, 0x30001000, 7); errc != Eok {
+		t.Fatalf("stage 1: errno %d", errc)
+	}
+	if _, errc := syscall(t, k, p, SysTxnStage, 0x30001004, 8); errc != Eok {
+		t.Fatalf("stage 2: errno %d", errc)
+	}
+	if got := len(stub.staged[p.PID]); got != 2 {
+		t.Fatalf("backend staged %d words, want 2", got)
+	}
+	if ret, errc := syscall(t, k, p, SysTxnCommit, 0, 0); ret != 1 || errc != Eok {
+		t.Fatalf("commit: ret=%d errno=%d, want 1/Eok", ret, errc)
+	}
+
+	// A conflict abort: ret 0, no errno — the guest re-runs.
+	stub.commitOK = false
+	if ret, errc := syscall(t, k, p, SysTxnCommit, 0, 0); ret != 0 || errc != Eok {
+		t.Fatalf("conflict commit: ret=%d errno=%d, want 0/Eok", ret, errc)
+	}
+
+	// A remote home: Eagain.
+	stub.commit = fmt.Errorf("%w: home is elsewhere", ErrAgain)
+	if _, errc := syscall(t, k, p, SysTxnCommit, 0, 0); errc != Eagain {
+		t.Fatalf("remote commit: errno %d, want Eagain", errc)
+	}
+
+	// Explicit abort via txn_commit(1).
+	stub.commit = nil
+	syscall(t, k, p, SysTxnStage, 0x30001000, 9)
+	if ret, errc := syscall(t, k, p, SysTxnCommit, 1, 0); ret != 1 || errc != Eok {
+		t.Fatalf("abort: ret=%d errno=%d", ret, errc)
+	}
+	if stub.aborted != 1 || len(stub.staged[p.PID]) != 0 {
+		t.Fatalf("abort did not reach backend: aborted=%d staged=%d", stub.aborted, len(stub.staged[p.PID]))
+	}
+}
+
+func TestErrnoEagain(t *testing.T) {
+	if got := errno(fmt.Errorf("wrap: %w", ErrAgain)); got != Eagain {
+		t.Fatalf("errno(ErrAgain) = %d, want %d", got, Eagain)
+	}
+	if !errors.Is(fmt.Errorf("x: %w", ErrAgain), ErrAgain) {
+		t.Fatal("ErrAgain does not unwrap")
+	}
+}

@@ -42,6 +42,15 @@ type Frame struct {
 	pfn  int
 	refs atomic.Int64
 	ver  atomic.Uint64
+
+	// Dirty-byte watermark, maintained only while tracked is set (netshm
+	// tracks the frames of segments it homes). dirty packs the byte range
+	// touched since the watermark was last taken: lo<<32 | end (end
+	// exclusive); 0 means clean. Writers merge their range with a CAS
+	// loop, so the watermark never under-reports — a torn or lost update
+	// is impossible, only a wider-than-necessary range.
+	tracked atomic.Bool
+	dirty   atomic.Uint64
 }
 
 // PFN returns the frame's physical frame number within its pool.
@@ -141,6 +150,71 @@ func (f *Frame) Refs() int { return int(f.refs.Load()) }
 // translated blocks on the very next fetch.
 func (f *Frame) NoteStore() { f.ver.Add(1) }
 
+// NoteStoreRange is NoteStore plus the dirty-byte watermark: writers that
+// know the byte range they are about to touch (the file system's WriteAt,
+// the address-space write API, the VM's word and byte stores) call this so
+// that a tracked frame records exactly which bytes changed. The
+// replication layer (netshm) turns the watermark into byte-range deltas
+// instead of shipping whole pages.
+func (f *Frame) NoteStoreRange(off, n uint32) {
+	f.ver.Add(1)
+	f.noteRange(off, n)
+}
+
+// noteRange merges [off, off+n) into the dirty watermark of a tracked
+// frame. The untracked fast path is one atomic bool load.
+func (f *Frame) noteRange(off, n uint32) {
+	if n == 0 || !f.tracked.Load() {
+		return
+	}
+	end := off + n
+	if end > PageSize {
+		end = PageSize
+	}
+	for {
+		old := f.dirty.Load()
+		lo, e := uint32(old>>32), uint32(old)
+		if old == 0 {
+			lo, e = off, end
+		} else {
+			if off < lo {
+				lo = off
+			}
+			if end > e {
+				e = end
+			}
+		}
+		nv := uint64(lo)<<32 | uint64(e)
+		if old == nv || f.dirty.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// SetTracked switches dirty-byte watermark maintenance on or off.
+// Enabling tracking starts with a clean watermark: bytes written before
+// this call are the caller's business (netshm snapshots frame versions at
+// Serve time and falls back to whole-page shipping when the version moved
+// without a watermark).
+func (f *Frame) SetTracked(on bool) {
+	f.tracked.Store(on)
+	if !on {
+		f.dirty.Store(0)
+	}
+}
+
+// TakeDirtyRange returns and resets the dirty watermark: the smallest
+// [lo, end) covering every byte written through a range-aware writer since
+// the last take. ok is false when nothing was recorded (clean, or the
+// frame is not tracked).
+func (f *Frame) TakeDirtyRange() (lo, end uint32, ok bool) {
+	v := f.dirty.Swap(0)
+	if v == 0 {
+		return 0, 0, false
+	}
+	return uint32(v >> 32), uint32(v), true
+}
+
 // Version returns the frame's store-version counter.
 func (f *Frame) Version() uint64 { return f.ver.Load() }
 
@@ -235,6 +309,7 @@ func (f *Frame) LoadWordBE(off uint32) uint32 {
 // change; see NoteStore).
 func (f *Frame) StoreWordBE(off, v uint32) {
 	f.ver.Add(1)
+	f.noteRange(off&(PageSize-1)&^3, 4)
 	atomic.StoreUint32(f.wordPtr(off), beWord(v))
 }
 
@@ -244,6 +319,7 @@ func (f *Frame) StoreWordBE(off, v uint32) {
 // ordering guest spin locks need.
 func (f *Frame) SwapWordBE(off, v uint32) uint32 {
 	f.ver.Add(1)
+	f.noteRange(off&(PageSize-1)&^3, 4)
 	return beWord(atomic.SwapUint32(f.wordPtr(off), beWord(v)))
 }
 
@@ -253,6 +329,7 @@ func (f *Frame) SwapWordBE(off, v uint32) uint32 {
 // missed one is not.
 func (f *Frame) CompareAndSwapWordBE(off, old, new uint32) bool {
 	f.ver.Add(1)
+	f.noteRange(off&(PageSize-1)&^3, 4)
 	return atomic.CompareAndSwapUint32(f.wordPtr(off), beWord(old), beWord(new))
 }
 
@@ -261,6 +338,7 @@ func (f *Frame) CompareAndSwapWordBE(off, old, new uint32) bool {
 // it is a CAS loop rather than a host atomic add.
 func (f *Frame) AddWordBE(off, delta uint32) uint32 {
 	p := f.wordPtr(off)
+	f.noteRange(off&(PageSize-1)&^3, 4)
 	for {
 		o := atomic.LoadUint32(p)
 		n := beWord(o) + delta

@@ -160,6 +160,74 @@ func TestRefCountProperty(t *testing.T) {
 	}
 }
 
+func TestDirtyWatermarkUntrackedIsFree(t *testing.T) {
+	p := NewPhysical(0)
+	f, _ := p.Alloc()
+	f.NoteStoreRange(10, 5)
+	if _, _, ok := f.TakeDirtyRange(); ok {
+		t.Fatal("untracked frame recorded a dirty range")
+	}
+}
+
+func TestDirtyWatermarkMergesRanges(t *testing.T) {
+	p := NewPhysical(0)
+	f, _ := p.Alloc()
+	f.SetTracked(true)
+	f.NoteStoreRange(100, 4)
+	f.NoteStoreRange(8, 2)
+	f.NoteStoreRange(50, 1)
+	lo, end, ok := f.TakeDirtyRange()
+	if !ok || lo != 8 || end != 104 {
+		t.Fatalf("got [%d,%d) ok=%v, want [8,104) true", lo, end, ok)
+	}
+	if _, _, ok := f.TakeDirtyRange(); ok {
+		t.Fatal("take did not reset the watermark")
+	}
+	// Word writers feed the watermark too.
+	f.StoreWordBE(256, 1)
+	f.AddWordBE(12, 1)
+	lo, end, ok = f.TakeDirtyRange()
+	if !ok || lo != 12 || end != 260 {
+		t.Fatalf("word writers: got [%d,%d) ok=%v, want [12,260) true", lo, end, ok)
+	}
+	f.SetTracked(false)
+	f.NoteStoreRange(0, 4)
+	if _, _, ok := f.TakeDirtyRange(); ok {
+		t.Fatal("disabling tracking did not stop recording")
+	}
+}
+
+// Property: under concurrent writers the merged watermark covers every
+// byte any writer touched (it may be wider, never narrower).
+func TestDirtyWatermarkNeverUnderReports(t *testing.T) {
+	p := NewPhysical(0)
+	f, _ := p.Alloc()
+	f.SetTracked(true)
+	const writers = 8
+	done := make(chan [2]uint32, writers)
+	for i := 0; i < writers; i++ {
+		go func(i int) {
+			lo := uint32(i * 64)
+			f.NoteStoreRange(lo, 16)
+			done <- [2]uint32{lo, lo + 16}
+		}(i)
+	}
+	wantLo, wantEnd := uint32(PageSize), uint32(0)
+	for i := 0; i < writers; i++ {
+		r := <-done
+		if r[0] < wantLo {
+			wantLo = r[0]
+		}
+		if r[1] > wantEnd {
+			wantEnd = r[1]
+		}
+	}
+	lo, end, ok := f.TakeDirtyRange()
+	if !ok || lo > wantLo || end < wantEnd {
+		t.Fatalf("watermark [%d,%d) ok=%v under-reports [%d,%d)", lo, end, ok, wantLo, wantEnd)
+	}
+}
+
 func TestConcurrentAlloc(t *testing.T) {
 	p := NewPhysical(0)
 	done := make(chan []*Frame, 8)

@@ -1,0 +1,38 @@
+package netshm
+
+// Fault injection for tests and the doctor acceptance suite. These entry
+// points corrupt protocol state in ways the protocol itself never would,
+// so the fleet self-checks (internal/doctor) have something real to
+// catch. Nothing in the replication or transaction paths calls them.
+
+// DropHomeRole makes the node forget it is the segment's home without
+// telling the fleet — modeling a crash-and-restore that loses the role.
+// No machine will accept a write for the segment afterwards, which is
+// exactly the state doctor's home-orphaned check exists to flag.
+func (n *Node) DropHomeRole(path string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return ErrUnknownSeg
+	}
+	s.isHome = false
+	s.migrating = ""
+	n.unpinFramesLocked(s)
+	return nil
+}
+
+// SkewClock shifts the segment's transactional version clock by d while
+// leaving epoch and generation alone — the corruption class doctor's
+// txn-clock-diverged check detects (a transaction validated against a
+// skewed clock can commit against state the home never had).
+func (n *Node) SkewClock(path string, d int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.segs[path]
+	if !ok {
+		return ErrUnknownSeg
+	}
+	s.tv = uint64(int64(s.tv) + d)
+	return nil
+}

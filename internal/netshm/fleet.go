@@ -2,6 +2,7 @@ package netshm
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"hemlock/internal/core"
@@ -26,19 +27,28 @@ type Fleet struct {
 	// so one sink captures a causally-ordered cross-machine timeline.
 	Trace *obsv.Tracer
 
-	clk   atomic.Uint64
-	order []string
-	nodes map[string]*Node
+	clk      atomic.Uint64
+	order    []string
+	nodes    map[string]*Node
+	nextSlot int // fleet-coordinated inode slot counter for PublishSharded
 }
 
 // NewFleet wires a fleet onto a network. Protocol and network counters
-// land in the fleet's registry.
+// land in the fleet's registry. HEMLOCK_NETSHM_DELTA=0 forces the
+// pre-v3 full-page replication path fleet-wide (the delta-correctness
+// differential runs both).
 func NewFleet(net *netsim.Network, cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	switch os.Getenv("HEMLOCK_NETSHM_DELTA") {
+	case "0", "off", "false", "no":
+		cfg.FullPage = true
+	}
 	f := &Fleet{
-		Net:   net,
-		Reg:   obsv.NewRegistry(),
-		Cfg:   cfg.withDefaults(),
-		nodes: map[string]*Node{},
+		Net:      net,
+		Reg:      obsv.NewRegistry(),
+		Cfg:      cfg,
+		nodes:    map[string]*Node{},
+		nextSlot: 8,
 	}
 	f.Trace = obsv.NewTracer(func() int64 { return int64(f.clk.Load()) * 1000 })
 	net.Observe(f.Reg)
@@ -107,27 +117,36 @@ func (f *Fleet) Run(n int) {
 	}
 }
 
-// Converged reports whether every machine that knows the segment has
-// applied the home's current generation — and that all of them know it.
+// Converged reports whether the fleet agrees on the segment: exactly one
+// machine claims the home role, no migration is in flight, and every
+// machine has applied the home's (epoch, generation, version-clock)
+// triple. During a migration two machines may briefly both claim the home
+// — that window reports not-converged until the handshake (or its abort
+// path) heals it.
 func (f *Fleet) Converged(path string) bool {
-	var want uint64
-	found := false
+	var wantE, wantG, wantT uint64
+	homes, migrating := 0, false
 	for _, n := range f.nodes {
 		n.mu.Lock()
 		s, ok := n.segs[path]
 		if ok && s.isHome {
-			want = s.gen
-			found = true
+			homes++
+			if s.migrating != "" {
+				migrating = true
+			}
+			if homes == 1 || s.epoch > wantE {
+				wantE, wantG, wantT = s.epoch, s.gen, s.tv
+			}
 		}
 		n.mu.Unlock()
 	}
-	if !found {
+	if homes != 1 || migrating {
 		return false
 	}
 	for _, n := range f.nodes {
 		n.mu.Lock()
 		s, ok := n.segs[path]
-		stale := !ok || s.gen != want
+		stale := !ok || s.epoch != wantE || s.gen != wantG || s.tv != wantT || s.needFull
 		n.mu.Unlock()
 		if stale {
 			return false
@@ -146,4 +165,42 @@ func (f *Fleet) WaitConverged(path string, maxTicks int) (int, bool) {
 		f.Tick()
 	}
 	return maxTicks, f.Converged(path)
+}
+
+// HomeFor returns the machine a segment path hashes to: the sharded home
+// assignment that spreads 1000 segments over 1000 machines instead of
+// funnelling every write through one. FNV-1a over the path, mod the fleet
+// in Add order — deterministic for a given fleet shape.
+func (f *Fleet) HomeFor(path string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= prime64
+	}
+	return f.order[h%uint64(len(f.order))]
+}
+
+// PublishSharded publishes a segment on its hash-assigned home, at a
+// fleet-coordinated inode slot. Slot coordination is what keeps the
+// same-VA invariant at fleet scale: two segments published independently
+// by different homes must not race for the same address region, so the
+// fleet hands out slots from one counter (skipping any slot the home
+// already uses). Returns the home node.
+func (f *Fleet) PublishSharded(path string, data []byte) (*Node, error) {
+	home := f.nodes[f.HomeFor(path)]
+	var lastErr error
+	for tries := 0; tries < 64; tries++ {
+		slot := f.nextSlot
+		f.nextSlot++
+		if err := home.PublishAt(path, data, slot); err == nil {
+			return home, nil
+		} else {
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("netshm: no free inode slot for %s: %w", path, lastErr)
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hemlock/internal/obsv"
 )
@@ -50,6 +51,15 @@ type Stats struct {
 	Duplicated uint64
 	Reordered  uint64
 	Delayed    uint64
+
+	// BytesSent counts payload bytes handed to the wire, per receiver copy
+	// (dropped copies were on the wire too); BytesDelivered counts payload
+	// bytes that reached an inbox. The pair is the bytes-on-wire metric the
+	// netshm delta benchmarks gate on. AllocBytes counts bytes of fresh
+	// datagram-buffer allocation — a pooled steady state keeps it flat.
+	BytesSent      uint64
+	BytesDelivered uint64
+	AllocBytes     uint64
 }
 
 // Lost is the total of both loss modes.
@@ -67,6 +77,9 @@ type NodeStats struct {
 	Duplicated uint64
 	Reordered  uint64
 	Delayed    uint64
+
+	BytesSent      uint64
+	BytesDelivered uint64
 }
 
 // Network is the simulated LAN.
@@ -96,6 +109,23 @@ type Network struct {
 	stats   Stats
 	delayed []delayedDatagram
 
+	// Bounded free list of datagram buffers. Every per-receiver copy of a
+	// payload that fits poolBufCap draws from here; receivers hand buffers
+	// back with Recycle once the payload is consumed. At 1024-node fan-out
+	// this turns the per-tick copy storm into reuse of a few hundred
+	// buffers instead of a fresh allocation per copy.
+	pool [][]byte
+
+	// inboxTotal is the network-wide queued-datagram count, maintained
+	// incrementally (O(changed), not O(nodes)) so the observability gauge
+	// never scans the node table.
+	inboxTotal atomic.Int64
+
+	// holders maps node names to stable per-name cells the inbox gauges
+	// read lock-free; Attach re-points the cell, Detach clears it.
+	holders    map[string]*nodeHolder
+	gaugeCount int
+
 	// Observability wiring (Observe); nil-safe when unwired.
 	reg           *obsv.Registry
 	ctrDelivered  *obsv.Counter
@@ -104,6 +134,28 @@ type Network struct {
 	ctrDuplicated *obsv.Counter
 	ctrReordered  *obsv.Counter
 	ctrDelayed    *obsv.Counter
+	ctrBytesSent  *obsv.Counter
+	ctrBytesDeliv *obsv.Counter
+	ctrAllocBytes *obsv.Counter
+}
+
+// poolBufCap is the pooled datagram buffer class; larger payloads get an
+// exact-size unpooled allocation.
+const poolBufCap = 8192
+
+// poolMax bounds the free list (poolMax * poolBufCap bytes worst case).
+const poolMax = 4096
+
+// maxInboxGauges caps how many per-node inbox gauges are registered. A
+// 1024-machine fleet does not want 1024 gauge rows in every snapshot; the
+// first nodes keep their named gauges (enough for every hand-built test
+// and scenario) and netsim.inbox_total covers the whole fleet.
+const maxInboxGauges = 32
+
+// nodeHolder is the stable cell a per-name inbox gauge reads without
+// taking the network lock.
+type nodeHolder struct {
+	p atomic.Pointer[Node]
 }
 
 // delayedDatagram is an in-flight datagram held by the DelayTicks knob.
@@ -116,7 +168,7 @@ type delayedDatagram struct {
 
 // New creates an empty network.
 func New() *Network {
-	return &Network{nodes: map[string]*Node{}}
+	return &Network{nodes: map[string]*Node{}, holders: map[string]*nodeHolder{}}
 }
 
 // Observe wires the network into an observability registry: delivered,
@@ -133,23 +185,40 @@ func (n *Network) Observe(r *obsv.Registry) {
 	n.ctrDuplicated = r.Counter("netsim.duplicated")
 	n.ctrReordered = r.Counter("netsim.reordered")
 	n.ctrDelayed = r.Counter("netsim.delayed")
-	for name, nd := range n.nodes {
-		n.registerInboxGauge(name, nd)
+	n.ctrBytesSent = r.Counter("netsim.bytes_sent")
+	n.ctrBytesDeliv = r.Counter("netsim.bytes_delivered")
+	n.ctrAllocBytes = r.Counter("netsim.alloc_bytes")
+	r.GaugeFunc("netsim.inbox_total", func() int64 { return n.inboxTotal.Load() })
+	// Deterministic registration order for nodes attached before Observe.
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n.registerInboxGauge(name)
 	}
 }
 
-// registerInboxGauge publishes nd's inbox depth; caller holds n.mu. The
-// callback re-reads the network's node table so a replaced node's gauge
-// tracks the live holder of the name.
-func (n *Network) registerInboxGauge(name string, nd *Node) {
-	if n.reg == nil {
+// registerInboxGauge publishes the inbox depth of whatever node currently
+// holds name; caller holds n.mu. The gauge callback is lock-free: it reads
+// a stable per-name cell (re-pointed by Attach, cleared by Detach) and the
+// node's atomic depth counter, so a 1024-node snapshot costs 1024 atomic
+// loads instead of 1024 mutex round trips over the node table. Only the
+// first maxInboxGauges names get individual gauges; netsim.inbox_total
+// covers everyone.
+func (n *Network) registerInboxGauge(name string) {
+	if n.reg == nil || n.gaugeCount >= maxInboxGauges {
 		return
 	}
+	h := n.holders[name]
+	if h == nil {
+		return
+	}
+	n.gaugeCount++
 	n.reg.GaugeFunc("netsim.inbox."+name, func() int64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if cur, ok := n.nodes[name]; ok {
-			return int64(len(cur.inbox))
+		if nd := h.p.Load(); nd != nil {
+			return nd.depth.Load()
 		}
 		return 0
 	})
@@ -162,6 +231,10 @@ type Node struct {
 	inbox    []Datagram
 	detached bool
 	stats    NodeStats
+
+	// depth mirrors len(inbox) atomically so the inbox gauges can read it
+	// without the network lock.
+	depth atomic.Int64
 }
 
 // Attach joins the network under the given name, replacing any previous
@@ -175,7 +248,15 @@ func (n *Network) Attach(name string) *Node {
 	}
 	nd := &Node{name: name, net: n}
 	n.nodes[name] = nd
-	n.registerInboxGauge(name, nd)
+	h, ok := n.holders[name]
+	if !ok {
+		h = &nodeHolder{}
+		n.holders[name] = h
+	}
+	h.p.Store(nd)
+	if !ok {
+		n.registerInboxGauge(name)
+	}
 	return nd
 }
 
@@ -220,11 +301,53 @@ func (nd *Node) Stats() NodeStats {
 	return nd.stats
 }
 
+// copyBuf returns a copy of payload drawn from the datagram buffer pool
+// (exact-size unpooled allocation for oversize payloads); caller holds
+// n.mu. Fresh allocations are charged to alloc_bytes at their capacity.
+func (n *Network) copyBuf(payload []byte) []byte {
+	var cp []byte
+	if len(payload) <= poolBufCap {
+		if k := len(n.pool); k > 0 {
+			cp = n.pool[k-1][:len(payload)]
+			n.pool[k-1] = nil
+			n.pool = n.pool[:k-1]
+		} else {
+			cp = make([]byte, len(payload), poolBufCap)
+			n.stats.AllocBytes += poolBufCap
+			n.ctrAllocBytes.Add(poolBufCap)
+		}
+	} else {
+		cp = make([]byte, len(payload))
+		n.stats.AllocBytes += uint64(len(payload))
+		n.ctrAllocBytes.Add(uint64(len(payload)))
+	}
+	copy(cp, payload)
+	return cp
+}
+
+// Recycle hands a received datagram's payload back to the buffer pool.
+// Receivers call it once the payload is fully consumed — the buffer will
+// back a future datagram, so keeping any slice of it is a bug. Only
+// pool-class buffers are kept; anything else is left to the GC.
+func (n *Network) Recycle(p []byte) {
+	if cap(p) != poolBufCap {
+		return
+	}
+	n.mu.Lock()
+	if len(n.pool) < poolMax {
+		n.pool = append(n.pool, p[:poolBufCap])
+	}
+	n.mu.Unlock()
+}
+
 // deliver moves one datagram from nd to peer, applying the adversarial
 // knobs in wire order — loss, then duplication, then per-copy delay —
 // before the copies reach the inbox via enqueue; caller holds n.mu.
 func (n *Network) deliver(nd, peer *Node, payload []byte) {
 	nd.stats.Sent++
+	nd.stats.BytesSent += uint64(len(payload))
+	n.stats.BytesSent += uint64(len(payload))
+	n.ctrBytesSent.Add(uint64(len(payload)))
 	if n.Drop != nil && n.Drop(nd.name, peer.name, n.seq) {
 		n.stats.Dropped++
 		peer.stats.Dropped++
@@ -239,8 +362,7 @@ func (n *Network) deliver(nd, peer *Node, payload []byte) {
 		n.ctrDuplicated.Inc()
 	}
 	for i := 0; i < copies; i++ {
-		cp := make([]byte, len(payload))
-		copy(cp, payload)
+		cp := n.copyBuf(payload)
 		if n.DelayTicks != nil {
 			if t := n.DelayTicks(nd.name, peer.name, n.seq); t > 0 {
 				n.delayed = append(n.delayed, delayedDatagram{
@@ -263,6 +385,11 @@ func (n *Network) enqueue(from string, peer *Node, seq uint64, cp []byte) {
 		n.stats.Overflow++
 		peer.stats.Overflow++
 		n.ctrOverflow.Inc()
+		// The copy never reaches a receiver, so no one will Recycle it;
+		// reclaim it here.
+		if cap(cp) == poolBufCap && len(n.pool) < poolMax {
+			n.pool = append(n.pool, cp[:poolBufCap])
+		}
 		return
 	}
 	d := Datagram{From: from, Payload: cp}
@@ -276,9 +403,14 @@ func (n *Network) enqueue(from string, peer *Node, seq uint64, cp []byte) {
 	} else {
 		peer.inbox = append(peer.inbox, d)
 	}
+	peer.depth.Add(1)
+	n.inboxTotal.Add(1)
 	n.stats.Delivered++
 	peer.stats.Delivered++
+	n.stats.BytesDelivered += uint64(len(cp))
+	peer.stats.BytesDelivered += uint64(len(cp))
 	n.ctrDelivered.Inc()
+	n.ctrBytesDeliv.Add(uint64(len(cp)))
 }
 
 // Advance ages every in-flight (delayed) datagram by one tick and enqueues
@@ -367,7 +499,10 @@ func (nd *Node) Recv() (Datagram, bool) {
 		return Datagram{}, false
 	}
 	d := nd.inbox[0]
+	nd.inbox[0] = Datagram{}
 	nd.inbox = nd.inbox[1:]
+	nd.depth.Add(-1)
+	n.inboxTotal.Add(-1)
 	return d, true
 }
 
@@ -387,5 +522,8 @@ func (nd *Node) Detach() {
 	nd.detached = true
 	if n.nodes[nd.name] == nd {
 		delete(n.nodes, nd.name)
+	}
+	if h, ok := n.holders[nd.name]; ok && h.p.Load() == nd {
+		h.p.Store(nil)
 	}
 }

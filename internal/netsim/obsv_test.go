@@ -84,6 +84,9 @@ func TestObserveGoldenText(t *testing.T) {
 	got := r.Snapshot().Text()
 	want := strings.Join([]string{
 		"counters:",
+		"  netsim.alloc_bytes           65536",
+		"  netsim.bytes_delivered       8",
+		"  netsim.bytes_sent            10",
 		"  netsim.delayed               0",
 		"  netsim.delivered             8",
 		"  netsim.dropped               2",
@@ -94,6 +97,7 @@ func TestObserveGoldenText(t *testing.T) {
 		"  netsim.inbox.a               0",
 		"  netsim.inbox.b               4",
 		"  netsim.inbox.c               4",
+		"  netsim.inbox_total           8",
 		"",
 	}, "\n")
 	if got != want {

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"hemlock/internal/obsv"
+)
+
+// TestBufferPoolReuse: once payloads are recycled, further sends stop
+// allocating — alloc_bytes is flat in steady state.
+func TestBufferPoolReuse(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+
+	payload := make([]byte, 100)
+	for i := 0; i < 50; i++ {
+		if err := a.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+		d, ok := b.Recv()
+		if !ok {
+			t.Fatal("datagram missing")
+		}
+		n.Recycle(d.Payload)
+	}
+	st := n.Stats()
+	if st.AllocBytes != poolBufCap {
+		t.Fatalf("alloc_bytes = %d after 50 recycled sends, want one buffer (%d)", st.AllocBytes, poolBufCap)
+	}
+	if st.BytesSent != 50*100 || st.BytesDelivered != 50*100 {
+		t.Fatalf("bytes sent/delivered = %d/%d, want 5000/5000", st.BytesSent, st.BytesDelivered)
+	}
+}
+
+// TestBufferPoolIsolation: a recycled buffer must not alias a datagram
+// still queued — the bytes a receiver reads are the bytes that were sent.
+func TestBufferPoolIsolation(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+
+	a.Send("b", []byte{1})
+	a.Send("b", []byte{2})
+	d1, _ := b.Recv()
+	n.Recycle(d1.Payload)
+	a.Send("b", []byte{3}) // reuses d1's buffer
+	d2, _ := b.Recv()
+	d3, _ := b.Recv()
+	if d2.Payload[0] != 2 || d3.Payload[0] != 3 {
+		t.Fatalf("got %d,%d want 2,3 — recycled buffer aliased a queued datagram", d2.Payload[0], d3.Payload[0])
+	}
+}
+
+// TestOversizePayloadUnpooled: payloads above the pool class still work
+// and are charged exactly.
+func TestOversizePayloadUnpooled(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	big := make([]byte, poolBufCap+1)
+	big[poolBufCap] = 7
+	a.Send("b", big)
+	d, ok := b.Recv()
+	if !ok || len(d.Payload) != poolBufCap+1 || d.Payload[poolBufCap] != 7 {
+		t.Fatalf("oversize payload mangled: ok=%v len=%d", ok, len(d.Payload))
+	}
+	n.Recycle(d.Payload) // no-op for unpooled buffers
+	if st := n.Stats(); st.AllocBytes != poolBufCap+1 {
+		t.Fatalf("alloc_bytes = %d, want %d", st.AllocBytes, poolBufCap+1)
+	}
+}
+
+// TestInboxTotalGauge: the fleet-wide queued-datagram gauge tracks
+// enqueue and drain without scanning nodes.
+func TestInboxTotalGauge(t *testing.T) {
+	n := New()
+	r := obsv.NewRegistry()
+	n.Observe(r)
+	a := n.Attach("a")
+	b := n.Attach("b")
+	c := n.Attach("c")
+
+	a.Broadcast([]byte("x")) // b and c each queue one
+	if got := r.Snapshot().Gauges["netsim.inbox_total"]; got != 2 {
+		t.Fatalf("inbox_total = %d, want 2", got)
+	}
+	b.Recv()
+	c.Recv()
+	if got := r.Snapshot().Gauges["netsim.inbox_total"]; got != 0 {
+		t.Fatalf("inbox_total after drain = %d, want 0", got)
+	}
+}
+
+// TestInboxGaugeCap: a big fleet registers at most maxInboxGauges
+// per-node gauges; inbox_total still covers everyone.
+func TestInboxGaugeCap(t *testing.T) {
+	n := New()
+	r := obsv.NewRegistry()
+	n.Observe(r)
+	var first *Node
+	for i := 0; i < 100; i++ {
+		nd := n.Attach(fmt.Sprintf("m%03d", i))
+		if i == 0 {
+			first = nd
+		}
+	}
+	for i := 1; i < 100; i++ {
+		first.Send(fmt.Sprintf("m%03d", i), []byte("y"))
+	}
+	s := r.Snapshot()
+	perNode := 0
+	for name := range s.Gauges {
+		if len(name) > len("netsim.inbox.") && name[:len("netsim.inbox.")] == "netsim.inbox." {
+			perNode++
+		}
+	}
+	if perNode != maxInboxGauges {
+		t.Fatalf("per-node gauges = %d, want cap %d", perNode, maxInboxGauges)
+	}
+	if got := s.Gauges["netsim.inbox_total"]; got != 99 {
+		t.Fatalf("inbox_total = %d, want 99", got)
+	}
+}
+
+// TestSteadyStateTickAllocationLight: a sustained all-pairs workload with
+// recycling settles into zero fresh allocation — the 1024-node fleet tick
+// property, scaled down for test time.
+func TestSteadyStateTickAllocationLight(t *testing.T) {
+	n := New()
+	const hosts = 32
+	nodes := make([]*Node, hosts)
+	for i := range nodes {
+		nodes[i] = n.Attach(fmt.Sprintf("h%02d", i))
+	}
+	tick := func() {
+		for _, nd := range nodes {
+			nd.Broadcast([]byte("status"))
+		}
+		for _, nd := range nodes {
+			for {
+				d, ok := nd.Recv()
+				if !ok {
+					break
+				}
+				n.Recycle(d.Payload)
+			}
+		}
+	}
+	tick() // warm the pool
+	warm := n.Stats().AllocBytes
+	for i := 0; i < 10; i++ {
+		tick()
+	}
+	if got := n.Stats().AllocBytes; got != warm {
+		t.Fatalf("steady-state ticks allocated %d fresh bytes, want 0", got-warm)
+	}
+}

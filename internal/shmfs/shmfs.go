@@ -793,8 +793,12 @@ func (fs *FS) writeAtInode(nd *inode, off uint32, buf []byte) (int, error) {
 		// Writes may land in frames mapped executable elsewhere (ldl's
 		// filePatcher patches shared text this way); the version bump is
 		// what invalidates any predecoded instructions.
-		nd.frames[fi].NoteStore()
-		n := copy(nd.frames[fi].Data[fo:], buf[done:])
+		n := len(buf) - done
+		if room := int(mem.PageSize - fo); n > room {
+			n = room
+		}
+		nd.frames[fi].NoteStoreRange(fo, uint32(n))
+		copy(nd.frames[fi].Data[fo:], buf[done:done+n])
 		done += n
 	}
 	if end > nd.size {
@@ -895,7 +899,15 @@ func (fs *FS) Truncate(p string, size uint32, uid int) error {
 	}
 	if size < nd.size {
 		for fi := int(size / mem.PageSize); fi <= int((nd.size-1)/mem.PageSize); fi++ {
-			nd.frames[fi].NoteStore()
+			lo := uint32(0)
+			if int(size/mem.PageSize) == fi {
+				lo = size % mem.PageSize
+			}
+			hi := uint32(mem.PageSize)
+			if int((nd.size-1)/mem.PageSize) == fi {
+				hi = (nd.size-1)%mem.PageSize + 1
+			}
+			nd.frames[fi].NoteStoreRange(lo, hi-lo)
 		}
 		for pos := size; pos < nd.size; pos++ {
 			fi := int(pos / mem.PageSize)

@@ -329,7 +329,7 @@ func (c *CPU) storeByte(addr uint32, val byte) error {
 	if flt != nil {
 		return flt
 	}
-	e.frame.NoteStore()
+	e.frame.NoteStoreRange(addr&(mem.PageSize-1), 1)
 	e.frame.Data[addr&(mem.PageSize-1)] = val
 	return nil
 }

@@ -29,7 +29,7 @@ out=BENCH_"$n".json
 # estimate without making CI runs painful.
 {
   go test -run=NONE -bench='BenchmarkDispatch' -benchtime="$benchtime" -count=3 ./internal/vm/
-  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase|LaunchWarm|PrestoParallel' -benchtime="$benchtime" -count=3 .
+  go test -run=NONE -bench='Table1|CallNear|CallFar|PointerChase|LaunchWarm|PrestoParallel|NetShmScale|NetShmDeltaBytes' -benchtime="$benchtime" -count=3 .
 } | tee "$raw"
 
 {
@@ -45,8 +45,18 @@ out=BENCH_"$n".json
   awk '/^Benchmark/ {
     name=$1; iters=$2; ns=$3
     sub(/-[0-9]+$/, "", name)
+    # Custom metrics (ReportMetric) follow ns/op in value/unit pairs; keep
+    # the ones the netshm scaling curve and delta-efficiency gate read.
+    extra=""
+    for (i = 4; i < NF; i++) {
+      if ($(i+1) == "bytes/write")      extra = extra sprintf(", \"bytes_per_write\": %s", $i)
+      else if ($(i+1) == "ticks/write") extra = extra sprintf(", \"ticks_per_write\": %s", $i)
+    }
+    # The simulated-fleet order the row was measured at, for dashboards.
+    if (match(name, /fleet=[0-9]+/))
+      extra = extra sprintf(", \"fleet\": %s", substr(name, RSTART+6, RLENGTH-6))
     if (seen++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, ns
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
   } END { printf "\n" }' "$raw"
   printf '  ]\n'
   printf '}\n'

@@ -73,6 +73,12 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
     if (!row($0)) next
     if (file == 1) { if (!(name in b) || ns < b[name]) b[name] = ns }
     else           { if (!(name in c) || ns < c[name]) c[name] = ns }
+    # Wire-byte metric of the candidate run, for the delta-efficiency gate
+    # (bytes are deterministic in the simulated network: take the min).
+    if (file == 2 && match($0, /"bytes_per_write": [0-9.eE+-]+/)) {
+      bw = substr($0, RSTART + 19, RLENGTH - 19) + 0
+      if (!(name in cb) || bw < cb[name]) cb[name] = bw
+    }
   }
   END {
     gatepat = "Dispatch|CallNear|CallFarTrampoline"
@@ -129,6 +135,26 @@ awk -v threshold="$threshold" -v basefile="$base" -v candfile="$cand" '
     } else {
       printf "benchcheck: PrestoParallel benchmarks missing from %s\n", candfile
       fail += 1
+    }
+
+    # Delta-efficiency gate: with dirty-byte delta encoding on, a small
+    # write must put at most 25% of the full-page wire bytes on the wire,
+    # measured within the candidate run so machine speed cancels out. If
+    # the delta path silently falls back to full pages the ratio collapses
+    # to ~100% and the gate fails.
+    printf "\ndelta-efficiency gate (within %s)\n", candfile
+    dn = "BenchmarkNetShmDeltaBytes/mode=delta"
+    fn = "BenchmarkNetShmDeltaBytes/mode=full"
+    if (!(dn in cb)) {
+      printf "benchcheck: %s bytes_per_write missing from %s\n", dn, candfile; fail += 1
+    } else if (!(fn in cb)) {
+      printf "benchcheck: %s bytes_per_write missing from %s\n", fn, candfile; fail += 1
+    } else {
+      r = cb[dn] / cb[fn]
+      mark = ""
+      if (r > 0.25) { mark = "  << DELTA ENCODING REGRESSION"; fail += 1 }
+      printf "%-34s %12.2f / %10.2f  =%5.0f%% (max  25%%)%s\n", \
+        "NetShmDeltaBytes delta/full", cb[dn], cb[fn], r * 100, mark
     }
 
     if (fail) { print "benchcheck: FAIL — gated benchmark regressed or missing"; exit 1 }
